@@ -1,0 +1,40 @@
+//! Quantile-query latency of the cash-register summaries: the cost of
+//! extracting the full φ-grid from a built summary (complements
+//! Figure 5 — the paper measures update time; queries are the other
+//! half of a production workload).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqs_bench::bench_stream;
+use sqs_harness::runner::CashAlgo;
+
+const N: usize = 200_000;
+const EPS: f64 = 1e-3;
+
+fn bench(c: &mut Criterion) {
+    let data = bench_stream(N, 2);
+    let mut group = c.benchmark_group("cash_query");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    for algo in CashAlgo::HEADLINE {
+        let mut s = algo.build(EPS, 24, N as u64, 11);
+        s.extend_from_slice(&data);
+        // Force any buffered state out so we time pure queries.
+        let _ = s.quantile(0.5);
+        group.bench_function(BenchmarkId::new(algo.name(), "grid_1k"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 1..1000 {
+                    acc ^= s.quantile(i as f64 / 1000.0).unwrap();
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! §4.3.4's claim that post-processing "has negligible impact on the
+//! amortized update time of DCS": time the whole §3.2 pipeline
+//! (truncation + decomposition + BLUE solve) against the cost of
+//! having streamed the data in the first place, across η.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqs_bench::bench_stream;
+use sqs_data::mpcat::MPCAT_LOG_U;
+use sqs_turnstile::{new_dcs, PostProcessed, TurnstileQuantiles};
+
+const N: usize = 100_000;
+const EPS: f64 = 1e-3;
+
+fn bench(c: &mut Criterion) {
+    let data = bench_stream(N, 41);
+    let mut dcs = new_dcs(EPS, MPCAT_LOG_U, 43);
+    for &x in &data {
+        dcs.insert(x);
+    }
+    let mut group = c.benchmark_group("post_overhead");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    for eta in [0.5, 0.1, 0.02] {
+        group.bench_with_input(BenchmarkId::new("pipeline", format!("eta={eta}")), &eta, |b, &eta| {
+            b.iter(|| {
+                let post = PostProcessed::new(&dcs, EPS, eta);
+                post.tree_size()
+            });
+        });
+    }
+    // Reference point: what one full stream pass costs.
+    group.bench_function("stream_pass_reference", |b| {
+        b.iter(|| {
+            let mut s = new_dcs(EPS, MPCAT_LOG_U, 43);
+            for &x in &data {
+                s.insert(x);
+            }
+            s.live()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

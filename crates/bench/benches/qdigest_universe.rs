@@ -1,0 +1,57 @@
+//! Figure 6b's time dimension as a Criterion group: q-digest update
+//! cost across universe sizes (σ = log u/ε grows with the universe, so
+//! bigger universes mean bigger node maps and slower compresses), plus
+//! the merge operation the paper keeps q-digest around for.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sqs_core::{qdigest::QDigest, QuantileSummary};
+use sqs_data::Normal;
+
+const N: usize = 100_000;
+const EPS: f64 = 1e-3;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qdigest_universe");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    group.throughput(Throughput::Elements(N as u64));
+    for log_u in [16u32, 24, 32] {
+        let data: Vec<u64> = Normal::new(log_u, 0.15, 31).take(N).collect();
+        group.bench_with_input(BenchmarkId::new("update", format!("logu={log_u}")), &data, |b, data| {
+            b.iter(|| {
+                let mut s = QDigest::new(EPS, log_u);
+                for &x in data {
+                    s.insert(x);
+                }
+                s.n()
+            });
+        });
+    }
+    // Merge throughput: fold 8 prebuilt digests.
+    let shards: Vec<QDigest> = (0..8)
+        .map(|i| {
+            let mut d = QDigest::new(EPS, 24);
+            for x in Normal::new(24, 0.15, 40 + i).take(N / 8) {
+                d.insert(x);
+            }
+            d
+        })
+        .collect();
+    group.bench_function("merge/8_shards", |b| {
+        b.iter(|| {
+            let mut shards = shards.clone();
+            let mut acc = shards.remove(0);
+            for mut d in shards {
+                acc.merge(&mut d);
+            }
+            acc.n()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 7a as a Criterion group: per-element update cost as the
+//! stream grows (uniform, u = 2^32, tight ε). The paper's finding is
+//! flat-to-falling curves — scaling verified by the per-element
+//! throughput staying constant as N grows 100×.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sqs_data::Uniform;
+use sqs_harness::runner::CashAlgo;
+
+const EPS: f64 = 1e-3;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(2000));
+    for n in [10_000usize, 100_000, 1_000_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        for algo in [CashAlgo::GkArray, CashAlgo::Random] {
+            group.bench_with_input(BenchmarkId::new(algo.name(), n), &n, |b, &n| {
+                b.iter(|| {
+                    let mut s = algo.build(EPS, 32, n as u64, 13);
+                    for x in Uniform::new(32, 17).take(n) {
+                        s.insert(x);
+                    }
+                    s.n()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

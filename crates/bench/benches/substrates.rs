@@ -1,0 +1,79 @@
+//! Substrate micro-throughput: the primitives every summary is built
+//! from — k-wise hashing, PRNG output, buffer collapses, dyadic
+//! decomposition. These set the floor under every per-element update
+//! time in the figures.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sqs_core::buffers::weighted_collapse;
+use sqs_util::dyadic::DyadicUniverse;
+use sqs_util::hash::{FourwiseHash, PairwiseHash};
+use sqs_util::rng::Xoshiro256pp;
+
+const N: u64 = 1_000_000;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    group.throughput(Throughput::Elements(N));
+
+    let mut rng = Xoshiro256pp::new(1);
+    let pairwise = PairwiseHash::new(&mut rng, 4096);
+    group.bench_function("pairwise_hash", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for x in 0..N {
+                acc ^= pairwise.hash(x);
+            }
+            acc
+        });
+    });
+    let fourwise = FourwiseHash::new(&mut rng);
+    group.bench_function("fourwise_sign", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for x in 0..N {
+                acc += fourwise.sign(x);
+            }
+            acc
+        });
+    });
+    group.bench_function("xoshiro_next_below", |b| {
+        b.iter(|| {
+            let mut r = Xoshiro256pp::new(2);
+            let mut acc = 0u64;
+            for _ in 0..N {
+                acc ^= r.next_below(1 << 20);
+            }
+            acc
+        });
+    });
+    group.bench_function("dyadic_prefix_decomposition", |b| {
+        let u = DyadicUniverse::new(32);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for x in (0..N).map(|i| i * 4097) {
+                acc += u.prefix_decomposition(x & ((1 << 32) - 1)).len();
+            }
+            acc
+        });
+    });
+
+    // Collapse throughput at summary-realistic sizes.
+    group.throughput(Throughput::Elements(2 * 4096));
+    let a: Vec<u64> = (0..4096u64).map(|i| i * 3).collect();
+    let b2: Vec<u64> = (0..4096u64).map(|i| i * 5 + 1).collect();
+    group.bench_function("weighted_collapse_2x4096", |b| {
+        b.iter(|| {
+            let (out, _) = weighted_collapse(&[(&a, 4), (&b2, 4)], 4096, 2);
+            out.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Update throughput of the turnstile structures (the time axis of
+//! Figures 10d/10e), on pure insertions and on a 50% delete churn —
+//! the turnstile model's distinguishing workload.
+//!
+//! Expected shape (paper §4.3.4): DCM and DCS are similar (both touch
+//! `log u` levels × `d` rows per update) and roughly an order of
+//! magnitude slower than the cash-register algorithms.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sqs_data::turnstile::{random_churn, Op};
+use sqs_data::Uniform;
+use sqs_turnstile::{new_dcm, new_dcs, TurnstileQuantiles};
+
+const N: usize = 50_000;
+const LOG_U: u32 = 24;
+
+fn bench(c: &mut Criterion) {
+    let inserts: Vec<u64> = Uniform::new(LOG_U, 3).take(N).collect();
+    let churn = random_churn(Uniform::new(LOG_U, 4).take(N), 0.5, 5);
+    let mut group = c.benchmark_group("turnstile_update");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    group.throughput(Throughput::Elements(N as u64));
+    for eps in [1e-2, 1e-3] {
+        group.bench_with_input(BenchmarkId::new("DCM/insert", format!("eps={eps}")), &eps, |b, &e| {
+            b.iter(|| {
+                let mut s = new_dcm(e, LOG_U, 7);
+                for &x in &inserts {
+                    s.insert(x);
+                }
+                s.live()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("DCS/insert", format!("eps={eps}")), &eps, |b, &e| {
+            b.iter(|| {
+                let mut s = new_dcs(e, LOG_U, 7);
+                for &x in &inserts {
+                    s.insert(x);
+                }
+                s.live()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("DCS/churn50", format!("eps={eps}")), &eps, |b, &e| {
+            b.iter(|| {
+                let mut s = new_dcs(e, LOG_U, 7);
+                for op in &churn {
+                    match *op {
+                        Op::Insert(x) => s.insert(x),
+                        Op::Delete(x) => s.delete(x),
+                    }
+                }
+                s.live()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Shared helpers for the Criterion benchmarks.
+//!
+//! `benches/` holds one group per paper table/figure dimension that is
+//! a *throughput* question; the `sqs-exp` binary in `sqs-harness`
+//! produces the corresponding accuracy/space rows (which Criterion
+//! cannot express). Mapping:
+//!
+//! | bench | paper |
+//! |---|---|
+//! | `cash_update` | Fig. 5e/5f (update-time axis) |
+//! | `cash_query` | query latency (complements Fig. 5) |
+//! | `turnstile_update` | Fig. 10d/10e (update-time axis) |
+//! | `scaling` | Fig. 7a |
+//! | `arrival_order` | Fig. 8 (time panel) |
+//! | `qdigest_universe` | Fig. 6b |
+//! | `post_overhead` | §4.3.4's "negligible impact" claim |
+
+#![forbid(unsafe_code)]
+
+pub use sqs_data::{Lidar, Mpcat, Normal, Uniform};
+
+/// Materializes `n` elements of the standard bench stream (the
+/// MPCAT-OBS surrogate — the paper's default data set).
+pub fn bench_stream(n: usize, seed: u64) -> Vec<u64> {
+    Mpcat::new(seed).take(n).collect()
+}

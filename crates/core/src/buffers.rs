@@ -1,0 +1,306 @@
+//! Shared buffer-merge machinery for the sampling-based summaries
+//! (`Random`, `MRL99`, `MRL98`).
+//!
+//! All three algorithms reduce to the same two primitives over sorted
+//! buffers of weighted samples:
+//!
+//! * [`merge_equal_level`] — the `Random` rule (§2.2): merge two
+//!   sorted, equal-weight buffers and keep either the odd or the even
+//!   positions of the combined sequence, each with probability 1/2.
+//! * [`weighted_collapse`] — the MRL COLLAPSE: merge any number of
+//!   sorted buffers with arbitrary integer weights into `out_size`
+//!   samples, selecting the elements whose *expanded* positions (each
+//!   element repeated `weight` times) hit an arithmetic progression of
+//!   targets with a chosen offset. A random offset gives the MRL99
+//!   unbiased collapse; the fixed midpoint offset gives the
+//!   deterministic MRL98 collapse.
+//!
+//! plus the weighted rank/quantile queries over the union of all live
+//! buffers.
+
+/// Merges two sorted equal-weight buffers, keeping odd (`take_odd`)
+/// or even positions of the merged sequence (0-indexed).
+///
+/// With `|a| = |b| = s` the result has exactly `s` elements and
+/// represents the union at twice the weight.
+pub fn merge_equal_level<T: Ord + Copy>(a: &[T], b: &[T], take_odd: bool) -> Vec<T> {
+    debug_assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(b.windows(2).all(|w| w[0] <= w[1]));
+    let total = a.len() + b.len();
+    let mut out = Vec::with_capacity(total / 2 + 1);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut pos = 0usize;
+    let want = usize::from(take_odd);
+    while i < a.len() || j < b.len() {
+        let x = if j >= b.len() || (i < a.len() && a[i] <= b[j]) {
+            let v = a[i];
+            i += 1;
+            v
+        } else {
+            let v = b[j];
+            j += 1;
+            v
+        };
+        if pos % 2 == want {
+            out.push(x);
+        }
+        pos += 1;
+    }
+    out
+}
+
+/// Collapses sorted buffers with per-buffer integer weights into
+/// `out_size` samples.
+///
+/// Conceptually each buffer's elements are expanded `weight`-fold and
+/// the combined expanded sequence (length `W = Σ weight_i · len_i`) is
+/// sampled at positions `offset + ⌊j·W/out_size⌋` for
+/// `j = 0..out_size`. `offset` must be in `[0, W/out_size)`; draw it
+/// uniformly for the unbiased MRL99 collapse, or pass
+/// `W/(2·out_size)` for the deterministic MRL98 midpoint rule.
+///
+/// Returns the sampled elements (sorted) and the total expanded weight
+/// `W`; each output element represents `W/out_size` of the input mass.
+///
+/// # Panics
+/// Panics if `out_size == 0`, all buffers are empty, or `offset` is
+/// out of range.
+pub fn weighted_collapse<T: Ord + Copy>(
+    bufs: &[(&[T], u64)],
+    out_size: usize,
+    offset: u64,
+) -> (Vec<T>, u64) {
+    assert!(out_size > 0, "weighted_collapse: out_size must be positive");
+    let total_w: u64 = bufs.iter().map(|(d, w)| d.len() as u64 * w).sum();
+    assert!(total_w > 0, "weighted_collapse: no input mass");
+    let stride = total_w / out_size as u64;
+    assert!(
+        offset < stride.max(1),
+        "weighted_collapse: offset {offset} out of range (stride {stride})"
+    );
+
+    // Flatten to (value, weight) and sort by value; buffer sizes are
+    // small (O(1/ε·polylog)), so the O(N log N) flatten is the paper's
+    // own cost model for a collapse.
+    let mut items: Vec<(T, u64)> = Vec::with_capacity(bufs.iter().map(|(d, _)| d.len()).sum());
+    for (data, w) in bufs {
+        debug_assert!(data.windows(2).all(|x| x[0] <= x[1]));
+        items.extend(data.iter().map(|&v| (v, *w)));
+    }
+    items.sort_unstable_by_key(|x| x.0);
+
+    let mut out = Vec::with_capacity(out_size);
+    let mut cum = 0u64; // expanded positions consumed so far
+    let mut j = 0u64; // next target index
+    for (v, w) in items {
+        let hi = cum + w;
+        // Emit every target position falling inside [cum, hi).
+        while j < out_size as u64 {
+            let target = offset + (j * total_w) / out_size as u64;
+            if target < hi {
+                out.push(v);
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        cum = hi;
+        if j == out_size as u64 {
+            break;
+        }
+    }
+    debug_assert_eq!(out.len(), out_size);
+    (out, total_w)
+}
+
+/// Estimated rank of `x` over weighted sample buffers: the summed
+/// weight of all sampled elements strictly smaller than `x`.
+pub fn weighted_rank<T: Ord + Copy>(bufs: &[(&[T], u64)], x: T) -> u64 {
+    bufs.iter()
+        .map(|(data, w)| data.partition_point(|&v| v < x) as u64 * w)
+        .sum()
+}
+
+/// φ-quantile over weighted sample buffers: the sampled element whose
+/// estimated rank is closest to `φ · W` (§2.2), found by a sweep over
+/// the sorted union.
+pub fn weighted_quantile<T: Ord + Copy>(bufs: &[(&[T], u64)], phi: f64) -> Option<T> {
+    let total_w: u64 = bufs.iter().map(|(d, w)| d.len() as u64 * w).sum();
+    if total_w == 0 {
+        return None;
+    }
+    let mut items: Vec<(T, u64)> = Vec::with_capacity(bufs.iter().map(|(d, _)| d.len()).sum());
+    for (data, w) in bufs {
+        items.extend(data.iter().map(|&v| (v, *w)));
+    }
+    items.sort_unstable_by_key(|x| x.0);
+
+    // §2.2: report the element whose estimated rank r̂(v) — the mass
+    // strictly before it — is closest to φ·W.
+    let target = phi * total_w as f64;
+    let mut cum = 0u64;
+    let mut best = items[0].0;
+    let mut best_dist = f64::INFINITY;
+    for (v, w) in items {
+        let rank = cum as f64;
+        let dist = (rank - target).abs();
+        if dist < best_dist {
+            best_dist = dist;
+            best = v;
+        } else if rank > target {
+            break; // ranks only move away from the target now
+        }
+        cum += w;
+    }
+    Some(best)
+}
+
+/// Answers an ascending φ-grid in a single pass over the sorted
+/// weighted union (the per-query [`weighted_quantile`] sorts the union
+/// each time; grids of `1/ε − 1` probes need this batched form).
+pub fn weighted_quantile_grid<T: Ord + Copy>(
+    bufs: &[(&[T], u64)],
+    phis: &[f64],
+) -> Vec<(f64, T)> {
+    let total_w: u64 = bufs.iter().map(|(d, w)| d.len() as u64 * w).sum();
+    if total_w == 0 || phis.is_empty() {
+        return Vec::new();
+    }
+    debug_assert!(phis.windows(2).all(|w| w[0] <= w[1]), "grid must be ascending");
+    let mut items: Vec<(T, u64)> = Vec::with_capacity(bufs.iter().map(|(d, _)| d.len()).sum());
+    for (data, w) in bufs {
+        items.extend(data.iter().map(|&v| (v, *w)));
+    }
+    items.sort_unstable_by_key(|x| x.0);
+
+    let mut out = Vec::with_capacity(phis.len());
+    let mut cum = 0u64;
+    let mut idx = 0usize;
+    for &phi in phis {
+        let target = phi * total_w as f64;
+        // Advance while the next item's rank is strictly closer to the
+        // target (ties keep the earlier item, matching the pointwise
+        // query's first-minimum rule).
+        while idx + 1 < items.len() {
+            let here = (cum as f64 - target).abs();
+            let next_rank = cum + items[idx].1;
+            let there = (next_rank as f64 - target).abs();
+            if there < here {
+                cum += items[idx].1;
+                idx += 1;
+            } else {
+                break;
+            }
+        }
+        out.push((phi, items[idx].0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_level_merge_parity() {
+        let a = [1u64, 3, 5, 7];
+        let b = [2u64, 4, 6, 8];
+        assert_eq!(merge_equal_level(&a, &b, false), vec![1, 3, 5, 7]);
+        assert_eq!(merge_equal_level(&a, &b, true), vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn equal_level_merge_with_duplicates() {
+        let a = [1u64, 1, 2];
+        let b = [1u64, 2, 3];
+        let evens = merge_equal_level(&a, &b, false);
+        let odds = merge_equal_level(&a, &b, true);
+        assert_eq!(evens.len(), 3);
+        assert_eq!(odds.len(), 3);
+        // Union of both picks = full merged sequence.
+        let mut all = evens.clone();
+        all.extend(&odds);
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 1, 1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn collapse_uniform_weights_is_spread() {
+        // 2 buffers of 4 elements, weight 1 each → W=8, out 4, stride 2.
+        let a = [0u64, 2, 4, 6];
+        let b = [1u64, 3, 5, 7];
+        let (out, w) = weighted_collapse(&[(&a, 1), (&b, 1)], 4, 0);
+        assert_eq!(w, 8);
+        assert_eq!(out, vec![0, 2, 4, 6]);
+        let (out, _) = weighted_collapse(&[(&a, 1), (&b, 1)], 4, 1);
+        assert_eq!(out, vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn collapse_respects_weights() {
+        // One heavy element should dominate the output.
+        let heavy = [5u64];
+        let light = [1u64, 9];
+        let (out, w) = weighted_collapse(&[(&heavy, 8), (&light, 1)], 5, 0);
+        assert_eq!(w, 10);
+        // Expanded: 1, 5×8, 9 → targets 0,2,4,6,8 → 1,5,5,5,5
+        assert_eq!(out, vec![1, 5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn collapse_output_sorted_and_sized() {
+        let a = [3u64, 6, 9, 12];
+        let b = [1u64, 5, 8];
+        let c = [2u64, 4];
+        let (out, _) = weighted_collapse(&[(&a, 2), (&b, 3), (&c, 5)], 6, 1);
+        assert_eq!(out.len(), 6);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "offset")]
+    fn collapse_rejects_bad_offset() {
+        let a = [1u64, 2];
+        weighted_collapse(&[(&a, 1)], 2, 5);
+    }
+
+    #[test]
+    fn weighted_rank_counts_mass() {
+        let a = [1u64, 3, 5];
+        let b = [2u64, 4];
+        let bufs: Vec<(&[u64], u64)> = vec![(&a, 2), (&b, 3)];
+        assert_eq!(weighted_rank(&bufs, 0), 0);
+        assert_eq!(weighted_rank(&bufs, 3), 2 + 3); // {1}·2 + {2}·3
+        assert_eq!(weighted_rank(&bufs, 100), 6 + 6);
+    }
+
+    #[test]
+    fn weighted_quantile_median_of_uniform() {
+        let a: Vec<u64> = (0..100).collect();
+        let bufs: Vec<(&[u64], u64)> = vec![(&a, 1)];
+        let med = weighted_quantile(&bufs, 0.5).unwrap();
+        assert!((45..=55).contains(&med), "median = {med}");
+        // Exact convention: rank ⌊0.01·100⌋ = 1 → value 1.
+        assert_eq!(weighted_quantile(&bufs, 0.01).unwrap(), 1);
+        assert_eq!(weighted_quantile(&bufs, 0.999).unwrap(), 99);
+    }
+
+    #[test]
+    fn grid_matches_pointwise_weighted_queries() {
+        let a: Vec<u64> = (0..500).map(|i| i * 3).collect();
+        let b: Vec<u64> = (0..200).map(|i| i * 7 + 1).collect();
+        let bufs: Vec<(&[u64], u64)> = vec![(&a, 2), (&b, 5)];
+        let phis: Vec<f64> = (1..100).map(|i| i as f64 / 100.0).collect();
+        let grid = weighted_quantile_grid(&bufs, &phis);
+        assert_eq!(grid.len(), phis.len());
+        for (phi, v) in grid {
+            assert_eq!(Some(v), weighted_quantile(&bufs, phi), "phi={phi}");
+        }
+    }
+
+    #[test]
+    fn weighted_quantile_empty_is_none() {
+        let bufs: Vec<(&[u64], u64)> = vec![];
+        assert_eq!(weighted_quantile(&bufs, 0.5), None);
+    }
+}

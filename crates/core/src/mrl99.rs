@@ -1,0 +1,328 @@
+//! `MRL99` — Manku, Rajagopalan & Lindsay's randomized sampler
+//! (SIGMOD'99), the algorithm the paper's `Random` simplifies (§1.2.1).
+//!
+//! Mechanically, MRL99 differs from `Random` in two ways the study
+//! isolates:
+//!
+//! * **COLLAPSE merges *all* buffers at the minimal weight** (not just
+//!   a pair) into one output buffer whose weight is the sum, using the
+//!   weighted position-selection rule with a uniformly random offset —
+//!   buffer weights are therefore arbitrary integers, not powers of 2.
+//! * If only one buffer has the minimal weight, the next-lightest
+//!   buffer joins the collapse (the MRL99 policy guarantees ≥ 2
+//!   inputs).
+//!
+//! New buffers are fed by the same active-level sampling as `Random`
+//! (one uniformly-chosen element per `2^l` arrivals, giving the buffer
+//! weight `2^l`).
+//!
+//! **Sizing note (recorded in DESIGN.md):** MRL99 chooses `b` and `k`
+//! by numerically solving an optimization over its (loose) error
+//! bound. The study's finding is that those "details were not actually
+//! needed"; to make the comparison isolate the *mechanism* (collapse-
+//! all + random offset vs pairwise odd/even), this implementation uses
+//! the same `b = h+1`, `k = ⌈(1/ε)√h⌉` sizing as `Random`. The paper's
+//! observation that the two perform near-identically is then directly
+//! checkable.
+
+use crate::buffers::{weighted_quantile_grid, weighted_collapse, weighted_quantile, weighted_rank};
+use crate::QuantileSummary;
+use sqs_util::rng::Xoshiro256pp;
+use sqs_util::space::{words, SpaceUsage};
+
+#[derive(Debug, Clone)]
+struct Buffer<T> {
+    weight: u64,
+    data: Vec<T>,
+    full: bool,
+}
+
+/// The MRL99 randomized quantile summary (comparison-based,
+/// `O((1/ε)·log²(1/ε))` space by its original analysis).
+#[derive(Debug, Clone)]
+pub struct Mrl99<T> {
+    eps: f64,
+    h: u32,
+    k: usize,
+    buffers: Vec<Buffer<T>>,
+    fill: Option<usize>,
+    group_size: u64,
+    group_pos: u64,
+    group_target: u64,
+    group_choice: Option<T>,
+    n: u64,
+    rng: Xoshiro256pp,
+}
+
+impl<T: Ord + Copy> Mrl99<T> {
+    /// Creates a summary with error target ε and a PRNG seed.
+    ///
+    /// # Panics
+    /// Panics unless `0 < ε < 1`.
+    pub fn new(eps: f64, seed: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1), got {eps}");
+        let h = (1.0 / eps).log2().ceil().max(1.0) as u32;
+        let k = (((1.0 / eps) * (h as f64).sqrt()).ceil() as usize).max(2);
+        let b = h as usize + 1;
+        Self {
+            eps,
+            h,
+            k,
+            buffers: (0..b)
+                .map(|_| Buffer { weight: 1, data: Vec::with_capacity(k), full: false })
+                .collect(),
+            fill: None,
+            group_size: 1,
+            group_pos: 0,
+            group_target: 0,
+            group_choice: None,
+            n: 0,
+            rng: Xoshiro256pp::new(seed),
+        }
+    }
+
+    /// The configured ε.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Number of buffers.
+    pub fn buffer_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Per-buffer capacity.
+    pub fn buffer_size(&self) -> usize {
+        self.k
+    }
+
+    /// Weights of the currently full buffers (inspection/tests).
+    pub fn weights(&self) -> Vec<u64> {
+        self.buffers.iter().filter(|b| b.full).map(|b| b.weight).collect()
+    }
+
+    fn active_weight(&self) -> u64 {
+        let denom = self.k as f64 * (1u64 << (self.h - 1)) as f64;
+        let ratio = self.n as f64 / denom;
+        if ratio <= 1.0 {
+            1
+        } else {
+            1u64 << (ratio.log2().ceil() as u32)
+        }
+    }
+
+    fn start_group(&mut self, weight: u64) {
+        self.group_size = weight;
+        self.group_pos = 0;
+        self.group_choice = None;
+        self.group_target = if weight == 1 { 0 } else { self.rng.next_below(weight) };
+    }
+
+    /// The MRL99 COLLAPSE: merge all minimal-weight full buffers (at
+    /// least two — the second-lightest joins if the minimum is unique)
+    /// into one buffer of summed weight.
+    fn collapse(&mut self) {
+        debug_assert!(self.buffers.iter().all(|b| b.full));
+        let min_w = self.buffers.iter().map(|b| b.weight).min().expect("buffers exist");
+        let mut chosen: Vec<usize> = self
+            .buffers
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.weight == min_w)
+            .map(|(i, _)| i)
+            .collect();
+        if chosen.len() < 2 {
+            // Include the next-lightest buffer.
+            let next = self
+                .buffers
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !chosen.contains(i))
+                .min_by_key(|(_, b)| b.weight)
+                .map(|(i, _)| i)
+                .expect("at least two buffers");
+            chosen.push(next);
+        }
+        let inputs: Vec<(&[T], u64)> =
+            chosen.iter().map(|&i| (self.buffers[i].data.as_slice(), self.buffers[i].weight)).collect();
+        let total_w: u64 = inputs.iter().map(|(d, w)| d.len() as u64 * w).sum();
+        let stride = (total_w / self.k as u64).max(1);
+        let offset = self.rng.next_below(stride);
+        let (merged, _) = weighted_collapse(&inputs, self.k, offset);
+        let new_weight: u64 = chosen.iter().map(|&i| self.buffers[i].weight).sum();
+
+        let target = chosen[0];
+        self.buffers[target].data = merged;
+        self.buffers[target].weight = new_weight;
+        self.buffers[target].full = true;
+        for &i in &chosen[1..] {
+            self.buffers[i].data.clear();
+            self.buffers[i].full = false;
+            self.buffers[i].weight = 1;
+        }
+    }
+
+    fn live_buffers(&self) -> Vec<(&[T], u64)> {
+        self.buffers
+            .iter()
+            .filter(|b| !b.data.is_empty())
+            .map(|b| (b.data.as_slice(), b.weight))
+            .collect()
+    }
+}
+
+impl<T: Ord + Copy> QuantileSummary<T> for Mrl99<T> {
+    fn insert(&mut self, x: T) {
+        if self.fill.is_none() {
+            let idx = self
+                .buffers
+                .iter()
+                .position(|b| !b.full && b.data.is_empty())
+                .expect("an empty buffer always exists after collapsing");
+            let w = self.active_weight();
+            self.buffers[idx].weight = w;
+            self.fill = Some(idx);
+            self.start_group(w);
+        }
+        self.n += 1;
+
+        if self.group_pos == self.group_target {
+            self.group_choice = Some(x);
+        }
+        self.group_pos += 1;
+        if self.group_pos == self.group_size {
+            let idx = self.fill.expect("fill buffer set above");
+            let chosen = self.group_choice.take().expect("target within group");
+            self.buffers[idx].data.push(chosen);
+            if self.buffers[idx].data.len() == self.k {
+                self.buffers[idx].data.sort_unstable();
+                self.buffers[idx].full = true;
+                self.fill = None;
+                if self.buffers.iter().all(|b| b.full) {
+                    self.collapse();
+                }
+            } else {
+                let w = self.buffers[idx].weight;
+                self.start_group(w);
+            }
+        }
+    }
+
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn rank_estimate(&mut self, x: T) -> u64 {
+        weighted_rank(&self.live_buffers(), x)
+    }
+
+    fn quantile(&mut self, phi: f64) -> Option<T> {
+        crate::traits::check_phi(phi);
+        weighted_quantile(&self.live_buffers(), phi)
+    }
+
+    fn quantile_grid(&mut self, eps: f64) -> Vec<(f64, T)> {
+        weighted_quantile_grid(&self.live_buffers(), &sqs_util::exact::probe_phis(eps))
+    }
+
+    fn name(&self) -> &'static str {
+        "MRL99"
+    }
+}
+
+impl<T> SpaceUsage for Mrl99<T> {
+    fn space_bytes(&self) -> usize {
+        // Pre-allocated b·k sample slots + weight/fill word per buffer.
+        words(self.buffers.len() * (self.k + 2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqs_util::exact::{observed_errors, probe_phis, ExactQuantiles};
+
+    fn observed_max_err(eps: f64, data: &[u64], seed: u64) -> f64 {
+        let mut s = Mrl99::new(eps, seed);
+        for &x in data {
+            s.insert(x);
+        }
+        let oracle = ExactQuantiles::new(data.to_vec());
+        let answers: Vec<(f64, u64)> = probe_phis(eps)
+            .into_iter()
+            .map(|p| (p, s.quantile(p).unwrap()))
+            .collect();
+        observed_errors(&oracle, &answers).0
+    }
+
+    #[test]
+    fn small_stream_exact() {
+        let mut s = Mrl99::new(0.1, 1);
+        let data: Vec<u64> = (0..40).rev().collect();
+        for &x in &data {
+            s.insert(x);
+        }
+        let oracle = ExactQuantiles::new(data);
+        for phi in [0.2, 0.5, 0.8] {
+            assert_eq!(oracle.quantile_error(phi, s.quantile(phi).unwrap()), 0.0);
+        }
+    }
+
+    #[test]
+    fn error_within_eps_with_slack() {
+        let mut rng = sqs_util::rng::Xoshiro256pp::new(42);
+        let data: Vec<u64> = (0..100_000).map(|_| rng.next_below(1 << 28)).collect();
+        let eps = 0.02;
+        let errs: Vec<f64> = (0..5).map(|seed| observed_max_err(eps, &data, seed)).collect();
+        let avg = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(avg <= eps, "avg max err {avg} > {eps} ({errs:?})");
+        assert!(errs.iter().all(|&e| e <= 2.0 * eps), "outlier: {errs:?}");
+    }
+
+    #[test]
+    fn collapse_produces_summed_weights() {
+        let mut s = Mrl99::new(0.2, 7);
+        for x in 0..100_000u64 {
+            s.insert(x);
+        }
+        let weights = s.weights();
+        assert!(!weights.is_empty());
+        // Total represented mass stays close to n (partial groups and
+        // the fill buffer account for the gap).
+        let mass: u64 = s
+            .buffers
+            .iter()
+            .map(|b| b.data.len() as u64 * b.weight)
+            .sum();
+        let n = s.n();
+        assert!(mass <= n);
+        assert!(mass as f64 > 0.8 * n as f64, "mass {mass} vs n {n}");
+    }
+
+    #[test]
+    fn matches_random_sizing() {
+        let m = Mrl99::<u64>::new(0.01, 1);
+        let r = crate::random::RandomSketch::<u64>::new(0.01, 1);
+        assert_eq!(m.buffer_count(), r.buffer_count());
+        assert_eq!(m.buffer_size(), r.buffer_size());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data: Vec<u64> = (0..60_000).map(|i| (i * 48271) % 65_536).collect();
+        let mut a = Mrl99::new(0.05, 3);
+        let mut b = Mrl99::new(0.05, 3);
+        for &x in &data {
+            a.insert(x);
+            b.insert(x);
+        }
+        assert_eq!(a.quantile(0.5), b.quantile(0.5));
+    }
+
+    #[test]
+    fn empty_is_none() {
+        let mut s = Mrl99::<u64>::new(0.1, 5);
+        assert_eq!(s.quantile(0.4), None);
+        assert_eq!(s.n(), 0);
+    }
+}

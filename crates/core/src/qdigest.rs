@@ -1,0 +1,550 @@
+//! `FastQDigest` — the q-digest of Shrivastava et al. (SenSys'04) in
+//! the buffered, streaming form the study benchmarks (§1.2.1, §4.2.4).
+//!
+//! The q-digest is the only deterministic **fixed-universe** summary in
+//! the study, and the only deterministic *mergeable* one — the reason
+//! the paper keeps it relevant despite losing every streaming
+//! comparison (§4.2.4). It stores counts on nodes of the dyadic tree
+//! over `[u]`, maintaining the digest property that every surviving
+//! non-root node together with its sibling and parent outweighs
+//! `⌊n/σ⌋`, which caps the node count at `3σ` and the rank error at
+//! `log(u)·⌊n/σ⌋`. We size `σ = ⌈log₂(u)/ε⌉` for an `ε·n` rank
+//! guarantee.
+//!
+//! Updates are buffered and applied in batches ("Fast"), with COMPRESS
+//! re-run when the node map outgrows `3σ`, giving amortized O(1)-ish
+//! updates — the behaviour Figures 5e/5f and 7a measure.
+
+use std::collections::HashMap;
+
+use crate::QuantileSummary;
+use sqs_util::space::{words, SpaceUsage};
+
+/// Errors from [`QDigest::from_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Wrong magic or version.
+    BadHeader,
+    /// Byte stream ends mid-record.
+    Truncated,
+    /// A node id is outside the declared universe's tree.
+    BadNodeId(u64),
+    /// Node counts don't sum to the declared n.
+    CountMismatch,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadHeader => write!(f, "bad magic/version header"),
+            DecodeError::Truncated => write!(f, "byte stream truncated"),
+            DecodeError::BadNodeId(id) => write!(f, "node id {id} outside tree"),
+            DecodeError::CountMismatch => write!(f, "node counts do not sum to n"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const MAGIC: u32 = 0x5144_4731; // "QDG1"
+
+
+/// A streaming q-digest over the universe `[0, 2^log_u)`.
+///
+/// # Example
+///
+/// ```
+/// use sqs_core::{qdigest::QDigest, QuantileSummary};
+///
+/// // Two sensors summarize locally, merge, ship as bytes.
+/// let mut a = QDigest::new(0.01, 16);
+/// let mut b = QDigest::new(0.01, 16);
+/// for x in 0..30_000u64 {
+///     a.insert(x % 65_536);
+///     b.insert((x * 7) % 65_536);
+/// }
+/// a.merge(&mut b);
+/// let bytes = a.to_bytes();
+/// let mut back = QDigest::from_bytes(&bytes).unwrap();
+/// assert_eq!(back.n(), 60_000);
+/// assert_eq!(back.quantile(0.5), a.quantile(0.5));
+/// ```
+
+#[derive(Debug, Clone)]
+pub struct QDigest {
+    log_u: u32,
+    sigma: u64,
+    n: u64,
+    /// Heap-numbered dyadic node → count. Root is id 1; the leaf for
+    /// value `x` is id `u + x`; node `id` has children `2id, 2id+1`.
+    counts: HashMap<u64, u64>,
+    buffer: Vec<u64>,
+    buffer_cap: usize,
+}
+
+impl QDigest {
+    /// Creates a q-digest for universe size `2^log_u` with rank error
+    /// at most `ε·n`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < ε < 1` and `1 ≤ log_u ≤ 40`.
+    pub fn new(eps: f64, log_u: u32) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1), got {eps}");
+        assert!((1..=40).contains(&log_u), "log_u must be in 1..=40, got {log_u}");
+        let sigma = ((log_u as f64) / eps).ceil() as u64;
+        Self {
+            log_u,
+            sigma,
+            n: 0,
+            counts: HashMap::new(),
+            buffer: Vec::with_capacity(256),
+            buffer_cap: 256,
+        }
+    }
+
+    /// Universe exponent.
+    pub fn log_u(&self) -> u32 {
+        self.log_u
+    }
+
+    /// Compression factor σ.
+    pub fn sigma(&self) -> u64 {
+        self.sigma
+    }
+
+    /// Number of tree nodes currently stored (after a flush).
+    pub fn node_count(&mut self) -> usize {
+        self.flush();
+        self.counts.len()
+    }
+
+    #[inline]
+    fn universe(&self) -> u64 {
+        1u64 << self.log_u
+    }
+
+    /// Depth of a node id (root = 0, leaves = `log_u`).
+    #[inline]
+    fn depth(id: u64) -> u32 {
+        63 - id.leading_zeros()
+    }
+
+    /// Inclusive value range `[lo, hi]` covered by node `id`.
+    #[inline]
+    fn node_range(&self, id: u64) -> (u64, u64) {
+        let level = self.log_u - Self::depth(id);
+        let lo = (id << level) - self.universe();
+        (lo, lo + (1u64 << level) - 1)
+    }
+
+    /// Applies buffered leaf increments.
+    fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let u = self.universe();
+        let buf = std::mem::take(&mut self.buffer);
+        for x in buf {
+            *self.counts.entry(u + x).or_insert(0) += 1;
+        }
+        if self.counts.len() as u64 > 3 * self.sigma {
+            self.compress();
+        }
+    }
+
+    /// The q-digest COMPRESS: bottom-up, merge any child pair whose
+    /// combined weight with the parent is within `⌊n/σ⌋`.
+    fn compress(&mut self) {
+        let threshold = self.n / self.sigma;
+        if threshold == 0 {
+            return;
+        }
+        // Bucket node ids by depth so merges feed the next level up.
+        let mut by_depth: Vec<Vec<u64>> = vec![Vec::new(); self.log_u as usize + 1];
+        for &id in self.counts.keys() {
+            by_depth[Self::depth(id) as usize].push(id);
+        }
+        for d in (1..=self.log_u as usize).rev() {
+            let ids = std::mem::take(&mut by_depth[d]);
+            for id in ids {
+                // Canonicalize to the even child; skip ids already merged.
+                let left = id & !1;
+                if !self.counts.contains_key(&left) && !self.counts.contains_key(&(left | 1)) {
+                    continue;
+                }
+                let parent = left >> 1;
+                let cl = self.counts.get(&left).copied().unwrap_or(0);
+                let cr = self.counts.get(&(left | 1)).copied().unwrap_or(0);
+                let cp = self.counts.get(&parent).copied().unwrap_or(0);
+                if cl + cr + cp <= threshold {
+                    self.counts.remove(&left);
+                    self.counts.remove(&(left | 1));
+                    let existed = self.counts.insert(parent, cl + cr + cp).is_some();
+                    if !existed {
+                        by_depth[d - 1].push(parent);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merges another q-digest into this one (the mergeable-summary
+    /// operation of Agarwal et al. the paper highlights in §4.2.4).
+    ///
+    /// # Panics
+    /// Panics if the universes differ.
+    pub fn merge(&mut self, other: &mut QDigest) {
+        assert_eq!(self.log_u, other.log_u, "q-digest merge: universe mismatch");
+        self.flush();
+        other.flush();
+        if other.n == 0 {
+            return; // merging nothing is the identity
+        }
+        for (&id, &c) in &other.counts {
+            *self.counts.entry(id).or_insert(0) += c;
+        }
+        self.n += other.n;
+        self.compress();
+    }
+
+    /// Serializes the digest to a compact, portable byte form (the
+    /// sensor-network deployment the q-digest was designed for ships
+    /// digests over the network): a fixed header followed by sorted
+    /// `(node id, count)` little-endian u64 pairs. Flushes first, so
+    /// equal digests serialize equally.
+    pub fn to_bytes(&mut self) -> Vec<u8> {
+        self.flush();
+        let mut ids: Vec<u64> = self.counts.keys().copied().collect();
+        ids.sort_unstable();
+        let mut out = Vec::with_capacity(28 + ids.len() * 16);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.log_u.to_le_bytes());
+        out.extend_from_slice(&self.sigma.to_le_bytes());
+        out.extend_from_slice(&self.n.to_le_bytes());
+        out.extend_from_slice(&(ids.len() as u64).to_le_bytes());
+        for id in ids {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&self.counts[&id].to_le_bytes());
+        }
+        out
+    }
+
+    /// Reconstructs a digest from [`QDigest::to_bytes`] output,
+    /// validating structure (header, node ids within the declared
+    /// tree, counts summing to `n`).
+    pub fn from_bytes(bytes: &[u8]) -> Result<QDigest, DecodeError> {
+        let take_u32 = |b: &[u8], at: usize| -> Result<u32, DecodeError> {
+            b.get(at..at + 4)
+                .map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+                .ok_or(DecodeError::Truncated)
+        };
+        let take_u64 = |b: &[u8], at: usize| -> Result<u64, DecodeError> {
+            b.get(at..at + 8)
+                .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+                .ok_or(DecodeError::Truncated)
+        };
+        if take_u32(bytes, 0)? != MAGIC {
+            return Err(DecodeError::BadHeader);
+        }
+        let log_u = take_u32(bytes, 4)?;
+        if !(1..=40).contains(&log_u) {
+            return Err(DecodeError::BadHeader);
+        }
+        let sigma = take_u64(bytes, 8)?;
+        let n = take_u64(bytes, 16)?;
+        let count = take_u64(bytes, 24)? as usize;
+        let mut counts = HashMap::with_capacity(count);
+        let max_id = 1u64 << (log_u + 1);
+        let mut total_at_some_level = 0u64;
+        for i in 0..count {
+            let at = 32 + i * 16;
+            let id = take_u64(bytes, at)?;
+            let c = take_u64(bytes, at + 8)?;
+            if id == 0 || id >= max_id {
+                return Err(DecodeError::BadNodeId(id));
+            }
+            total_at_some_level += c;
+            counts.insert(id, c);
+        }
+        if total_at_some_level != n {
+            return Err(DecodeError::CountMismatch);
+        }
+        Ok(QDigest {
+            log_u,
+            sigma: sigma.max(1),
+            n,
+            counts,
+            buffer: Vec::with_capacity(256),
+            buffer_cap: 256,
+        })
+    }
+
+    /// Nodes sorted in the q-digest query order: by right endpoint,
+    /// smaller intervals first on ties (post-order of the tree).
+    fn ordered_nodes(&self) -> Vec<(u64, u64, u64)> {
+        // (hi, lo, count)
+        let mut nodes: Vec<(u64, u64, u64)> = self
+            .counts
+            .iter()
+            .map(|(&id, &c)| {
+                let (lo, hi) = self.node_range(id);
+                (hi, lo, c)
+            })
+            .collect();
+        nodes.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        nodes
+    }
+}
+
+impl QuantileSummary<u64> for QDigest {
+    /// Observes `x`, which must lie in `[0, 2^log_u)`.
+    fn insert(&mut self, x: u64) {
+        assert!(x < self.universe(), "value {x} outside universe 2^{}", self.log_u);
+        self.n += 1;
+        self.buffer.push(x);
+        if self.buffer.len() >= self.buffer_cap {
+            self.flush();
+        }
+    }
+
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The standard q-digest lower-bound rank estimate: total count of
+    /// nodes entirely below `x`.
+    fn rank_estimate(&mut self, x: u64) -> u64 {
+        self.flush();
+        self.counts
+            .iter()
+            .map(|(&id, &c)| {
+                let (_, hi) = self.node_range(id);
+                if hi < x {
+                    c
+                } else {
+                    0
+                }
+            })
+            .sum()
+    }
+
+    fn quantile(&mut self, phi: f64) -> Option<u64> {
+        crate::traits::check_phi(phi);
+        self.flush();
+        if self.n == 0 {
+            return None;
+        }
+        let target = ((phi * self.n as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (hi, _lo, c) in self.ordered_nodes() {
+            cum += c;
+            if cum >= target {
+                return Some(hi);
+            }
+        }
+        Some(self.universe() - 1)
+    }
+
+    fn quantile_grid(&mut self, eps: f64) -> Vec<(f64, u64)> {
+        self.flush();
+        if self.n == 0 {
+            return Vec::new();
+        }
+        let nodes = self.ordered_nodes();
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        let mut idx = 0usize;
+        for phi in sqs_util::exact::probe_phis(eps) {
+            let target = ((phi * self.n as f64).ceil() as u64).max(1);
+            while idx < nodes.len() && cum + nodes[idx].2 < target {
+                cum += nodes[idx].2;
+                idx += 1;
+            }
+            let hi = if idx < nodes.len() { nodes[idx].0 } else { self.universe() - 1 };
+            out.push((phi, hi));
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "FastQDigest"
+    }
+}
+
+impl SpaceUsage for QDigest {
+    fn space_bytes(&self) -> usize {
+        // Per stored node: id + count + one hash-slot pointer (3 words);
+        // plus the update buffer capacity.
+        words(self.counts.len() * 3 + self.buffer_cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqs_util::exact::{observed_errors, probe_phis, ExactQuantiles};
+    use sqs_util::rng::Xoshiro256pp;
+
+    fn check_errors(eps: f64, log_u: u32, data: Vec<u64>) {
+        let mut s = QDigest::new(eps, log_u);
+        for &x in &data {
+            s.insert(x);
+        }
+        let oracle = ExactQuantiles::new(data);
+        let answers: Vec<(f64, u64)> = probe_phis(eps)
+            .into_iter()
+            .map(|p| (p, s.quantile(p).unwrap()))
+            .collect();
+        let (max_err, _) = observed_errors(&oracle, &answers);
+        assert!(max_err <= eps, "max err {max_err} > {eps}");
+    }
+
+    #[test]
+    fn node_range_geometry() {
+        let s = QDigest::new(0.1, 3); // u = 8
+        assert_eq!(s.node_range(1), (0, 7)); // root
+        assert_eq!(s.node_range(2), (0, 3));
+        assert_eq!(s.node_range(3), (4, 7));
+        assert_eq!(s.node_range(8), (0, 0)); // first leaf
+        assert_eq!(s.node_range(15), (7, 7)); // last leaf
+    }
+
+    #[test]
+    fn errors_within_eps_uniform() {
+        let mut rng = Xoshiro256pp::new(20);
+        let data: Vec<u64> = (0..50_000).map(|_| rng.next_below(1 << 16)).collect();
+        check_errors(0.02, 16, data);
+    }
+
+    #[test]
+    fn errors_within_eps_skewed() {
+        // Normal-ish pile-up in a narrow band of the universe.
+        let mut rng = Xoshiro256pp::new(21);
+        let data: Vec<u64> =
+            (0..50_000).map(|_| 30_000 + rng.next_below(200) + rng.next_below(200)).collect();
+        check_errors(0.02, 16, data);
+    }
+
+    #[test]
+    fn errors_within_eps_sorted() {
+        check_errors(0.05, 20, (0..60_000u64).map(|i| i * 17 % (1 << 20)).collect());
+    }
+
+    #[test]
+    fn node_count_bounded_by_3_sigma() {
+        let mut rng = Xoshiro256pp::new(22);
+        let mut s = QDigest::new(0.05, 16);
+        for _ in 0..200_000 {
+            s.insert(rng.next_below(1 << 16));
+        }
+        let bound = 3 * s.sigma() as usize + 256; // slack for the post-compress buffer refill
+        assert!(s.node_count() <= bound, "{} > {bound}", s.counts.len());
+    }
+
+    #[test]
+    fn merge_preserves_accuracy() {
+        let eps = 0.05;
+        let mut rng = Xoshiro256pp::new(23);
+        let a_data: Vec<u64> = (0..30_000).map(|_| rng.next_below(1 << 16)).collect();
+        let b_data: Vec<u64> = (0..30_000).map(|_| 20_000 + rng.next_below(1 << 14)).collect();
+        let mut a = QDigest::new(eps, 16);
+        let mut b = QDigest::new(eps, 16);
+        for &x in &a_data {
+            a.insert(x);
+        }
+        for &x in &b_data {
+            b.insert(x);
+        }
+        a.merge(&mut b);
+        assert_eq!(a.n(), 60_000);
+        let mut all = a_data;
+        all.extend(b_data);
+        let oracle = ExactQuantiles::new(all);
+        for phi in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let q = a.quantile(phi).unwrap();
+            // Merging can double the error constant; 2ε is the
+            // mergeable-summary guarantee for a single merge.
+            assert!(oracle.quantile_error(phi, q) <= 2.0 * eps, "phi={phi}");
+        }
+    }
+
+    #[test]
+    fn rank_estimate_is_lower_bound() {
+        let mut rng = Xoshiro256pp::new(24);
+        let data: Vec<u64> = (0..50_000).map(|_| rng.next_below(1 << 12)).collect();
+        let mut s = QDigest::new(0.05, 12);
+        for &x in &data {
+            s.insert(x);
+        }
+        let oracle = ExactQuantiles::new(data);
+        for x in [100u64, 1000, 2000, 4000] {
+            let est = s.rank_estimate(x);
+            let truth = oracle.rank(x);
+            assert!(est <= truth, "estimate {est} exceeds true rank {truth}");
+            assert!(truth - est <= (0.05 * 50_000.0) as u64 + 1, "x={x}");
+        }
+    }
+
+    #[test]
+    fn duplicates_all_same_value() {
+        let mut s = QDigest::new(0.01, 10);
+        for _ in 0..10_000 {
+            s.insert(512);
+        }
+        assert_eq!(s.quantile(0.5), Some(512));
+        assert!(s.node_count() <= 12, "nodes = {}", s.counts.len());
+    }
+
+    #[test]
+    fn empty_and_bounds() {
+        let mut s = QDigest::new(0.1, 8);
+        assert_eq!(s.quantile(0.5), None);
+        s.insert(255);
+        assert_eq!(s.quantile(0.5), Some(255));
+    }
+
+    #[test]
+    fn serialization_roundtrips() {
+        let mut rng = Xoshiro256pp::new(50);
+        let mut d = QDigest::new(0.02, 16);
+        for _ in 0..50_000 {
+            d.insert(rng.next_below(1 << 16));
+        }
+        let bytes = d.to_bytes();
+        let mut back = QDigest::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back.n(), d.n());
+        assert_eq!(back.log_u(), d.log_u());
+        for phi in [0.1, 0.5, 0.9] {
+            assert_eq!(back.quantile(phi), d.quantile(phi), "phi={phi}");
+        }
+        // Deserialized digests keep working as streams and merges.
+        back.insert(7);
+        assert_eq!(back.n(), d.n() + 1);
+    }
+
+    #[test]
+    fn deserialization_validates() {
+        let mut d = QDigest::new(0.1, 8);
+        d.insert(3);
+        let good = d.to_bytes();
+        assert_eq!(QDigest::from_bytes(&good[..10]).err(), Some(DecodeError::Truncated));
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert_eq!(QDigest::from_bytes(&bad_magic).err(), Some(DecodeError::BadHeader));
+        let mut bad_count = good.clone();
+        let last = bad_count.len() - 1;
+        bad_count[last] ^= 0x01; // corrupt a node count
+        assert!(matches!(
+            QDigest::from_bytes(&bad_count),
+            Err(DecodeError::CountMismatch) | Err(DecodeError::BadNodeId(_))
+        ));
+        assert_eq!(QDigest::from_bytes(&[]).err(), Some(DecodeError::Truncated));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn rejects_out_of_universe() {
+        let mut s = QDigest::new(0.1, 8);
+        s.insert(256);
+    }
+}

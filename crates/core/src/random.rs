@@ -1,0 +1,537 @@
+//! `Random` — the paper's simplified randomized summary (§2.2), a
+//! streamlined MRL99 with the new `O((1/ε)·log^1.5(1/ε))` analysis.
+//!
+//! With `h = ⌈log₂(1/ε)⌉`, the summary keeps `b = h + 1` buffers of
+//! `s = ⌈(1/ε)·√h⌉` elements each. An empty buffer is filled at the
+//! current *active level* `l = max(0, ⌈log₂(n/(s·2^{h−1}))⌉)` by
+//! keeping one uniformly-chosen element out of every `2^l` arrivals.
+//! When every buffer is full, the two fullest-at-the-lowest-level
+//! buffers are merged: the combined sorted sequence keeps its odd or
+//! its even positions, each with probability 1/2, and the result lives
+//! one level higher. Ranks are estimated as
+//! `r̂(v) = Σ_X 2^{l(X)} · |{y ∈ X : y < v}|`.
+
+use crate::buffers::{weighted_quantile_grid, merge_equal_level, weighted_collapse, weighted_quantile, weighted_rank};
+use crate::QuantileSummary;
+use sqs_util::rng::Xoshiro256pp;
+use sqs_util::space::{words, SpaceUsage};
+
+#[derive(Debug, Clone)]
+struct Buffer<T> {
+    level: u32,
+    data: Vec<T>,
+    full: bool,
+}
+
+/// The `Random` summary (randomized, comparison-based; reports all
+/// quantiles within ε with constant probability).
+///
+/// # Example
+///
+/// ```
+/// use sqs_core::{random::RandomSketch, QuantileSummary};
+/// use sqs_util::SpaceUsage;
+///
+/// let mut s = RandomSketch::new(0.01, /* seed */ 42);
+/// let fixed_footprint = s.space_bytes(); // preallocated from ε alone
+/// for x in 0..500_000u64 {
+///     s.insert(x);
+/// }
+/// assert_eq!(s.space_bytes(), fixed_footprint); // never grows
+/// let p90 = s.quantile(0.9).unwrap();
+/// assert!((440_000..=460_000).contains(&p90));
+/// ```
+
+#[derive(Debug, Clone)]
+pub struct RandomSketch<T> {
+    eps: f64,
+    /// h = ⌈log₂(1/ε)⌉; the conceptual merge-tree has height ~h.
+    h: u32,
+    /// Per-buffer capacity s = ⌈(1/ε)·√h⌉.
+    s: usize,
+    buffers: Vec<Buffer<T>>,
+    /// Index of the buffer currently being filled.
+    fill: Option<usize>,
+    // --- sampling state for the in-progress group of 2^l elements ---
+    group_size: u64,
+    group_pos: u64,
+    group_target: u64,
+    group_choice: Option<T>,
+    n: u64,
+    rng: Xoshiro256pp,
+}
+
+impl<T: Ord + Copy> RandomSketch<T> {
+    /// Creates a summary with error target ε and a PRNG seed.
+    ///
+    /// # Panics
+    /// Panics unless `0 < ε < 1`.
+    pub fn new(eps: f64, seed: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1), got {eps}");
+        let h = (1.0 / eps).log2().ceil().max(1.0) as u32;
+        let s = ((1.0 / eps) * (h as f64).sqrt()).ceil() as usize;
+        let s = s.max(2);
+        let b = h as usize + 1;
+        Self {
+            eps,
+            h,
+            s,
+            buffers: (0..b)
+                .map(|_| Buffer { level: 0, data: Vec::with_capacity(s), full: false })
+                .collect(),
+            fill: None,
+            group_size: 1,
+            group_pos: 0,
+            group_target: 0,
+            group_choice: None,
+            n: 0,
+            rng: Xoshiro256pp::new(seed),
+        }
+    }
+
+    /// The configured ε.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Buffer count `b = h + 1`.
+    pub fn buffer_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Per-buffer capacity `s`.
+    pub fn buffer_size(&self) -> usize {
+        self.s
+    }
+
+    /// The active level for a buffer started when `n` elements have
+    /// been seen: `max(0, ⌈log₂(n/(s·2^{h−1}))⌉)`.
+    fn active_level(&self) -> u32 {
+        let denom = self.s as f64 * (1u64 << (self.h - 1)) as f64;
+        let ratio = self.n as f64 / denom;
+        if ratio <= 1.0 {
+            0
+        } else {
+            ratio.log2().ceil() as u32
+        }
+    }
+
+    /// Begins a new sampling group of `2^level` elements.
+    fn start_group(&mut self, level: u32) {
+        self.group_size = 1u64 << level;
+        self.group_pos = 0;
+        self.group_choice = None;
+        self.group_target = if self.group_size == 1 {
+            0
+        } else {
+            self.rng.next_below(self.group_size)
+        };
+    }
+
+    /// Frees one buffer by merging. Prefers the paper's rule (two
+    /// buffers at the lowest level with ≥ 2); if every level holds at
+    /// most one full buffer, falls back to a weighted collapse of the
+    /// two lowest-level buffers (documented deviation — the equal-level
+    /// pair exists in all normal schedules, the fallback only guards
+    /// adversarial edge cases).
+    fn merge_once(&mut self) {
+        debug_assert!(self.buffers.iter().all(|b| b.full));
+        // Find the lowest level with at least two full buffers.
+        let mut by_level: Vec<(u32, usize)> =
+            self.buffers.iter().enumerate().map(|(i, b)| (b.level, i)).collect();
+        by_level.sort_unstable();
+        let pair = by_level.windows(2).find(|w| w[0].0 == w[1].0).map(|w| (w[0].1, w[1].1));
+        if let Some((i, j)) = pair {
+            let take_odd = self.rng.next_bool();
+            let merged = merge_equal_level(&self.buffers[i].data, &self.buffers[j].data, take_odd);
+            let lvl = self.buffers[i].level + 1;
+            self.buffers[i].data = merged;
+            self.buffers[i].level = lvl;
+            self.buffers[i].full = true;
+            self.buffers[j].data.clear();
+            self.buffers[j].full = false;
+            self.buffers[j].level = 0;
+        } else {
+            // All levels distinct: weighted-collapse the two lowest.
+            let (i, j) = (by_level[0].1, by_level[1].1);
+            let wi = 1u64 << self.buffers[i].level;
+            let wj = 1u64 << self.buffers[j].level;
+            let total = self.buffers[i].data.len() as u64 * wi + self.buffers[j].data.len() as u64 * wj;
+            let stride = (total / self.s as u64).max(1);
+            let offset = self.rng.next_below(stride);
+            let (merged, _) = weighted_collapse(
+                &[(&self.buffers[i].data, wi), (&self.buffers[j].data, wj)],
+                self.s,
+                offset,
+            );
+            let lvl = self.buffers[j].level.max(self.buffers[i].level) + 1;
+            self.buffers[i].data = merged;
+            self.buffers[i].level = lvl;
+            self.buffers[i].full = true;
+            self.buffers[j].data.clear();
+            self.buffers[j].full = false;
+            self.buffers[j].level = 0;
+        }
+    }
+
+    /// The live weighted buffers (including the partial fill buffer and
+    /// the committed part of the in-progress group).
+    fn live_buffers(&self) -> Vec<(&[T], u64)> {
+        self.buffers
+            .iter()
+            .filter(|b| !b.data.is_empty())
+            .map(|b| (b.data.as_slice(), 1u64 << b.level))
+            .collect()
+    }
+
+    /// Current levels of the full buffers (inspection/tests).
+    pub fn levels(&self) -> Vec<u32> {
+        self.buffers.iter().filter(|b| b.full).map(|b| b.level).collect()
+    }
+
+    /// Merges another summary into this one — the mergeable-summary
+    /// operation of Agarwal et al. [1] that `Random` descends from
+    /// (§2.2: "inspired by the algorithm ... that provides the
+    /// mergeable property").
+    ///
+    /// Both summaries' full buffers are pooled; equal-level pairs are
+    /// merged with the usual odd/even rule until at most `b` buffers
+    /// remain (unpaired stragglers are weighted-collapsed at the end if
+    /// still over budget). Partial fill buffers are folded in by
+    /// replaying their samples at their buffer's level. The combined
+    /// summary keeps the ε guarantee with the usual mergeable-summary
+    /// constant.
+    ///
+    /// # Panics
+    /// Panics if the two summaries were built with different ε.
+    pub fn merge(&mut self, other: &mut RandomSketch<T>) {
+        assert!(
+            (self.eps - other.eps).abs() < 1e-12,
+            "RandomSketch merge: eps mismatch ({} vs {})",
+            self.eps,
+            other.eps
+        );
+        // Pool all nonempty buffers as (level, sorted samples). Partial
+        // buffers participate at their own level; in-progress groups
+        // are dropped (bounded by one group each, same as queries).
+        let mut pool: Vec<(u32, Vec<T>)> = Vec::new();
+        for b in self.buffers.iter_mut().chain(other.buffers.iter_mut()) {
+            if !b.data.is_empty() {
+                b.data.sort_unstable();
+                pool.push((b.level, std::mem::take(&mut b.data)));
+            }
+            b.full = false;
+            b.level = 0;
+        }
+        self.n += other.n;
+        other.n = 0;
+        other.fill = None;
+        self.fill = None;
+
+        // Repeatedly merge the lowest equal-level pair until we fit.
+        let budget = self.buffers.len();
+        loop {
+            pool.sort_by_key(|(l, _)| *l);
+            if pool.len() <= budget {
+                break;
+            }
+            let pair = pool.windows(2).position(|w| w[0].0 == w[1].0);
+            match pair {
+                Some(i) => {
+                    let (lvl, a) = pool.remove(i);
+                    let (_, b) = pool.remove(i);
+                    // Pad odd-sized partial buffers implicitly: the
+                    // odd/even rule works on any sorted pair.
+                    let merged = merge_equal_level(&a, &b, self.rng.next_bool());
+                    pool.push((lvl + 1, merged));
+                }
+                None => {
+                    // All levels distinct but still over budget:
+                    // weighted-collapse the two lowest.
+                    let (l0, a) = pool.remove(0);
+                    let (l1, b) = pool.remove(0);
+                    let (wa, wb) = (1u64 << l0, 1u64 << l1);
+                    let total = a.len() as u64 * wa + b.len() as u64 * wb;
+                    let stride = (total / self.s as u64).max(1);
+                    let offset = self.rng.next_below(stride);
+                    let (merged, _) =
+                        weighted_collapse(&[(&a, wa), (&b, wb)], self.s.min(total as usize), offset);
+                    pool.push((l1 + 1, merged));
+                }
+            }
+        }
+        for (slot, (lvl, data)) in self.buffers.iter_mut().zip(pool) {
+            slot.level = lvl;
+            slot.full = data.len() >= self.s;
+            slot.data = data;
+        }
+    }
+}
+
+impl<T: Ord + Copy> QuantileSummary<T> for RandomSketch<T> {
+    fn insert(&mut self, x: T) {
+        // Ensure a fill target exists before consuming the element.
+        if self.fill.is_none() {
+            let idx = self
+                .buffers
+                .iter()
+                .position(|b| !b.full && b.data.is_empty())
+                .expect("an empty buffer always exists after merging");
+            let lvl = self.active_level();
+            self.buffers[idx].level = lvl;
+            self.fill = Some(idx);
+            self.start_group(lvl);
+        }
+        self.n += 1;
+
+        if self.group_pos == self.group_target {
+            self.group_choice = Some(x);
+        }
+        self.group_pos += 1;
+        if self.group_pos == self.group_size {
+            let idx = self.fill.expect("fill buffer set above");
+            let chosen = self.group_choice.take().expect("target within group");
+            self.buffers[idx].data.push(chosen);
+            if self.buffers[idx].data.len() == self.s {
+                self.buffers[idx].data.sort_unstable();
+                self.buffers[idx].full = true;
+                self.fill = None;
+                if self.buffers.iter().all(|b| b.full) {
+                    self.merge_once();
+                }
+            } else {
+                let lvl = self.buffers[idx].level;
+                self.start_group(lvl);
+            }
+        }
+    }
+
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn rank_estimate(&mut self, x: T) -> u64 {
+        weighted_rank(&self.live_buffers(), x)
+    }
+
+    fn quantile(&mut self, phi: f64) -> Option<T> {
+        crate::traits::check_phi(phi);
+        weighted_quantile(&self.live_buffers(), phi)
+    }
+
+    fn quantile_grid(&mut self, eps: f64) -> Vec<(f64, T)> {
+        weighted_quantile_grid(&self.live_buffers(), &sqs_util::exact::probe_phis(eps))
+    }
+
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+}
+
+impl<T> SpaceUsage for RandomSketch<T> {
+    fn space_bytes(&self) -> usize {
+        // §4.2.5: "the buffers are pre-allocated according to ε", so
+        // the footprint is the constant b·s elements plus per-buffer
+        // level/fill bookkeeping.
+        words(self.buffers.len() * (self.s + 2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqs_util::exact::{observed_errors, probe_phis, ExactQuantiles};
+
+    fn observed_max_err(eps: f64, data: Vec<u64>, seed: u64) -> f64 {
+        let mut s = RandomSketch::new(eps, seed);
+        for &x in &data {
+            s.insert(x);
+        }
+        let oracle = ExactQuantiles::new(data);
+        let answers: Vec<(f64, u64)> = probe_phis(eps)
+            .into_iter()
+            .map(|p| (p, s.quantile(p).unwrap()))
+            .collect();
+        observed_errors(&oracle, &answers).0
+    }
+
+    #[test]
+    fn parameters_match_formulas() {
+        let s = RandomSketch::<u64>::new(0.01, 1);
+        assert_eq!(s.h, 7); // ⌈log₂ 100⌉
+        assert_eq!(s.buffer_count(), 8);
+        assert_eq!(s.buffer_size(), (100.0 * 7f64.sqrt()).ceil() as usize);
+    }
+
+    #[test]
+    fn small_stream_is_exact() {
+        // While n ≤ b·s every element is retained at level 0, so
+        // queries are exact.
+        let mut s = RandomSketch::new(0.1, 2);
+        let data: Vec<u64> = (0..50).collect();
+        for &x in &data {
+            s.insert(x);
+        }
+        let oracle = ExactQuantiles::new(data);
+        for phi in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            assert_eq!(oracle.quantile_error(phi, s.quantile(phi).unwrap()), 0.0);
+        }
+    }
+
+    #[test]
+    fn error_within_eps_with_slack_random_data() {
+        let mut rng = sqs_util::rng::Xoshiro256pp::new(77);
+        let data: Vec<u64> = (0..100_000).map(|_| rng.next_below(1 << 30)).collect();
+        // Randomized guarantee: check against 1.5ε over a few seeds and
+        // require the *average* within ε (the observed error in the
+        // paper is far below ε).
+        let eps = 0.02;
+        let errs: Vec<f64> =
+            (0..5).map(|seed| observed_max_err(eps, data.clone(), seed)).collect();
+        let avg = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(avg <= eps, "avg of max errors {avg} > eps {eps} ({errs:?})");
+        assert!(errs.iter().all(|&e| e <= 2.0 * eps), "outlier: {errs:?}");
+    }
+
+    #[test]
+    fn error_within_eps_sorted_data() {
+        let data: Vec<u64> = (0..100_000).collect();
+        let e = observed_max_err(0.02, data, 3);
+        assert!(e <= 0.04, "err = {e}");
+    }
+
+    #[test]
+    fn levels_grow_with_stream() {
+        let mut s = RandomSketch::new(0.05, 4);
+        for x in 0..200_000u64 {
+            s.insert(x);
+        }
+        let max_lvl = s.levels().into_iter().max().unwrap_or(0);
+        assert!(max_lvl >= 2, "max level = {max_lvl}");
+        // Sampling keeps the space fixed regardless.
+        assert_eq!(s.space_bytes(), s.buffer_count() * (s.buffer_size() + 2) * 4);
+    }
+
+    #[test]
+    fn n_is_counted_exactly() {
+        let mut s = RandomSketch::new(0.1, 5);
+        for x in 0..12_345u64 {
+            s.insert(x);
+        }
+        assert_eq!(s.n(), 12_345);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data: Vec<u64> = (0..50_000).map(|i| (i * 2654435761) % 99_991).collect();
+        let mut a = RandomSketch::new(0.05, 9);
+        let mut b = RandomSketch::new(0.05, 9);
+        for &x in &data {
+            a.insert(x);
+            b.insert(x);
+        }
+        for phi in [0.2, 0.5, 0.8] {
+            assert_eq!(a.quantile(phi), b.quantile(phi));
+        }
+    }
+
+    #[test]
+    fn rank_estimates_are_monotone_enough() {
+        let mut s = RandomSketch::new(0.05, 10);
+        for x in 0..50_000u64 {
+            s.insert(x);
+        }
+        let r1 = s.rank_estimate(10_000);
+        let r2 = s.rank_estimate(40_000);
+        assert!(r1 < r2);
+        assert!((r1 as f64) < 0.3 * 50_000.0);
+        assert!((r2 as f64) > 0.6 * 50_000.0);
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        let mut s = RandomSketch::<u64>::new(0.1, 11);
+        assert_eq!(s.quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_combines_two_streams() {
+        let eps = 0.05;
+        let mut rng = sqs_util::rng::Xoshiro256pp::new(21);
+        let a_data: Vec<u64> = (0..80_000).map(|_| rng.next_below(1 << 20)).collect();
+        let b_data: Vec<u64> = (0..80_000).map(|_| (1 << 19) + rng.next_below(1 << 20)).collect();
+        let mut a = RandomSketch::new(eps, 1);
+        let mut b = RandomSketch::new(eps, 2);
+        for &x in &a_data {
+            a.insert(x);
+        }
+        for &x in &b_data {
+            b.insert(x);
+        }
+        a.merge(&mut b);
+        assert_eq!(a.n(), 160_000);
+        let mut all = a_data;
+        all.extend(b_data);
+        let oracle = ExactQuantiles::new(all);
+        for phi in [0.1, 0.5, 0.9] {
+            let q = a.quantile(phi).unwrap();
+            let err = oracle.quantile_error(phi, q);
+            // Mergeable-summary constant: allow 2ε.
+            assert!(err <= 2.0 * eps, "phi={phi}: err {err}");
+        }
+    }
+
+    #[test]
+    fn merge_tree_of_many_shards() {
+        let eps = 0.05;
+        let mut shards: Vec<RandomSketch<u64>> = Vec::new();
+        let mut all = Vec::new();
+        for i in 0..8u64 {
+            let mut rng = sqs_util::rng::Xoshiro256pp::new(100 + i);
+            let data: Vec<u64> = (0..20_000).map(|_| rng.next_below(1 << 16)).collect();
+            let mut s = RandomSketch::new(eps, i);
+            for &x in &data {
+                s.insert(x);
+            }
+            all.extend(data);
+            shards.push(s);
+        }
+        while shards.len() > 1 {
+            let mut next = Vec::new();
+            let mut it = shards.into_iter();
+            while let (Some(mut a), Some(mut b)) = (it.next(), it.next()) {
+                a.merge(&mut b);
+                next.push(a);
+            }
+            shards = next;
+        }
+        let mut root = shards.pop().unwrap();
+        assert_eq!(root.n(), 160_000);
+        let oracle = ExactQuantiles::new(all);
+        for phi in [0.25, 0.5, 0.75] {
+            let err = oracle.quantile_error(phi, root.quantile(phi).unwrap());
+            assert!(err <= 2.5 * eps, "phi={phi}: err {err}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_keeps_answers_valid() {
+        let mut a = RandomSketch::new(0.1, 5);
+        for x in 0..10_000u64 {
+            a.insert(x);
+        }
+        let mut empty = RandomSketch::new(0.1, 6);
+        a.merge(&mut empty);
+        assert_eq!(a.n(), 10_000);
+        let q = a.quantile(0.5).unwrap();
+        assert!((4_000..6_000).contains(&q), "median {q}");
+    }
+
+    #[test]
+    #[should_panic(expected = "eps mismatch")]
+    fn merge_rejects_mismatched_eps() {
+        let mut a = RandomSketch::<u64>::new(0.1, 1);
+        let mut b = RandomSketch::<u64>::new(0.2, 2);
+        a.merge(&mut b);
+    }
+}

@@ -1,0 +1,193 @@
+//! The classic random-sampling baseline (§1.2.1): a uniform sample of
+//! `O((1/ε²)·log(1/ε))` elements preserves all quantiles within ε with
+//! constant probability (Vapnik–Chervonenkis).
+//!
+//! The paper notes the original sample-then-summarize scheme needs `n`
+//! in advance; a *reservoir* sample removes that requirement while
+//! keeping the guarantee, which is the variant implemented here
+//! (documented deviation). Queries answer from the exact quantiles of
+//! the reservoir. This baseline is what the sophisticated algorithms
+//! must beat: its space is quadratic in 1/ε where theirs is linear.
+
+use crate::QuantileSummary;
+use sqs_util::rng::Xoshiro256pp;
+use sqs_util::space::{words, SpaceUsage};
+
+/// Cap on the reservoir so tiny ε doesn't demand gigabytes; once the
+/// VC bound exceeds the cap the ε guarantee is no longer formal (the
+/// harness surfaces this in the error plots, which is the point of a
+/// baseline).
+const MAX_RESERVOIR: usize = 1 << 23;
+
+/// Reservoir-sampling quantile baseline (randomized, comparison-based).
+#[derive(Debug, Clone)]
+pub struct ReservoirQuantiles<T> {
+    capacity: usize,
+    reservoir: Vec<T>,
+    sorted: bool,
+    n: u64,
+    rng: Xoshiro256pp,
+}
+
+impl<T: Ord + Copy> ReservoirQuantiles<T> {
+    /// Creates the baseline for error target ε: reservoir of
+    /// `⌈(1/ε²)·ln(2/ε)⌉` elements (capped at 2^23).
+    ///
+    /// # Panics
+    /// Panics unless `0 < ε < 1`.
+    pub fn new(eps: f64, seed: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1), got {eps}");
+        let want = ((1.0 / (eps * eps)) * (2.0 / eps).ln()).ceil() as usize;
+        Self::with_capacity(want.clamp(16, MAX_RESERVOIR), seed)
+    }
+
+    /// Creates the baseline with an explicit reservoir capacity.
+    pub fn with_capacity(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            capacity,
+            reservoir: Vec::with_capacity(capacity.min(1 << 16)),
+            sorted: false,
+            n: 0,
+            rng: Xoshiro256pp::new(seed),
+        }
+    }
+
+    /// Reservoir capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Elements currently held.
+    pub fn sample_len(&self) -> usize {
+        self.reservoir.len()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.reservoir.sort_unstable();
+            self.sorted = true;
+        }
+    }
+}
+
+impl<T: Ord + Copy> QuantileSummary<T> for ReservoirQuantiles<T> {
+    fn insert(&mut self, x: T) {
+        self.n += 1;
+        if self.reservoir.len() < self.capacity {
+            self.reservoir.push(x);
+            self.sorted = false;
+        } else {
+            // Algorithm R: element n replaces a random slot w.p. cap/n.
+            let j = self.rng.next_below(self.n);
+            if (j as usize) < self.capacity {
+                self.reservoir[j as usize] = x;
+                self.sorted = false;
+            }
+        }
+    }
+
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn rank_estimate(&mut self, x: T) -> u64 {
+        if self.reservoir.is_empty() {
+            return 0;
+        }
+        self.ensure_sorted();
+        let in_sample = self.reservoir.partition_point(|&v| v < x) as u64;
+        // Scale the sample rank back to stream scale.
+        (in_sample as f64 / self.reservoir.len() as f64 * self.n as f64) as u64
+    }
+
+    fn quantile(&mut self, phi: f64) -> Option<T> {
+        crate::traits::check_phi(phi);
+        if self.reservoir.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let idx = ((phi * self.reservoir.len() as f64) as usize).min(self.reservoir.len() - 1);
+        Some(self.reservoir[idx])
+    }
+
+    fn name(&self) -> &'static str {
+        "Reservoir"
+    }
+}
+
+impl<T> SpaceUsage for ReservoirQuantiles<T> {
+    fn space_bytes(&self) -> usize {
+        words(self.reservoir.len().max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqs_util::exact::ExactQuantiles;
+    use sqs_util::rng::Xoshiro256pp;
+
+    #[test]
+    fn below_capacity_is_exact() {
+        let mut s = ReservoirQuantiles::with_capacity(1000, 1);
+        let data: Vec<u64> = (0..500).rev().collect();
+        for &x in &data {
+            s.insert(x);
+        }
+        let oracle = ExactQuantiles::new(data);
+        for phi in [0.1, 0.5, 0.9] {
+            assert_eq!(oracle.quantile_error(phi, s.quantile(phi).unwrap()), 0.0);
+        }
+    }
+
+    #[test]
+    fn sample_size_never_exceeds_capacity() {
+        let mut s = ReservoirQuantiles::with_capacity(100, 2);
+        for x in 0..10_000u64 {
+            s.insert(x);
+        }
+        assert_eq!(s.sample_len(), 100);
+        assert_eq!(s.n(), 10_000);
+    }
+
+    #[test]
+    fn sampled_median_is_close() {
+        let mut rng = Xoshiro256pp::new(3);
+        let mut s = ReservoirQuantiles::new(0.05, 4);
+        let data: Vec<u64> = (0..200_000).map(|_| rng.next_below(1_000_000)).collect();
+        for &x in &data {
+            s.insert(x);
+        }
+        let oracle = ExactQuantiles::new(data);
+        let err = oracle.quantile_error(0.5, s.quantile(0.5).unwrap());
+        assert!(err <= 0.05, "err = {err}");
+    }
+
+    #[test]
+    fn reservoir_is_unbiased_enough() {
+        // Mean of reservoir over uniform stream ≈ stream mean.
+        let mut s = ReservoirQuantiles::with_capacity(2_000, 5);
+        for x in 0..100_000u64 {
+            s.insert(x);
+        }
+        let mean: f64 =
+            s.reservoir.iter().map(|&x| x as f64).sum::<f64>() / s.sample_len() as f64;
+        assert!((mean - 50_000.0).abs() < 4_000.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn eps_sizing_monotone() {
+        let a = ReservoirQuantiles::<u64>::new(0.1, 1).capacity();
+        let b = ReservoirQuantiles::<u64>::new(0.01, 1).capacity();
+        assert!(b > a);
+        assert!(b <= MAX_RESERVOIR);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        let mut s = ReservoirQuantiles::<u64>::with_capacity(10, 7);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.rank_estimate(5), 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Sliding-window quantiles — the extension the study's §1 cites as
+//! Arasu & Manku [3]: answer φ-quantiles over (approximately) the most
+//! recent `W` stream elements, with old elements aging out implicitly.
+//!
+//! This is the classic *block* scheme: the window is covered by a ring
+//! of `b` blocks of `W/b` elements each. The active block holds raw
+//! elements; a block that fills is *sealed* — sorted and sparsified to
+//! every `k`-th element carrying weight `k` — and the oldest block is
+//! dropped whole when the ring wraps. Queries run the weighted-sample
+//! machinery over the sealed blocks plus the raw active block.
+//!
+//! Guarantees (simple and honest rather than optimal): answers cover a
+//! *jumping* window of between `W` and `W + W/b` elements; rank error
+//! from sparsification is at most `b·k ≤ εW`. With `b = k = ⌈√(1/ε)·…⌉`
+//! chosen below, total space is `O(W/b + b·(W/b)/k) = O(√(W/ε))`-ish —
+//! far from Arasu–Manku's `(1/ε)·polylog` optimum but linear-scan
+//! simple and allocation-stable. (A production engine would layer
+//! GKArray per block; the study's own scope ends at whole-stream
+//! summaries, so this stays deliberately minimal.)
+
+use crate::buffers::{weighted_quantile, weighted_quantile_grid, weighted_rank};
+use crate::QuantileSummary;
+use sqs_util::space::{words, SpaceUsage};
+
+/// A sealed, sparsified block: every `stride`-th element of the sorted
+/// block, each representing `stride` originals.
+#[derive(Debug, Clone)]
+struct Sealed<T> {
+    samples: Vec<T>,
+    stride: u64,
+}
+
+/// Quantiles over (approximately) the last `W` elements.
+///
+/// # Example
+///
+/// ```
+/// use sqs_core::{sliding::SlidingWindowQuantiles, QuantileSummary};
+///
+/// let mut s = SlidingWindowQuantiles::new(0.05, 10_000);
+/// for x in 0..100_000u64 {
+///     s.insert(x);
+/// }
+/// // Only (roughly) the last 10k elements are represented.
+/// let median = s.quantile(0.5).unwrap();
+/// assert!(median > 90_000);
+/// ```
+
+#[derive(Debug, Clone)]
+pub struct SlidingWindowQuantiles<T> {
+    window: usize,
+    block_size: usize,
+    stride: usize,
+    blocks: std::collections::VecDeque<Sealed<T>>,
+    active: Vec<T>,
+    n: u64,
+}
+
+impl<T: Ord + Copy> SlidingWindowQuantiles<T> {
+    /// Creates a summary over windows of `window` elements with rank
+    /// error about `ε·window`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < ε < 1` and `window ≥ 16`.
+    pub fn new(eps: f64, window: usize) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1), got {eps}");
+        assert!(window >= 16, "window too small: {window}");
+        // Split the ε budget: half to the block-granularity boundary
+        // (b ≥ 2/ε blocks), half to sparsification (b·stride ≤ εW/2).
+        let b = ((2.0 / eps).ceil() as usize).clamp(2, window / 2);
+        let block_size = window.div_ceil(b);
+        let stride = ((eps * window as f64 / (2.0 * b as f64)).floor() as usize).max(1);
+        Self {
+            window,
+            block_size,
+            stride,
+            blocks: std::collections::VecDeque::with_capacity(b + 1),
+            active: Vec::with_capacity(block_size),
+            n: 0,
+        }
+    }
+
+    /// The configured window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of elements currently covered (≤ window + one block).
+    pub fn covered(&self) -> usize {
+        self.blocks.iter().map(|b| b.samples.len() * b.stride as usize).sum::<usize>()
+            + self.active.len()
+    }
+
+    fn seal_active(&mut self) {
+        self.active.sort_unstable();
+        let samples: Vec<T> = self
+            .active
+            .iter()
+            .copied()
+            .skip(self.stride / 2)
+            .step_by(self.stride)
+            .collect();
+        self.blocks.push_back(Sealed { samples, stride: self.stride as u64 });
+        self.active.clear();
+        // Expire whole blocks beyond the window.
+        let max_blocks = self.window.div_ceil(self.block_size);
+        while self.blocks.len() > max_blocks {
+            self.blocks.pop_front();
+        }
+    }
+
+    fn live_buffers(&self) -> Vec<(&[T], u64)> {
+        let mut bufs: Vec<(&[T], u64)> = self
+            .blocks
+            .iter()
+            .map(|b| (b.samples.as_slice(), b.stride))
+            .collect();
+        if !self.active.is_empty() {
+            bufs.push((self.active.as_slice(), 1));
+        }
+        bufs
+    }
+
+    fn sort_active(&mut self) {
+        self.active.sort_unstable();
+    }
+}
+
+impl<T: Ord + Copy> QuantileSummary<T> for SlidingWindowQuantiles<T> {
+    fn insert(&mut self, x: T) {
+        self.n += 1;
+        self.active.push(x);
+        if self.active.len() >= self.block_size {
+            self.seal_active();
+        }
+    }
+
+    /// Total elements *ever seen* (window coverage is [`covered`]).
+    ///
+    /// [`covered`]: SlidingWindowQuantiles::covered
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn rank_estimate(&mut self, x: T) -> u64 {
+        self.sort_active();
+        weighted_rank(&self.live_buffers(), x)
+    }
+
+    fn quantile(&mut self, phi: f64) -> Option<T> {
+        crate::traits::check_phi(phi);
+        self.sort_active();
+        weighted_quantile(&self.live_buffers(), phi)
+    }
+
+    fn quantile_grid(&mut self, eps: f64) -> Vec<(f64, T)> {
+        self.sort_active();
+        weighted_quantile_grid(&self.live_buffers(), &sqs_util::exact::probe_phis(eps))
+    }
+
+    fn name(&self) -> &'static str {
+        "SlidingWindow"
+    }
+}
+
+impl<T> SpaceUsage for SlidingWindowQuantiles<T> {
+    fn space_bytes(&self) -> usize {
+        let sealed: usize = self.blocks.iter().map(|b| b.samples.len() + 1).sum();
+        words(sealed + self.active.capacity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqs_util::exact::ExactQuantiles;
+    use sqs_util::rng::Xoshiro256pp;
+
+    #[test]
+    fn tracks_recent_window_only() {
+        let w = 10_000;
+        let mut s = SlidingWindowQuantiles::new(0.05, w);
+        // First half small values, second half large: the window must
+        // forget the small ones.
+        for x in 0..50_000u64 {
+            s.insert(x);
+        }
+        let med = s.quantile(0.5).unwrap();
+        assert!(med >= 40_000, "median {med} should reflect only the tail");
+        assert!(s.covered() <= w + s.block_size);
+    }
+
+    #[test]
+    fn error_within_eps_of_covered_window() {
+        let eps = 0.05;
+        let w = 20_000;
+        let mut rng = Xoshiro256pp::new(1);
+        let data: Vec<u64> = (0..100_000).map(|_| rng.next_below(1 << 20)).collect();
+        let mut s = SlidingWindowQuantiles::new(eps, w);
+        for &x in &data {
+            s.insert(x);
+        }
+        // Ground truth over the covered suffix (jumping-window
+        // semantics: covered() tells us exactly which suffix).
+        let covered = s.covered();
+        let oracle = ExactQuantiles::new(data[data.len() - covered..].to_vec());
+        for phi in [0.1, 0.5, 0.9] {
+            let q = s.quantile(phi).unwrap();
+            let err = oracle.quantile_error(phi, q);
+            assert!(err <= eps, "phi={phi}: err {err}");
+        }
+    }
+
+    #[test]
+    fn space_is_sublinear_in_window() {
+        // The block scheme's footprint is Θ(b/ε) = Θ(1/ε²) samples, so
+        // it only wins when 1/ε² ≪ W; check a representative setting.
+        let w = 100_000;
+        let mut s = SlidingWindowQuantiles::new(0.03, w);
+        for x in 0..300_000u64 {
+            s.insert(x);
+        }
+        assert!(
+            s.space_bytes() < w * 4 / 4,
+            "space {} not sublinear in window bytes {}",
+            s.space_bytes(),
+            w * 4
+        );
+    }
+
+    #[test]
+    fn small_stream_is_exact() {
+        let mut s = SlidingWindowQuantiles::new(0.1, 1_000);
+        for x in [5u64, 1, 9, 3, 7] {
+            s.insert(x);
+        }
+        assert_eq!(s.quantile(0.5), Some(5));
+        assert_eq!(s.covered(), 5);
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        let mut s = SlidingWindowQuantiles::<u64>::new(0.1, 100);
+        assert_eq!(s.quantile(0.5), None);
+    }
+
+    #[test]
+    fn grid_matches_pointwise() {
+        let mut s = SlidingWindowQuantiles::new(0.05, 5_000);
+        let mut rng = Xoshiro256pp::new(2);
+        for _ in 0..20_000 {
+            s.insert(rng.next_below(1000));
+        }
+        for (phi, v) in s.quantile_grid(0.05) {
+            assert_eq!(Some(v), s.quantile(phi), "phi={phi}");
+        }
+    }
+}

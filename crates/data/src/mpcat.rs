@@ -1,0 +1,161 @@
+//! Surrogate for the MPCAT-OBS minor-planet observation archive
+//! (§4.1.1 and Fig. 4 of the paper).
+//!
+//! The real data set holds 87,688,123 optical observation records
+//! (1802–2012) whose *right ascensions* — integers in
+//! `[0, 8_639_999]` (24 hours at 1/100-second resolution) — form the
+//! stream. The paper highlights two characteristics the surrogate
+//! reproduces:
+//!
+//! 1. **Non-uniform value distribution** (Fig. 4): observations pile
+//!    up where minor planets live (near the ecliptic's intersection
+//!    with the survey fields), modeled here as a mixture of two broad
+//!    Gaussian bumps over a uniform background.
+//! 2. **Session-structured arrival**: *"the stream values appear to
+//!    arrive randomly overall, but consist of chunks of ordered data
+//!    of various lengths"* — an observatory tracks one planet through
+//!    a session, producing a slowly-advancing (sorted) run, then jumps
+//!    to another target. Sessions here have power-law-ish lengths and
+//!    emit ascending values drifting from a mixture-drawn start.
+
+use sqs_util::rng::Xoshiro256pp;
+
+/// Universe size of the right-ascension encoding: 24h × 3600s × 100.
+pub const MPCAT_UNIVERSE: u64 = 8_640_000;
+
+/// `⌈log₂(MPCAT_UNIVERSE)⌉` — the "log u = 24" the paper quotes for
+/// this data set (§4.2.2).
+pub const MPCAT_LOG_U: u32 = 24;
+
+/// Number of records in the real archive snapshot the paper used.
+pub const MPCAT_FULL_LEN: usize = 87_688_123;
+
+/// The MPCAT-OBS surrogate generator (infinite, seeded).
+#[derive(Debug, Clone)]
+pub struct Mpcat {
+    rng: Xoshiro256pp,
+    /// Remaining elements in the current observing session.
+    session_left: usize,
+    /// Current right ascension within the session.
+    cursor: u64,
+    /// Per-observation drift bound within a session.
+    drift: u64,
+}
+
+impl Mpcat {
+    /// Creates the generator.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: Xoshiro256pp::new(seed), session_left: 0, cursor: 0, drift: 1 }
+    }
+
+    /// Draws a session start from the Fig. 4-like value mixture:
+    /// 45% bump near 5.5h, 30% bump near 16h, 25% uniform background.
+    fn draw_start(&mut self) -> u64 {
+        let u = MPCAT_UNIVERSE as f64;
+        let p = self.rng.next_f64();
+        let x = if p < 0.45 {
+            0.23 * u + self.rng.next_standard_normal() * 0.07 * u
+        } else if p < 0.75 {
+            0.67 * u + self.rng.next_standard_normal() * 0.05 * u
+        } else {
+            self.rng.next_f64() * u
+        };
+        // Right ascension is circular: wrap rather than clamp, so the
+        // bumps keep their shape at the seam.
+        x.rem_euclid(u) as u64
+    }
+
+    /// Starts a new observing session: power-law-ish length in
+    /// [8, ~4096] and a small per-record drift.
+    fn start_session(&mut self) {
+        // Length 8·2^G with G geometric-ish (bit-count trick): sessions
+        // of a few records are common, multi-thousand-record surveys
+        // rare.
+        let g = (self.rng.next_u64() & 0x1FF).trailing_ones(); // 0..=9
+        self.session_left = 8usize << g;
+        self.cursor = self.draw_start();
+        self.drift = 1 + self.rng.next_below(40);
+    }
+}
+
+impl Iterator for Mpcat {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.session_left == 0 {
+            self.start_session();
+        }
+        self.session_left -= 1;
+        let out = self.cursor;
+        self.cursor = (self.cursor + 1 + self.rng.next_below(self.drift)) % MPCAT_UNIVERSE;
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_in_universe() {
+        assert!(Mpcat::new(1).take(100_000).all(|v| v < MPCAT_UNIVERSE));
+    }
+
+    #[test]
+    fn distribution_is_non_uniform() {
+        // The mixture must produce a clearly non-flat histogram.
+        let mut hist = [0usize; 24]; // one bin per hour
+        for v in Mpcat::new(2).take(200_000) {
+            hist[(v * 24 / MPCAT_UNIVERSE) as usize] += 1;
+        }
+        let max = *hist.iter().max().unwrap();
+        let min = *hist.iter().min().unwrap();
+        assert!(max > 3 * min, "hist looks uniform: {hist:?}");
+    }
+
+    #[test]
+    fn arrival_is_sorted_runs() {
+        let data: Vec<u64> = Mpcat::new(3).take(50_000).collect();
+        // Most consecutive pairs ascend (sessions), but jumps exist.
+        let asc = data.windows(2).filter(|w| w[0] <= w[1]).count();
+        let frac = asc as f64 / (data.len() - 1) as f64;
+        assert!(frac > 0.90, "ascending fraction = {frac}");
+        assert!(frac < 1.0, "must not be globally sorted");
+    }
+
+    #[test]
+    fn session_lengths_vary() {
+        // Detect session boundaries as descents; lengths should span
+        // more than one order of magnitude.
+        let data: Vec<u64> = Mpcat::new(4).take(200_000).collect();
+        let mut lens = Vec::new();
+        let mut cur = 1usize;
+        for w in data.windows(2) {
+            if w[0] <= w[1] {
+                cur += 1;
+            } else {
+                lens.push(cur);
+                cur = 1;
+            }
+        }
+        let min = *lens.iter().min().unwrap();
+        let max = *lens.iter().max().unwrap();
+        assert!(max > 20 * min, "session lengths too regular: {min}..{max}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<u64> = Mpcat::new(7).take(1000).collect();
+        let b: Vec<u64> = Mpcat::new(7).take(1000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn log_u_covers_universe() {
+        // Constant relationship, asserted dynamically through locals so
+        // the check runs (and reads) as a test.
+        let (u, log_u) = (MPCAT_UNIVERSE, MPCAT_LOG_U);
+        assert!(u <= 1 << log_u);
+        assert!(u > 1 << (log_u - 1));
+    }
+}

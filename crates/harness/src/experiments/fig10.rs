@@ -1,0 +1,52 @@
+//! Figure 10: the headline turnstile comparison on MPCAT-OBS —
+//! ε vs observed errors (10a/10b), error–space (10c), error–time
+//! (10d), space–time (10e) for DCM, DCS and DCS+Post (§4.3.2–4.3.4).
+//!
+//! Paper findings: observed max error ≈ ε/10 (loose analysis); DCS
+//! needs ~1/10 of DCM's space at equal error; Post cuts DCS error by
+//! a further 60–80% at no streaming cost; update times are similar.
+
+use super::ExpConfig;
+use crate::report::{fkb, fnum, Table};
+use crate::runner::{run_turnstile_cell, TurnstileAlgo, TurnstileCell};
+use sqs_data::mpcat::{Mpcat, MPCAT_LOG_U};
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let data: Vec<u64> = Mpcat::new(cfg.seed).take(cfg.n).collect();
+    let mut cells: Vec<TurnstileCell> = Vec::new();
+    for algo in [TurnstileAlgo::Dcm, TurnstileAlgo::Dcs, TurnstileAlgo::Post(0.1)] {
+        for &eps in &cfg.eps_sweep_turnstile() {
+            cells.push(run_turnstile_cell(
+                algo,
+                &data,
+                eps,
+                MPCAT_LOG_U,
+                cfg.trials,
+                cfg.seed ^ 0x000F_1610,
+            ));
+        }
+    }
+    panels(&cells, "fig10", "MPCAT-OBS surrogate")
+}
+
+/// The five turnstile panels (shared with Figures 11/12 variants).
+pub fn panels(cells: &[TurnstileCell], prefix: &str, dataset: &str) -> Vec<Table> {
+    let mk = |suffix: &str, title: &str, headers: &[&str]| {
+        Table::new(&format!("{prefix}{suffix}"), &format!("{title} ({dataset})"), headers)
+    };
+    let mut a = mk("a", "eps vs observed max error", &["algo", "eps", "max_err"]);
+    let mut b = mk("b", "eps vs observed avg error", &["algo", "eps", "avg_err"]);
+    let mut c = mk("c", "space vs avg error", &["algo", "space_kb", "avg_err"]);
+    let mut d = mk("d", "update time vs avg error", &["algo", "update_ns", "avg_err"]);
+    let mut e = mk("e", "space vs update time", &["algo", "space_kb", "update_ns"]);
+    for cell in cells {
+        let algo = cell.algo.to_string();
+        a.push_row(vec![algo.clone(), fnum(cell.eps), fnum(cell.max_err)]);
+        b.push_row(vec![algo.clone(), fnum(cell.eps), fnum(cell.avg_err)]);
+        c.push_row(vec![algo.clone(), fkb(cell.space_bytes), fnum(cell.avg_err)]);
+        d.push_row(vec![algo.clone(), fnum(cell.update_ns), fnum(cell.avg_err)]);
+        e.push_row(vec![algo, fkb(cell.space_bytes), fnum(cell.update_ns)]);
+    }
+    vec![a, b, c, d, e]
+}

@@ -1,0 +1,62 @@
+//! Figure 6: q-digest across universe sizes (log u ∈ {16, 24, 32})
+//! against the best comparison-based algorithms, on normal data
+//! (§4.2.4).
+//!
+//! Paper finding: q-digest is only competitive at log u = 16 with very
+//! small ε — and there, exact counting would be cheaper; GKAdaptive
+//! and Random are unaffected by the universe size.
+
+use super::ExpConfig;
+use crate::report::{fkb, fnum, Table};
+use crate::runner::{run_cash_cell, CashAlgo};
+use sqs_data::Normal;
+
+const LOG_US: [u32; 3] = [16, 24, 32];
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut a = Table::new(
+        "fig6a",
+        "q-digest error-space across universe sizes (Normal sigma=0.15)",
+        &["algo", "log_u", "eps", "space_kb", "avg_err"],
+    );
+    let mut b = Table::new(
+        "fig6b",
+        "q-digest error-time across universe sizes (Normal sigma=0.15)",
+        &["algo", "log_u", "eps", "update_ns", "avg_err"],
+    );
+    for log_u in LOG_US {
+        let data: Vec<u64> = Normal::new(log_u, 0.15, cfg.seed).take(cfg.n).collect();
+        for &eps in &cfg.eps_sweep() {
+            for algo in [CashAlgo::FastQDigest, CashAlgo::GkAdaptive, CashAlgo::Random] {
+                // The comparison-based algorithms only need one
+                // representative universe (their behaviour is universe-
+                // independent; §4.2.4 plots a single curve for them).
+                if algo != CashAlgo::FastQDigest && log_u != 32 {
+                    continue;
+                }
+                let cell = run_cash_cell(algo, &data, eps, log_u, cfg.trials, cfg.seed ^ 0xF166);
+                let name = if algo == CashAlgo::FastQDigest {
+                    format!("{}(u=2^{})", cell.algo, log_u)
+                } else {
+                    cell.algo.to_string()
+                };
+                a.push_row(vec![
+                    name.clone(),
+                    log_u.to_string(),
+                    fnum(eps),
+                    fkb(cell.space_bytes),
+                    fnum(cell.avg_err),
+                ]);
+                b.push_row(vec![
+                    name,
+                    log_u.to_string(),
+                    fnum(eps),
+                    fnum(cell.update_ns),
+                    fnum(cell.avg_err),
+                ]);
+            }
+        }
+    }
+    vec![a, b]
+}

@@ -1,0 +1,48 @@
+//! Figure 7: update time (7a) and space (7b) as the stream length
+//! grows (uniform data, u = 2^32, ε = 10⁻⁴, random order; paper sweeps
+//! 10⁷–10¹⁰).
+//!
+//! Paper findings: both curves are essentially flat — the algorithms
+//! scale; Random's per-element time *decreases* (sampling does more of
+//! the work); GKAdaptive/GKArray space is flat on randomly ordered
+//! data; Random's space is constant by construction.
+//!
+//! These cells are performance-only (no oracle — the paper-scale
+//! streams cannot be materialized), so the generator streams.
+
+use super::ExpConfig;
+use crate::report::{fkb, fnum, Table};
+use crate::runner::{run_cash_perf, CashAlgo};
+use sqs_data::Uniform;
+
+/// The ε the paper fixes for this figure.
+const EPS: f64 = 1e-4;
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut lens = vec![100_000usize, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000];
+    lens.retain(|&n| n <= cfg.max_stream_len);
+    if lens.is_empty() {
+        lens.push(cfg.max_stream_len.max(10_000));
+    }
+
+    let mut a = Table::new(
+        "fig7a",
+        "update time vs stream length (Uniform, u=2^32, eps=1e-4)",
+        &["algo", "n", "update_ns"],
+    );
+    let mut b = Table::new(
+        "fig7b",
+        "space vs stream length (Uniform, u=2^32, eps=1e-4)",
+        &["algo", "n", "space_kb"],
+    );
+    for algo in CashAlgo::HEADLINE {
+        for &n in &lens {
+            let cell =
+                run_cash_perf(algo, Uniform::new(32, cfg.seed), n, EPS, 32, cfg.seed ^ 0xF167);
+            a.push_row(vec![cell.algo.to_string(), n.to_string(), fnum(cell.update_ns)]);
+            b.push_row(vec![cell.algo.to_string(), n.to_string(), fkb(cell.space_bytes)]);
+        }
+    }
+    vec![a, b]
+}

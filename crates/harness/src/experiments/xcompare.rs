@@ -1,0 +1,49 @@
+//! Cross-model comparison (§4.3.4's closing remark): to reach the same
+//! accuracy, the best turnstile algorithm pays roughly an order of
+//! magnitude more space and time than the best cash-register one —
+//! the measured price of supporting deletions.
+
+use super::ExpConfig;
+use crate::report::{fkb, fnum, Table};
+use crate::runner::{run_cash_cell, run_turnstile_cell, CashAlgo, TurnstileAlgo};
+use sqs_data::mpcat::{Mpcat, MPCAT_LOG_U};
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let data: Vec<u64> = Mpcat::new(cfg.seed).take(cfg.n).collect();
+    let mut t = Table::new(
+        "xcompare",
+        "cash-register vs turnstile at equal eps (MPCAT-OBS surrogate)",
+        &["model", "algo", "eps", "avg_err", "space_kb", "update_ns"],
+    );
+    let mut eps_list: Vec<f64> =
+        [0.01, 0.001].into_iter().filter(|e| e * cfg.n as f64 >= 50.0).collect();
+    if eps_list.is_empty() {
+        eps_list.push(0.01);
+    }
+    for &eps in &eps_list {
+        for algo in [CashAlgo::GkArray, CashAlgo::Random] {
+            let c = run_cash_cell(algo, &data, eps, MPCAT_LOG_U, cfg.trials, cfg.seed ^ 0xC0);
+            t.push_row(vec![
+                "cash".into(),
+                c.algo.into(),
+                fnum(eps),
+                fnum(c.avg_err),
+                fkb(c.space_bytes),
+                fnum(c.update_ns),
+            ]);
+        }
+        for algo in [TurnstileAlgo::Dcs, TurnstileAlgo::Post(0.1)] {
+            let c = run_turnstile_cell(algo, &data, eps, MPCAT_LOG_U, cfg.trials, cfg.seed ^ 0xC1);
+            t.push_row(vec![
+                "turnstile".into(),
+                c.algo.into(),
+                fnum(eps),
+                fnum(c.avg_err),
+                fkb(c.space_bytes),
+                fnum(c.update_ns),
+            ]);
+        }
+    }
+    vec![t]
+}

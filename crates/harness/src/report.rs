@@ -1,0 +1,134 @@
+//! Result tables: aligned text to stdout, CSV to `results/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A result table for one experiment (or one panel of one figure).
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id, e.g. `fig5c` (also the CSV file stem).
+    pub id: String,
+    /// Human description, printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of formatted values (same arity as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the arity doesn't match the headers.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch in {}", self.id);
+        self.rows.push(row);
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {}", self.id, self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Writes `<dir>/<id>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        fs::write(dir.join(format!("{}.csv", self.id)), out)
+    }
+
+    /// Prints to stdout and writes the CSV (the standard emit path).
+    pub fn emit(&self, dir: &Path) -> io::Result<()> {
+        println!("{}", self.render());
+        self.write_csv(dir)
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 || x.abs() < 0.001 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Formats a byte count as KB with one decimal.
+pub fn fkb(bytes: usize) -> String {
+    format!("{:.1}", bytes as f64 / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_and_csv_roundtrips() {
+        let mut t = Table::new("t1", "demo", &["a", "long_header", "c"]);
+        t.push_row(vec!["1".into(), "2".into(), "3".into()]);
+        t.push_row(vec!["10".into(), "200000".into(), "3.5".into()]);
+        let r = t.render();
+        assert!(r.contains("long_header"));
+        assert!(r.lines().count() >= 5);
+        let dir = std::env::temp_dir().join("sqs_report_test");
+        t.write_csv(&dir).unwrap();
+        let csv = std::fs::read_to_string(dir.join("t1.csv")).unwrap();
+        assert_eq!(csv.lines().next().unwrap(), "a,long_header,c");
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("t2", "demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(0.5), "0.5000");
+        assert!(fnum(1e-6).contains('e'));
+        assert_eq!(fkb(2048), "2.0");
+    }
+}

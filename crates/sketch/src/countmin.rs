@@ -1,0 +1,156 @@
+//! The Count-Min sketch (Cormode & Muthukrishnan, 2005) — the
+//! frequency estimator behind the paper's `DCM` baseline (§1.2.2).
+
+use crate::FrequencySketch;
+use sqs_util::hash::PairwiseHash;
+use sqs_util::rng::Xoshiro256pp;
+use sqs_util::space::{words, SpaceUsage};
+
+/// A `w × d` Count-Min sketch: row `i` adds every update to counter
+/// `h_i(x)`; the estimate is the **minimum** over rows, which never
+/// underestimates (for insert-only mass) and overshoots by at most
+/// `2n/w` with probability `1 − 2^{−d}` per query.
+#[derive(Debug, Clone)]
+pub struct CountMin {
+    width: usize,
+    counters: Vec<i64>, // d rows × w, row-major
+    hashes: Vec<PairwiseHash>,
+    universe: u64,
+}
+
+impl CountMin {
+    /// Creates a sketch with `width` counters per row and `depth` rows.
+    ///
+    /// # Panics
+    /// Panics if `width == 0` or `depth == 0`.
+    pub fn new(width: usize, depth: usize, rng: &mut Xoshiro256pp) -> Self {
+        assert!(width > 0 && depth > 0, "CountMin: width and depth must be positive");
+        Self {
+            width,
+            counters: vec![0; width * depth],
+            hashes: (0..depth).map(|_| PairwiseHash::new(rng, width as u64)).collect(),
+            universe: u64::MAX,
+        }
+    }
+
+    /// Creates a sketch scoped to a (reduced) universe size, for
+    /// bookkeeping in the dyadic structure.
+    pub fn for_universe(universe: u64, width: usize, depth: usize, rng: &mut Xoshiro256pp) -> Self {
+        let mut s = Self::new(width, depth, rng);
+        s.universe = universe;
+        s
+    }
+
+    /// Counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.hashes.len()
+    }
+}
+
+impl FrequencySketch for CountMin {
+    fn update(&mut self, x: u64, delta: i64) {
+        for (i, h) in self.hashes.iter().enumerate() {
+            let j = h.hash(x) as usize;
+            self.counters[i * self.width + j] += delta;
+        }
+    }
+
+    fn estimate(&self, x: u64) -> i64 {
+        self.hashes
+            .iter()
+            .enumerate()
+            .map(|(i, h)| self.counters[i * self.width + h.hash(x) as usize])
+            .min()
+            .expect("depth > 0")
+    }
+
+    fn universe(&self) -> u64 {
+        self.universe
+    }
+}
+
+impl SpaceUsage for CountMin {
+    fn space_bytes(&self) -> usize {
+        // w·d counters + 2 hash coefficients per row.
+        words(self.counters.len() + 2 * self.hashes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_underestimates_insert_only() {
+        let mut rng = Xoshiro256pp::new(10);
+        let mut cm = CountMin::new(64, 4, &mut rng);
+        let mut stream_rng = Xoshiro256pp::new(11);
+        let mut truth = vec![0i64; 1000];
+        for _ in 0..20_000 {
+            let x = stream_rng.next_below(1000);
+            cm.update(x, 1);
+            truth[x as usize] += 1;
+        }
+        for x in 0..1000u64 {
+            assert!(cm.estimate(x) >= truth[x as usize], "x={x}");
+        }
+    }
+
+    #[test]
+    fn error_bounded_by_2n_over_w() {
+        let mut rng = Xoshiro256pp::new(12);
+        let w = 512;
+        let mut cm = CountMin::new(w, 5, &mut rng);
+        let n = 100_000u64;
+        let mut stream_rng = Xoshiro256pp::new(13);
+        let mut truth = std::collections::HashMap::new();
+        for _ in 0..n {
+            let x = stream_rng.next_below(1 << 20);
+            cm.update(x, 1);
+            *truth.entry(x).or_insert(0i64) += 1;
+        }
+        let bound = (2 * n as usize / w) as i64 + 1;
+        let mut violations = 0;
+        for (&x, &t) in truth.iter().take(2000) {
+            if cm.estimate(x) - t > bound {
+                violations += 1;
+            }
+        }
+        // Per-query failure probability ~2^-5; allow a small tail.
+        assert!(violations < 2000 / 10, "violations = {violations}");
+    }
+
+    #[test]
+    fn deletions_cancel_exactly() {
+        let mut rng = Xoshiro256pp::new(14);
+        let mut cm = CountMin::new(32, 3, &mut rng);
+        for x in 0..100u64 {
+            cm.update(x, 5);
+        }
+        for x in 0..100u64 {
+            cm.update(x, -5);
+        }
+        // All counters are back to zero, so every estimate is 0.
+        for x in 0..100u64 {
+            assert_eq!(cm.estimate(x), 0);
+        }
+    }
+
+    #[test]
+    fn space_accounting() {
+        let mut rng = Xoshiro256pp::new(15);
+        let cm = CountMin::new(100, 7, &mut rng);
+        assert_eq!(cm.space_bytes(), (700 + 14) * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "width and depth must be positive")]
+    fn rejects_zero_width() {
+        CountMin::new(0, 3, &mut Xoshiro256pp::new(1));
+    }
+}

@@ -1,0 +1,235 @@
+//! The Count-Sketch (Charikar, Chen & Farach-Colton, 2002) — the
+//! frequency estimator behind the paper's new `DCS` algorithm (§3.1).
+//!
+//! Per row `i`, item `x` is hashed to counter `h_i(x)` with sign
+//! `g_i(x) ∈ {−1,+1}` (4-wise independent); the estimator
+//! `g_i(x)·C[i, h_i(x)]` is **unbiased** with variance `F₂/w`, and the
+//! median over `d` rows concentrates it. Unbiasedness with a symmetric
+//! error distribution is exactly what lets §3.1 sum `log u` level
+//! estimates with only `√(log u)` error growth — the asymptotic win of
+//! DCS over DCM.
+
+use crate::FrequencySketch;
+use sqs_util::hash::{FourwiseHash, PairwiseHash};
+use sqs_util::rng::Xoshiro256pp;
+use sqs_util::space::{words, SpaceUsage};
+
+/// A `w × d` Count-Sketch (use odd `d` so the median is a single row).
+///
+/// # Example
+///
+/// ```
+/// use sqs_sketch::{CountSketch, FrequencySketch};
+/// use sqs_util::rng::Xoshiro256pp;
+///
+/// let mut rng = Xoshiro256pp::new(1);
+/// let mut cs = CountSketch::new(1024, 5, &mut rng);
+/// for _ in 0..1_000 {
+///     cs.update(7, 1);
+/// }
+/// cs.update(7, -400); // turnstile deletion
+/// let est = cs.estimate(7);
+/// assert!((est - 600).abs() < 50);
+/// ```
+
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    width: usize,
+    counters: Vec<i64>, // d rows × w, row-major
+    bucket_hashes: Vec<PairwiseHash>,
+    sign_hashes: Vec<FourwiseHash>,
+    universe: u64,
+}
+
+impl CountSketch {
+    /// Creates a sketch with `width` counters per row and `depth` rows.
+    ///
+    /// # Panics
+    /// Panics if `width == 0` or `depth == 0`.
+    pub fn new(width: usize, depth: usize, rng: &mut Xoshiro256pp) -> Self {
+        assert!(width > 0 && depth > 0, "CountSketch: width and depth must be positive");
+        Self {
+            width,
+            counters: vec![0; width * depth],
+            bucket_hashes: (0..depth).map(|_| PairwiseHash::new(rng, width as u64)).collect(),
+            sign_hashes: (0..depth).map(|_| FourwiseHash::new(rng)).collect(),
+            universe: u64::MAX,
+        }
+    }
+
+    /// Creates a sketch scoped to a (reduced) universe size.
+    pub fn for_universe(universe: u64, width: usize, depth: usize, rng: &mut Xoshiro256pp) -> Self {
+        let mut s = Self::new(width, depth, rng);
+        s.universe = universe;
+        s
+    }
+
+    /// Counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.bucket_hashes.len()
+    }
+
+    /// The AMS F₂ estimate: mean over rows of the summed squared
+    /// counters (each row's sum is an unbiased F₂ estimator).
+    pub fn f2_estimate(&self) -> f64 {
+        let d = self.bucket_hashes.len();
+        self.counters.iter().map(|&c| (c as f64) * (c as f64)).sum::<f64>() / d as f64
+    }
+
+    /// The per-row estimates `g_i(x)·C[i, h_i(x)]` (tests, diagnostics).
+    pub fn row_estimates(&self, x: u64) -> Vec<i64> {
+        (0..self.depth())
+            .map(|i| {
+                let j = self.bucket_hashes[i].hash(x) as usize;
+                self.sign_hashes[i].sign(x) * self.counters[i * self.width + j]
+            })
+            .collect()
+    }
+}
+
+impl FrequencySketch for CountSketch {
+    fn update(&mut self, x: u64, delta: i64) {
+        for i in 0..self.bucket_hashes.len() {
+            let j = self.bucket_hashes[i].hash(x) as usize;
+            self.counters[i * self.width + j] += self.sign_hashes[i].sign(x) * delta;
+        }
+    }
+
+    fn estimate(&self, x: u64) -> i64 {
+        let mut ests = self.row_estimates(x);
+        let mid = ests.len() / 2;
+        *ests.select_nth_unstable(mid).1
+    }
+
+    fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// §3.2.4: the variance of a single-row estimate is `F₂/w`, and a
+    /// row's sum of squared counters is itself an estimator of `F₂`
+    /// (Alon–Matias–Szegedy). The paper uses "the variance of one row
+    /// of the sketch as a good empirical approximation"; we average
+    /// the AMS estimate over rows for stability.
+    fn variance_estimate(&self) -> Option<f64> {
+        Some(self.f2_estimate() / self.width as f64)
+    }
+
+    /// Per-item variance from the empirical dispersion of the `d` row
+    /// estimates: each row is an independent unbiased estimator of
+    /// `f_x`, so the sample variance `s²` of the rows estimates the
+    /// single-row variance *actually realized for this item* (its own
+    /// collisions, not the worst case `F₂/w`), and the returned
+    /// `Var(median) ≈ (π/2)·s²/d` is the asymptotic variance of the
+    /// median of `d` such estimators. Floored by a small fraction of
+    /// the generic `F₂/(w·d)` so an accidental all-rows-agree does not
+    /// claim exactness.
+    fn variance_estimate_for(&self, x: u64) -> Option<f64> {
+        let rows = self.row_estimates(x);
+        let d = rows.len() as f64;
+        if rows.len() < 2 {
+            return self.variance_estimate();
+        }
+        let mean = rows.iter().map(|&r| r as f64).sum::<f64>() / d;
+        let s2 = rows.iter().map(|&r| (r as f64 - mean).powi(2)).sum::<f64>() / (d - 1.0);
+        let var_median = std::f64::consts::FRAC_PI_2 * s2 / d;
+        let floor = self.f2_estimate() / (self.width as f64 * d) * 1e-3;
+        Some(var_median.max(floor).max(1e-9))
+    }
+}
+
+impl SpaceUsage for CountSketch {
+    fn space_bytes(&self) -> usize {
+        // w·d counters + 2 pairwise + 4 fourwise coefficients per row.
+        words(self.counters.len() + 6 * self.bucket_hashes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimator_is_unbiased_over_draws() {
+        // Fix a workload; average the estimate for one item over many
+        // independently drawn sketches; it must approach the truth.
+        let mut seed_rng = Xoshiro256pp::new(30);
+        let trials = 300;
+        let mut sum = 0f64;
+        for _ in 0..trials {
+            let mut cs = CountSketch::new(16, 1, &mut seed_rng);
+            for x in 0..200u64 {
+                cs.update(x, 1 + (x % 5) as i64);
+            }
+            sum += cs.estimate(7) as f64;
+        }
+        let mean = sum / trials as f64;
+        let truth = 1.0 + (7 % 5) as f64;
+        // Single row, tiny width → large variance; the mean over 300
+        // draws should still be within a few standard errors.
+        assert!((mean - truth).abs() < 8.0, "mean = {mean}, truth = {truth}");
+    }
+
+    #[test]
+    fn median_tracks_truth_with_decent_width() {
+        let mut rng = Xoshiro256pp::new(31);
+        let mut cs = CountSketch::new(1024, 5, &mut rng);
+        let mut stream_rng = Xoshiro256pp::new(32);
+        let mut truth = std::collections::HashMap::new();
+        for _ in 0..100_000 {
+            let x = stream_rng.next_below(1 << 16);
+            cs.update(x, 1);
+            *truth.entry(x).or_insert(0i64) += 1;
+        }
+        let mut bad = 0;
+        for (&x, &t) in truth.iter().take(1000) {
+            if (cs.estimate(x) - t).abs() > 40 {
+                bad += 1;
+            }
+        }
+        assert!(bad < 100, "bad = {bad}");
+    }
+
+    #[test]
+    fn deletions_cancel_exactly() {
+        let mut rng = Xoshiro256pp::new(33);
+        let mut cs = CountSketch::new(64, 3, &mut rng);
+        for x in 0..500u64 {
+            cs.update(x, 3);
+        }
+        for x in 0..500u64 {
+            cs.update(x, -3);
+        }
+        for x in 0..500u64 {
+            assert_eq!(cs.estimate(x), 0);
+        }
+    }
+
+    #[test]
+    fn variance_estimate_tracks_f2_over_w() {
+        let mut rng = Xoshiro256pp::new(34);
+        let w = 256;
+        let mut cs = CountSketch::new(w, 5, &mut rng);
+        // 1000 items with frequency 10 → F2 = 1000·100 = 100_000.
+        for x in 0..1000u64 {
+            cs.update(x, 10);
+        }
+        let var = cs.variance_estimate().unwrap();
+        let expect = 100_000.0 / w as f64;
+        assert!(
+            var > 0.3 * expect && var < 3.0 * expect,
+            "var = {var}, expect ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn row_estimates_len_matches_depth() {
+        let mut rng = Xoshiro256pp::new(35);
+        let cs = CountSketch::new(8, 7, &mut rng);
+        assert_eq!(cs.row_estimates(42).len(), 7);
+    }
+}

@@ -1,0 +1,79 @@
+//! Exact per-item counters for small (reduced) universes.
+//!
+//! §3 of the paper: *"if the reduced universe size `u/2^i` is smaller
+//! than the sketch size, we should maintain the frequencies exactly,
+//! rather than using a sketch."* The top levels of every dyadic
+//! structure use this; its estimates are exact and its variance zero —
+//! which is also what anchors the OLS post-processing (the exact nodes
+//! are the `σ_i = 0` constraints in Definition 1).
+
+use crate::FrequencySketch;
+use sqs_util::space::{words, SpaceUsage};
+
+/// A plain counter array over a small universe.
+#[derive(Debug, Clone)]
+pub struct ExactCounts {
+    counts: Vec<i64>,
+}
+
+impl ExactCounts {
+    /// Creates counters for a universe of `universe` items.
+    ///
+    /// # Panics
+    /// Panics if `universe == 0` or implausibly large (> 2^28) — the
+    /// dyadic structure should have used a sketch instead.
+    pub fn new(universe: u64) -> Self {
+        assert!(universe > 0, "ExactCounts: empty universe");
+        assert!(universe <= 1 << 28, "ExactCounts: universe too large for exact counting");
+        Self { counts: vec![0; universe as usize] }
+    }
+}
+
+impl FrequencySketch for ExactCounts {
+    fn update(&mut self, x: u64, delta: i64) {
+        self.counts[x as usize] += delta;
+    }
+
+    fn estimate(&self, x: u64) -> i64 {
+        self.counts[x as usize]
+    }
+
+    fn universe(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    fn variance_estimate(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+impl SpaceUsage for ExactCounts {
+    fn space_bytes(&self) -> usize {
+        words(self.counts.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_exactly() {
+        let mut e = ExactCounts::new(16);
+        e.update(3, 5);
+        e.update(3, -2);
+        e.update(15, 1);
+        assert_eq!(e.estimate(3), 3);
+        assert_eq!(e.estimate(15), 1);
+        assert_eq!(e.estimate(0), 0);
+        assert_eq!(e.variance_estimate(), Some(0.0));
+        assert_eq!(e.universe(), 16);
+        assert_eq!(e.space_bytes(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty universe")]
+    fn rejects_empty() {
+        ExactCounts::new(0);
+    }
+}

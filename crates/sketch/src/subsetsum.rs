@@ -1,0 +1,150 @@
+//! The random-subset-sum sketch (Gilbert, Kotidis, Muthukrishnan &
+//! Strauss, VLDB'02) — the first turnstile quantile sketch (§1.2.2).
+//!
+//! Each of `k` repetitions keeps one counter `C_j` summing the
+//! frequencies of the items in a pairwise-independent random half of
+//! the universe (`b_j(x) = 1`), plus the exact total mass `N`. Then
+//!
+//! * if `b_j(x) = 1`:  `E[C_j] = f(x) + (N − f(x))/2` → `f̂ = 2C_j − N`,
+//! * if `b_j(x) = 0`:  `E[C_j] = (N − f(x))/2`       → `f̂ = N − 2C_j`,
+//!
+//! both unbiased with variance `Θ(F₂)`; averaging the `k` repetitions
+//! divides the variance by `k`, which is why this sketch needs
+//! `k = O(1/ε²)` counters where Count-Min/Count-Sketch need `O(1/ε)`
+//! buckets — the reason the paper excludes it from the headline plots
+//! ("its performance is much worse"), and why we keep it: to show
+//! that.
+
+use crate::FrequencySketch;
+use sqs_util::hash::PairwiseHash;
+use sqs_util::rng::Xoshiro256pp;
+use sqs_util::space::{words, SpaceUsage};
+
+/// A `k`-repetition random-subset-sum sketch.
+#[derive(Debug, Clone)]
+pub struct SubsetSum {
+    counters: Vec<i64>,
+    members: Vec<PairwiseHash>, // b_j : [u] → {0, 1}
+    total: i64,                 // exact N (insertions − deletions)
+    universe: u64,
+}
+
+impl SubsetSum {
+    /// Creates a sketch over `universe` items with `k` repetitions.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `universe == 0`.
+    pub fn new(universe: u64, k: usize, rng: &mut Xoshiro256pp) -> Self {
+        assert!(k > 0, "SubsetSum: k must be positive");
+        assert!(universe > 0, "SubsetSum: empty universe");
+        Self {
+            counters: vec![0; k],
+            members: (0..k).map(|_| PairwiseHash::new(rng, 2)).collect(),
+            total: 0,
+            universe,
+        }
+    }
+
+    /// Number of repetitions `k`.
+    pub fn repetitions(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+impl FrequencySketch for SubsetSum {
+    fn update(&mut self, x: u64, delta: i64) {
+        self.total += delta;
+        for (c, b) in self.counters.iter_mut().zip(&self.members) {
+            if b.hash(x) == 1 {
+                *c += delta;
+            }
+        }
+    }
+
+    fn estimate(&self, x: u64) -> i64 {
+        let k = self.counters.len() as i64;
+        let sum: i64 = self
+            .counters
+            .iter()
+            .zip(&self.members)
+            .map(|(&c, b)| if b.hash(x) == 1 { 2 * c - self.total } else { self.total - 2 * c })
+            .sum();
+        // Round-to-nearest average.
+        (sum + k.signum() * k / 2) / k
+    }
+
+    fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    fn variance_estimate(&self) -> Option<f64> {
+        // Var(single estimator) ≈ F₂ ≤ N²; we expose the crude N²/k
+        // bound (the sketch has no good F₂ estimator of its own).
+        let k = self.counters.len() as f64;
+        Some((self.total as f64) * (self.total as f64) / k)
+    }
+}
+
+impl SpaceUsage for SubsetSum {
+    fn space_bytes(&self) -> usize {
+        // k counters + 2 hash coefficients each + the exact total.
+        words(self.counters.len() * 3 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbiased_over_draws() {
+        let mut seed_rng = Xoshiro256pp::new(40);
+        let trials = 400;
+        let mut sum = 0f64;
+        for _ in 0..trials {
+            let mut ss = SubsetSum::new(1024, 8, &mut seed_rng);
+            for x in 0..64u64 {
+                ss.update(x, 4);
+            }
+            sum += ss.estimate(5) as f64;
+        }
+        let mean = sum / trials as f64;
+        assert!((mean - 4.0).abs() < 12.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn heavy_item_detectable_with_many_reps() {
+        let mut rng = Xoshiro256pp::new(41);
+        let mut ss = SubsetSum::new(4096, 2000, &mut rng);
+        // One heavy item among light noise.
+        ss.update(77, 5_000);
+        let mut noise = Xoshiro256pp::new(42);
+        for _ in 0..5_000 {
+            ss.update(noise.next_below(4096), 1);
+        }
+        let est = ss.estimate(77);
+        assert!((est - 5_000).abs() < 1_500, "est = {est}");
+    }
+
+    #[test]
+    fn deletions_cancel_exactly() {
+        let mut rng = Xoshiro256pp::new(43);
+        let mut ss = SubsetSum::new(256, 50, &mut rng);
+        for x in 0..100u64 {
+            ss.update(x, 2);
+        }
+        for x in 0..100u64 {
+            ss.update(x, -2);
+        }
+        for x in 0..100u64 {
+            assert_eq!(ss.estimate(x), 0, "x={x}");
+        }
+    }
+
+    #[test]
+    fn space_is_three_words_per_rep() {
+        let mut rng = Xoshiro256pp::new(44);
+        let ss = SubsetSum::new(64, 100, &mut rng);
+        assert_eq!(ss.space_bytes(), (300 + 1) * 4);
+    }
+}

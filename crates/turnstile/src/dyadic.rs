@@ -1,0 +1,300 @@
+//! The generic dyadic quantile scaffold shared by every turnstile
+//! algorithm (§3).
+//!
+//! One frequency sketch per dyadic level; updating element `x` touches
+//! its ancestor cell `x >> i` at every level `i`; the rank of `x` is
+//! the summed estimate over the ≤ `log u` cells of the prefix
+//! decomposition of `[0, x)`; a φ-quantile is found by binary search
+//! on the universe. Levels whose reduced universe is no larger than
+//! the sketch's counter budget store exact frequencies instead (§3),
+//! which also anchors the OLS post-processing.
+
+use crate::TurnstileQuantiles;
+use sqs_sketch::{ExactCounts, FrequencySketch};
+use sqs_util::dyadic::{Cell, DyadicUniverse};
+use sqs_util::space::{words, SpaceUsage};
+
+/// Per-level storage: exact counters for small reduced universes, a
+/// sketch otherwise.
+#[derive(Debug, Clone)]
+enum Level<S> {
+    Exact(ExactCounts),
+    Sketch(S),
+}
+
+/// The dyadic quantile structure over sketches of type `S`.
+#[derive(Debug, Clone)]
+pub struct DyadicQuantiles<S> {
+    universe: DyadicUniverse,
+    /// `levels[i]` summarizes the reduced universe at level `i`
+    /// (`i = 0` is the singletons; the root level `log_u` is implied by
+    /// the exact live count and never stored).
+    levels: Vec<Level<S>>,
+    live: i64,
+    name: &'static str,
+}
+
+impl<S: FrequencySketch> DyadicQuantiles<S> {
+    /// Builds the structure. `make_sketch(reduced_universe, level)`
+    /// constructs the per-level sketch; `sketch_counters` is the
+    /// counter budget used for the exact-level rule (a level is exact
+    /// when its reduced universe has at most that many cells).
+    pub fn new(
+        log_u: u32,
+        sketch_counters: u64,
+        mut make_sketch: impl FnMut(u64, u32) -> S,
+        name: &'static str,
+    ) -> Self {
+        let universe = DyadicUniverse::new(log_u);
+        let levels = (0..log_u)
+            .map(|level| {
+                let cells = universe.cells_at_level(level);
+                if cells <= sketch_counters {
+                    Level::Exact(ExactCounts::new(cells))
+                } else {
+                    Level::Sketch(make_sketch(cells, level))
+                }
+            })
+            .collect();
+        Self { universe, levels, live: 0, name }
+    }
+
+    /// The universe descriptor.
+    pub fn universe(&self) -> DyadicUniverse {
+        self.universe
+    }
+
+    /// Whether `level` stores exact frequencies.
+    ///
+    /// Level `log_u` (the root) is always exact: its only cell is the
+    /// live count.
+    pub fn is_exact_level(&self, level: u32) -> bool {
+        level >= self.levels.len() as u32 || matches!(self.levels[level as usize], Level::Exact(_))
+    }
+
+    /// Estimated number of live elements in a dyadic cell (may be
+    /// negative for unbiased sketches).
+    pub fn cell_estimate(&self, cell: Cell) -> i64 {
+        if cell.level == self.universe.log_u() {
+            debug_assert_eq!(cell.index, 0);
+            return self.live;
+        }
+        match &self.levels[cell.level as usize] {
+            Level::Exact(e) => e.estimate(cell.index),
+            Level::Sketch(s) => s.estimate(cell.index),
+        }
+    }
+
+    /// The sketch's own variance estimate for cells at `level`
+    /// (0 for exact levels); used by the OLS post-processing.
+    pub fn level_variance(&self, level: u32) -> f64 {
+        if level >= self.levels.len() as u32 {
+            return 0.0;
+        }
+        match &self.levels[level as usize] {
+            Level::Exact(_) => 0.0,
+            Level::Sketch(s) => s.variance_estimate().unwrap_or(0.0),
+        }
+    }
+
+    /// Per-cell variance estimate (0 for exact levels) — the
+    /// Count-Sketch's `(F₂ − f̂²)/w` refinement; used by the OLS
+    /// post-processing's default variance mode.
+    pub fn cell_variance(&self, cell: Cell) -> f64 {
+        if cell.level >= self.levels.len() as u32 {
+            return 0.0;
+        }
+        match &self.levels[cell.level as usize] {
+            Level::Exact(_) => 0.0,
+            Level::Sketch(s) => s.variance_estimate_for(cell.index).unwrap_or(0.0),
+        }
+    }
+
+    fn update(&mut self, x: u64, delta: i64) {
+        assert!(x < self.universe.size(), "element {x} outside universe");
+        self.live += delta;
+        for (level, store) in self.levels.iter_mut().enumerate() {
+            let idx = x >> level;
+            match store {
+                Level::Exact(e) => e.update(idx, delta),
+                Level::Sketch(s) => s.update(idx, delta),
+            }
+        }
+    }
+
+    /// Signed rank estimate (before clamping): the summed cell
+    /// estimates over the prefix decomposition of `[0, x)`.
+    pub fn rank_signed(&self, x: u64) -> i64 {
+        self.universe
+            .prefix_decomposition(x.min(self.universe.size()))
+            .into_iter()
+            .map(|c| self.cell_estimate(c))
+            .sum()
+    }
+}
+
+impl<S: FrequencySketch> TurnstileQuantiles for DyadicQuantiles<S> {
+    fn insert(&mut self, x: u64) {
+        self.update(x, 1);
+    }
+
+    fn delete(&mut self, x: u64) {
+        self.update(x, -1);
+    }
+
+    fn live(&self) -> u64 {
+        self.live.max(0) as u64
+    }
+
+    fn rank_estimate(&self, x: u64) -> u64 {
+        self.rank_signed(x).max(0) as u64
+    }
+
+    /// Binary search for the largest element whose estimated rank does
+    /// not exceed `⌊φ·live⌋` (§3's extraction rule). Sketch noise makes
+    /// the rank function only approximately monotone; the binary search
+    /// is the paper's own choice and inherits its guarantee from the
+    /// all-prefixes error bound.
+    fn quantile(&self, phi: f64) -> Option<u64> {
+        assert!(phi > 0.0 && phi < 1.0, "phi must be in (0,1), got {phi}");
+        if self.live <= 0 {
+            return None;
+        }
+        let target = (phi * self.live as f64).floor() as i64;
+        let (mut lo, mut hi) = (0u64, self.universe.size() - 1);
+        while lo < hi {
+            let mid = lo + (hi - lo).div_ceil(2);
+            if self.rank_signed(mid) <= target {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        Some(lo)
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl<S: FrequencySketch> SpaceUsage for DyadicQuantiles<S> {
+    fn space_bytes(&self) -> usize {
+        let levels: usize = self
+            .levels
+            .iter()
+            .map(|l| match l {
+                Level::Exact(e) => e.space_bytes(),
+                Level::Sketch(s) => s.space_bytes(),
+            })
+            .sum();
+        levels + words(1) // + the live counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqs_sketch::CountSketch;
+    use sqs_util::rng::{SplitMix64, Xoshiro256pp};
+
+    fn make(log_u: u32, w: usize, d: usize, seed: u64) -> DyadicQuantiles<CountSketch> {
+        let mut seeds = SplitMix64::new(seed);
+        DyadicQuantiles::new(
+            log_u,
+            (w * d) as u64,
+            move |cells, _| {
+                let mut rng = Xoshiro256pp::new(seeds.next_u64());
+                CountSketch::for_universe(cells, w, d, &mut rng)
+            },
+            "test-dyadic",
+        )
+    }
+
+    #[test]
+    fn top_levels_are_exact() {
+        let dq = make(16, 64, 5, 1);
+        assert!(dq.is_exact_level(16)); // root (implied)
+        assert!(dq.is_exact_level(10)); // 64 cells ≤ 320 counters
+        assert!(!dq.is_exact_level(0)); // 65536 cells
+    }
+
+    #[test]
+    fn live_count_is_exact_through_churn() {
+        let mut dq = make(12, 32, 3, 2);
+        for x in 0..1000u64 {
+            dq.insert(x % 4096);
+        }
+        for x in 0..400u64 {
+            dq.delete(x % 4096);
+        }
+        assert_eq!(dq.live(), 600);
+    }
+
+    #[test]
+    fn rank_exactish_on_small_universe() {
+        // With a tiny universe everything lands in exact levels → exact
+        // ranks.
+        let mut dq = make(8, 128, 5, 3);
+        for x in 0..256u64 {
+            dq.insert(x);
+        }
+        for x in [0u64, 1, 100, 255] {
+            assert_eq!(dq.rank_estimate(x), x);
+        }
+        assert_eq!(dq.rank_estimate(256), 256);
+        assert_eq!(dq.quantile(0.5), Some(128));
+    }
+
+    #[test]
+    fn quantiles_approximate_on_large_universe() {
+        let mut dq = make(20, 1024, 5, 4);
+        let mut rng = Xoshiro256pp::new(5);
+        let mut data = Vec::new();
+        for _ in 0..50_000 {
+            let x = rng.next_below(1 << 20);
+            data.push(x);
+            dq.insert(x);
+        }
+        let oracle = sqs_util::exact::ExactQuantiles::new(data);
+        for phi in [0.1, 0.5, 0.9] {
+            let q = dq.quantile(phi).unwrap();
+            let err = oracle.quantile_error(phi, q);
+            assert!(err < 0.05, "phi={phi}, err={err}");
+        }
+    }
+
+    #[test]
+    fn deletions_remove_their_influence() {
+        // §4.3: "Deleting a previously inserted element completely
+        // removes its impact on the data structure."
+        let mut with_churn = make(16, 256, 5, 6);
+        let mut clean = make(16, 256, 5, 6); // same seed → same hashes
+        let mut rng = Xoshiro256pp::new(7);
+        for _ in 0..10_000 {
+            let keep = rng.next_below(1 << 16);
+            with_churn.insert(keep);
+            clean.insert(keep);
+            let churn = rng.next_below(1 << 16);
+            with_churn.insert(churn);
+            with_churn.delete(churn);
+        }
+        for x in [100u64, 30_000, 65_000] {
+            assert_eq!(with_churn.rank_signed(x), clean.rank_signed(x), "x={x}");
+        }
+        assert_eq!(with_churn.live(), clean.live());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn rejects_out_of_universe() {
+        let mut dq = make(8, 16, 3, 8);
+        dq.insert(256);
+    }
+
+    #[test]
+    fn empty_quantile_is_none() {
+        let dq = make(8, 16, 3, 9);
+        assert_eq!(dq.quantile(0.5), None);
+    }
+}

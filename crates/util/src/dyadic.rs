@@ -1,0 +1,236 @@
+//! Dyadic-interval arithmetic over a power-of-two universe.
+//!
+//! All turnstile algorithms in the paper impose the same *dyadic
+//! structure* on the universe `[u] = {0, …, u−1}`, `u = 2^k` (§1.2.2,
+//! §3): level 0 holds the singletons, level `i` partitions `[u]` into
+//! cells of length `2^i`, and the top level `k` is the single cell
+//! `[0, u)`. A prefix `[0, x)` decomposes into at most `log u` dyadic
+//! cells, one per level — one cell for each set bit of `x`.
+//!
+//! [`DyadicUniverse`] bundles the universe size with the handful of
+//! index computations every sketch level needs; keeping them in one
+//! audited place avoids a family of off-by-one-shift bugs.
+
+/// A dyadic cell: `level` (0 = singletons) and `index` within that
+/// level. The cell covers `[index · 2^level, (index+1) · 2^level)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cell {
+    /// Level in the dyadic hierarchy; cells at level `i` have length `2^i`.
+    pub level: u32,
+    /// Index of the cell within its level.
+    pub index: u64,
+}
+
+impl Cell {
+    /// First element covered by this cell.
+    #[inline]
+    pub fn start(&self) -> u64 {
+        self.index << self.level
+    }
+
+    /// One past the last element covered by this cell.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        (self.index + 1) << self.level
+    }
+
+    /// Number of universe elements the cell covers.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        1u64 << self.level
+    }
+
+    /// Dyadic cells are never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The two children of this cell at `level − 1`.
+    ///
+    /// # Panics
+    /// Panics at level 0 (singletons have no children).
+    #[inline]
+    pub fn children(&self) -> (Cell, Cell) {
+        assert!(self.level > 0, "Cell::children: level-0 cell");
+        (
+            Cell { level: self.level - 1, index: self.index * 2 },
+            Cell { level: self.level - 1, index: self.index * 2 + 1 },
+        )
+    }
+
+    /// The parent cell at `level + 1`.
+    #[inline]
+    pub fn parent(&self) -> Cell {
+        Cell { level: self.level + 1, index: self.index / 2 }
+    }
+}
+
+/// A power-of-two universe `[0, 2^log_u)` with its dyadic hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DyadicUniverse {
+    log_u: u32,
+}
+
+impl DyadicUniverse {
+    /// Creates a universe of size `2^log_u`.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ log_u ≤ 63` (64 would overflow cell spans;
+    /// the paper's universes top out at 2^32).
+    pub fn new(log_u: u32) -> Self {
+        assert!((1..=63).contains(&log_u), "log_u must be in 1..=63, got {log_u}");
+        Self { log_u }
+    }
+
+    /// `log₂` of the universe size, i.e. the number of non-trivial
+    /// levels (level `log_u` is the single root cell).
+    #[inline]
+    pub fn log_u(&self) -> u32 {
+        self.log_u
+    }
+
+    /// The universe size `u = 2^log_u`.
+    #[inline]
+    pub fn size(&self) -> u64 {
+        1u64 << self.log_u
+    }
+
+    /// Number of cells at `level` (`u / 2^level`) — the *reduced
+    /// universe* size the paper's §3 refers to.
+    ///
+    /// # Panics
+    /// Panics if `level > log_u`.
+    #[inline]
+    pub fn cells_at_level(&self, level: u32) -> u64 {
+        assert!(level <= self.log_u, "level {level} above root");
+        1u64 << (self.log_u - level)
+    }
+
+    /// The level-`level` cell containing element `x` ("take its first
+    /// `log(u) − i` bits" in the paper's phrasing).
+    ///
+    /// # Panics
+    /// Panics if `x` is outside the universe or `level > log_u`.
+    #[inline]
+    pub fn cell_of(&self, x: u64, level: u32) -> Cell {
+        debug_assert!(x < self.size(), "element {x} outside universe");
+        assert!(level <= self.log_u);
+        Cell { level, index: x >> level }
+    }
+
+    /// Decomposes the prefix `[0, x)` into at most `log u` disjoint
+    /// dyadic cells, one per set bit of `x` (largest first).
+    ///
+    /// `x` may equal `u` (the full universe), in which case the single
+    /// root cell is returned.
+    ///
+    /// # Panics
+    /// Panics if `x > u`.
+    pub fn prefix_decomposition(&self, x: u64) -> Vec<Cell> {
+        assert!(x <= self.size(), "prefix end {x} beyond universe");
+        let mut out = Vec::with_capacity(x.count_ones() as usize);
+        // Peel the set bits from high to low; bit i contributes the
+        // level-i cell with index (x >> i) − 1, i.e. the aligned block
+        // immediately below the higher-bit prefix of x.
+        let mut bits = x;
+        while bits != 0 {
+            let i = 63 - bits.leading_zeros();
+            out.push(Cell { level: i, index: (x >> i) - 1 });
+            bits &= !(1u64 << i);
+        }
+        out
+    }
+
+    /// Iterates every level from the singletons (0) up to and
+    /// including the root (`log_u`).
+    pub fn levels(&self) -> impl Iterator<Item = u32> {
+        0..=self.log_u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_geometry() {
+        let c = Cell { level: 3, index: 5 };
+        assert_eq!(c.start(), 40);
+        assert_eq!(c.end(), 48);
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.parent(), Cell { level: 4, index: 2 });
+        let (l, r) = c.children();
+        assert_eq!(l, Cell { level: 2, index: 10 });
+        assert_eq!(r, Cell { level: 2, index: 11 });
+        assert_eq!(l.end(), r.start());
+        assert_eq!(l.start(), c.start());
+        assert_eq!(r.end(), c.end());
+    }
+
+    #[test]
+    fn cell_of_matches_interval() {
+        let u = DyadicUniverse::new(8);
+        for x in 0..256u64 {
+            for level in 0..=8 {
+                let c = u.cell_of(x, level);
+                assert!(c.start() <= x && x < c.end(), "x={x}, level={level}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_decomposition_small_cases() {
+        let u = DyadicUniverse::new(3);
+        // [0,5) = [0,4) ∪ [4,5)
+        let cells = u.prefix_decomposition(5);
+        assert_eq!(cells, vec![Cell { level: 2, index: 0 }, Cell { level: 0, index: 4 }]);
+        // [0,6) = [0,4) ∪ [4,6)
+        let cells = u.prefix_decomposition(6);
+        assert_eq!(cells, vec![Cell { level: 2, index: 0 }, Cell { level: 1, index: 2 }]);
+        // empty prefix
+        assert!(u.prefix_decomposition(0).is_empty());
+        // whole universe
+        assert_eq!(u.prefix_decomposition(8), vec![Cell { level: 3, index: 0 }]);
+    }
+
+    #[test]
+    fn prefix_decomposition_is_exact_partition() {
+        let u = DyadicUniverse::new(10);
+        for &x in &[0u64, 1, 2, 3, 7, 100, 511, 512, 513, 777, 1023, 1024] {
+            let cells = u.prefix_decomposition(x);
+            // Disjoint, sorted descending by start coverage, exact union.
+            let mut covered = 0u64;
+            let mut cursor = 0u64;
+            for c in &cells {
+                assert_eq!(c.start(), cursor, "cells must tile [0,x) in order");
+                cursor = c.end();
+                covered += c.len();
+            }
+            assert_eq!(covered, x, "x = {x}");
+            assert!(cells.len() <= 10 + 1);
+        }
+    }
+
+    #[test]
+    fn reduced_universe_sizes() {
+        let u = DyadicUniverse::new(16);
+        assert_eq!(u.size(), 65536);
+        assert_eq!(u.cells_at_level(0), 65536);
+        assert_eq!(u.cells_at_level(16), 1);
+        assert_eq!(u.cells_at_level(10), 64);
+        assert_eq!(u.levels().count(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "log_u must be in 1..=63")]
+    fn universe_rejects_zero() {
+        DyadicUniverse::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond universe")]
+    fn prefix_beyond_universe_panics() {
+        DyadicUniverse::new(4).prefix_decomposition(17);
+    }
+}

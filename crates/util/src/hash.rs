@@ -1,0 +1,250 @@
+//! k-wise independent hash families over the Mersenne prime 2^61 − 1.
+//!
+//! The turnstile sketches of the paper (§3) require
+//!
+//! * a **pairwise-independent** family `h_i : [u] → [w]` to spread
+//!   elements over the `w` counters of a sketch row, and
+//! * a **4-wise independent** family `g_i : [u] → {−1, +1}` for the
+//!   Count-Sketch sign (4-wise independence is what makes the variance
+//!   analysis of §3.1 / Appendix A.3 go through).
+//!
+//! Both are realized as random polynomials over GF(p) with
+//! p = 2^61 − 1: a degree-(k−1) polynomial with uniform coefficients is
+//! a k-wise independent function (Wegman & Carter). The Mersenne
+//! structure lets the `mod p` reduction be two shifts and an add.
+
+use crate::rng::Xoshiro256pp;
+
+/// The Mersenne prime 2^61 − 1 used as the field size.
+pub const MERSENNE_P: u64 = (1u64 << 61) - 1;
+
+/// Reduces a 128-bit product modulo 2^61 − 1.
+///
+/// Because p = 2^61 − 1, `x mod p` can be computed by summing the
+/// 61-bit limbs of `x` (each limb shift of 61 corresponds to a factor
+/// of 2^61 ≡ 1 mod p), followed by one conditional subtraction.
+#[inline]
+fn mod_mersenne(x: u128) -> u64 {
+    let lo = (x & MERSENNE_P as u128) as u64;
+    let mid = ((x >> 61) & MERSENNE_P as u128) as u64;
+    let hi = (x >> 122) as u64;
+    let mut r = lo + mid + hi; // < 3p, fits in u64 (3p < 2^63)
+    if r >= MERSENNE_P {
+        r -= MERSENNE_P;
+    }
+    if r >= MERSENNE_P {
+        r -= MERSENNE_P;
+    }
+    r
+}
+
+/// Multiplies two field elements modulo 2^61 − 1.
+#[inline]
+pub fn mul_mod(a: u64, b: u64) -> u64 {
+    mod_mersenne((a as u128) * (b as u128))
+}
+
+/// A pairwise-independent hash function `[2^64] → [buckets]`.
+///
+/// `h(x) = ((a·x + b) mod p) mod buckets` with `a` uniform in
+/// `[1, p)`, `b` uniform in `[0, p)`. Pairwise independence over the
+/// field is exact; the final `mod buckets` introduces the usual ≤
+/// `buckets/p` deviation, negligible for sketch widths ≪ 2^61.
+#[derive(Debug, Clone)]
+pub struct PairwiseHash {
+    a: u64,
+    b: u64,
+    buckets: u64,
+}
+
+impl PairwiseHash {
+    /// Draws a function from the family with the given number of
+    /// buckets.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0`.
+    pub fn new(rng: &mut Xoshiro256pp, buckets: u64) -> Self {
+        assert!(buckets > 0, "PairwiseHash: buckets must be positive");
+        Self {
+            a: 1 + rng.next_below(MERSENNE_P - 1),
+            b: rng.next_below(MERSENNE_P),
+            buckets,
+        }
+    }
+
+    /// Evaluates the function at `x`.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        let x = x % MERSENNE_P; // inputs ≥ p are folded into the field
+        let v = mod_mersenne((self.a as u128) * (x as u128) + self.b as u128);
+        v % self.buckets
+    }
+
+    /// The number of buckets this function maps into.
+    #[inline]
+    pub fn buckets(&self) -> u64 {
+        self.buckets
+    }
+}
+
+/// A 4-wise independent hash function `[2^64] → [0, p)` realized as a
+/// uniform degree-3 polynomial over GF(2^61 − 1).
+#[derive(Debug, Clone)]
+pub struct FourwiseHash {
+    /// Coefficients `c3 x^3 + c2 x^2 + c1 x + c0`, each in `[0, p)`.
+    coeffs: [u64; 4],
+}
+
+impl FourwiseHash {
+    /// Draws a function from the family.
+    pub fn new(rng: &mut Xoshiro256pp) -> Self {
+        Self {
+            coeffs: [
+                rng.next_below(MERSENNE_P),
+                rng.next_below(MERSENNE_P),
+                rng.next_below(MERSENNE_P),
+                rng.next_below(MERSENNE_P),
+            ],
+        }
+    }
+
+    /// Evaluates the polynomial at `x` (Horner's rule), result in
+    /// `[0, p)`.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        let x = x % MERSENNE_P;
+        let mut acc = self.coeffs[3];
+        for &c in self.coeffs[..3].iter().rev() {
+            acc = mod_mersenne((acc as u128) * (x as u128) + c as u128);
+        }
+        acc
+    }
+
+    /// Evaluates the ±1 **sign hash** `g(x)` used by Count-Sketch:
+    /// `+1` if the low bit of the 4-wise value is set, else `−1`.
+    #[inline]
+    pub fn sign(&self, x: u64) -> i64 {
+        if self.hash(x) & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mersenne_reduction_agrees_with_modulo() {
+        let cases: [u128; 6] = [
+            0,
+            1,
+            MERSENNE_P as u128,
+            (MERSENNE_P as u128) * 2 + 5,
+            u64::MAX as u128,
+            u128::MAX,
+        ];
+        for &x in &cases {
+            assert_eq!(mod_mersenne(x) as u128, x % MERSENNE_P as u128, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn mul_mod_small_cases() {
+        assert_eq!(mul_mod(0, 12345), 0);
+        assert_eq!(mul_mod(1, 12345), 12345);
+        assert_eq!(mul_mod(MERSENNE_P - 1, 2), MERSENNE_P - 2);
+    }
+
+    #[test]
+    fn pairwise_in_range() {
+        let mut rng = Xoshiro256pp::new(1);
+        let h = PairwiseHash::new(&mut rng, 97);
+        for x in 0..10_000u64 {
+            assert!(h.hash(x) < 97);
+        }
+    }
+
+    #[test]
+    fn pairwise_is_deterministic_and_spreads() {
+        let mut rng = Xoshiro256pp::new(2);
+        let h = PairwiseHash::new(&mut rng, 64);
+        let mut counts = [0usize; 64];
+        for x in 0..64_000u64 {
+            counts[h.hash(x) as usize] += 1;
+        }
+        // Each bucket should receive roughly 1000; allow wide slack.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((600..1400).contains(&c), "bucket {i} got {c}");
+        }
+        // Determinism.
+        assert_eq!(h.hash(12345), h.hash(12345));
+    }
+
+    #[test]
+    fn pairwise_collision_rate_near_uniform() {
+        // Pairwise independence is a property over *function draws*:
+        // Pr_h[h(x) = h(y)] ≈ 1/buckets for any fixed x ≠ y. Averaging
+        // within a single draw over correlated pairs would be a
+        // different (false) claim, so we redraw the function each trial.
+        let mut rng = Xoshiro256pp::new(3);
+        let buckets = 64u64;
+        let trials = 20_000;
+        let mut collisions = 0;
+        for _ in 0..trials {
+            let h = PairwiseHash::new(&mut rng, buckets);
+            if h.hash(123_456) == h.hash(987_654_321) {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        let expect = 1.0 / buckets as f64;
+        assert!(
+            (rate - expect).abs() < 0.6 * expect,
+            "rate = {rate}, expect = {expect}"
+        );
+    }
+
+    #[test]
+    fn fourwise_sign_is_balanced() {
+        let mut rng = Xoshiro256pp::new(4);
+        let g = FourwiseHash::new(&mut rng);
+        let pos = (0..100_000u64).filter(|&x| g.sign(x) == 1).count();
+        assert!((45_000..55_000).contains(&pos), "pos = {pos}");
+    }
+
+    #[test]
+    fn fourwise_signs_pairwise_uncorrelated() {
+        // E[g(x)g(y)] ≈ 0 for x ≠ y; average over many pairs.
+        let mut rng = Xoshiro256pp::new(5);
+        let g = FourwiseHash::new(&mut rng);
+        let mut acc: i64 = 0;
+        let pairs = 100_000u64;
+        for i in 0..pairs {
+            acc += g.sign(2 * i) * g.sign(2 * i + 1);
+        }
+        let corr = acc as f64 / pairs as f64;
+        assert!(corr.abs() < 0.02, "corr = {corr}");
+    }
+
+    #[test]
+    fn fourwise_range() {
+        let mut rng = Xoshiro256pp::new(6);
+        let g = FourwiseHash::new(&mut rng);
+        for x in 0..1000u64 {
+            assert!(g.hash(x) < MERSENNE_P);
+            assert!(g.sign(x) == 1 || g.sign(x) == -1);
+        }
+    }
+
+    #[test]
+    fn distinct_draws_differ() {
+        let mut rng = Xoshiro256pp::new(7);
+        let h1 = PairwiseHash::new(&mut rng, 1024);
+        let h2 = PairwiseHash::new(&mut rng, 1024);
+        let differs = (0..1000u64).any(|x| h1.hash(x) != h2.hash(x));
+        assert!(differs);
+    }
+}

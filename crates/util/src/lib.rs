@@ -1,0 +1,33 @@
+//! Substrate utilities for the `streaming-quantiles` workspace.
+//!
+//! This crate provides everything the quantile algorithms of
+//! *“Quantiles over Data Streams: An Experimental Study”* depend on but
+//! which is not itself a quantile summary:
+//!
+//! * [`rng`] — small, fast, seedable PRNGs ([`rng::SplitMix64`],
+//!   [`rng::Xoshiro256pp`]) so that every randomized algorithm and every
+//!   experiment in the study is exactly reproducible from a seed.
+//! * [`hash`] — the pairwise- and 4-wise-independent hash families the
+//!   turnstile sketches are built on (§3.1 of the paper).
+//! * [`ordkey`] — the order-preserving mapping from IEEE-754 floats to
+//!   integers in a fixed universe (footnote 1 of the paper).
+//! * [`dyadic`] — dyadic-interval arithmetic over a power-of-two
+//!   universe: the decomposition of a prefix `[0, x)` into at most
+//!   `log u` dyadic intervals that every turnstile algorithm uses (§3).
+//! * [`exact`] — exact (sort-based) rank and quantile computation, with
+//!   the duplicate-aware *rank interval* rule the paper's error metric
+//!   uses (§4.1.2).
+//! * [`space`] — the paper's space-accounting convention (4 bytes per
+//!   stored element / counter / pointer; §4.1.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dyadic;
+pub mod exact;
+pub mod hash;
+pub mod ordkey;
+pub mod rng;
+pub mod space;
+
+pub use space::SpaceUsage;

@@ -1,0 +1,104 @@
+//! The paper's space-accounting convention.
+//!
+//! §4.1.2: *"We report space usage in bytes, where every element from
+//! the stream, counter, or pointer consumes 4 bytes. When an algorithm
+//! uses auxiliary data structures such as a binary tree or a hash
+//! table, the space needed by these internally is carefully accounted
+//! for."*
+//!
+//! Each summary in this workspace implements [`SpaceUsage`] by counting
+//! its logical words (elements, counters, pointers) under that 4-byte
+//! convention — *not* via `size_of`, so the reported numbers are
+//! comparable with the paper's figures regardless of Rust-side layout
+//! or `u64` element widths. For algorithms whose footprint fluctuates
+//! (GK variants grow and shrink), the harness tracks the maximum over
+//! time with [`SpaceTracker`].
+
+/// Bytes charged per logical word (stream element, counter, pointer).
+pub const WORD_BYTES: usize = 4;
+
+/// A type that can report its size under the paper's accounting rules.
+pub trait SpaceUsage {
+    /// Logical size in bytes: 4 bytes per stored element, counter, or
+    /// pointer, auxiliary structures included.
+    fn space_bytes(&self) -> usize;
+}
+
+/// Convenience: `words * 4` with overflow checked in debug builds.
+#[inline]
+pub fn words(n: usize) -> usize {
+    n * WORD_BYTES
+}
+
+/// Tracks the maximum of a fluctuating space measurement over time
+/// (§4.1.2: *"For algorithms whose space usage changes over time, we
+/// measured the maximum space usage"*).
+#[derive(Debug, Clone, Default)]
+pub struct SpaceTracker {
+    max_bytes: usize,
+    samples: usize,
+}
+
+impl SpaceTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&mut self, bytes: usize) {
+        self.samples += 1;
+        if bytes > self.max_bytes {
+            self.max_bytes = bytes;
+        }
+    }
+
+    /// Records the current size of a summary.
+    #[inline]
+    pub fn observe_summary<S: SpaceUsage + ?Sized>(&mut self, s: &S) {
+        self.observe(s.space_bytes());
+    }
+
+    /// Maximum observed size in bytes (0 if nothing observed).
+    #[inline]
+    pub fn max_bytes(&self) -> usize {
+        self.max_bytes
+    }
+
+    /// Number of observations taken.
+    #[inline]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(usize);
+    impl SpaceUsage for Fixed {
+        fn space_bytes(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn words_convention() {
+        assert_eq!(words(0), 0);
+        assert_eq!(words(10), 40);
+    }
+
+    #[test]
+    fn tracker_keeps_max() {
+        let mut t = SpaceTracker::new();
+        assert_eq!(t.max_bytes(), 0);
+        t.observe(100);
+        t.observe(50);
+        t.observe_summary(&Fixed(300));
+        t.observe(200);
+        assert_eq!(t.max_bytes(), 300);
+        assert_eq!(t.samples(), 4);
+    }
+}

@@ -1,0 +1,86 @@
+//! # streaming-quantiles
+//!
+//! A complete Rust implementation of the algorithm suite from
+//! *“Quantiles over Data Streams: An Experimental Study”* (Wang, Luo,
+//! Yi, Cormode; SIGMOD 2013 / The VLDB Journal 2016): every
+//! cash-register and turnstile quantile summary the study evaluates,
+//! the substrates they depend on, the workload generators, and the
+//! measurement harness that regenerates every table and figure of the
+//! evaluation section.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use streaming_quantiles::prelude::*;
+//!
+//! // Deterministic ε-approximate quantiles over a stream:
+//! let mut summary = GkArray::new(0.01);
+//! for x in (0..100_000u64).rev() {
+//!     summary.insert(x);
+//! }
+//! let median = summary.quantile(0.5).unwrap();
+//! assert!((49_000..=51_000).contains(&median));
+//!
+//! // Turnstile (insert + delete) quantiles over a fixed universe:
+//! let mut sketch = new_dcs(0.01, 20, 42);
+//! for x in 0..100_000u64 {
+//!     sketch.insert(x % (1 << 20));
+//! }
+//! for x in 0..50_000u64 {
+//!     sketch.delete(x % (1 << 20));
+//! }
+//! let q = sketch.quantile(0.5).unwrap();
+//! assert!(sketch.live() == 50_000);
+//! # let _ = q;
+//! ```
+//!
+//! ## Picking an algorithm (the study's conclusions)
+//!
+//! * Insert-only stream, hard error guarantee → [`GkArray`]
+//!   (deterministic, fast, small).
+//! * Insert-only stream, hard **space** budget → [`RandomSketch`]
+//!   (fixed preallocated footprint, randomized guarantee).
+//! * Summaries that must be **merged** arbitrarily → [`QDigest`]
+//!   (the only deterministic mergeable option).
+//! * Inserts **and deletes** → [`new_dcs`] (Dyadic Count-Sketch), and
+//!   run [`PostProcessed`] over it before querying for a further
+//!   60–80% error reduction.
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`sqs_util`] | PRNGs, k-wise hash families, order-preserving keys, dyadic intervals, exact baselines, space accounting |
+//! | [`sqs_core`] | GK (theory/adaptive/array), Random, MRL99, MRL98, q-digest, reservoir baseline |
+//! | [`sqs_sketch`] | Count-Min, Count-Sketch, random subset sum, exact counter levels |
+//! | [`sqs_turnstile`] | the dyadic structure, DCM, DCS, RSS, OLS post-processing |
+//! | [`sqs_data`] | uniform/normal generators, MPCAT-OBS & LIDAR surrogates, turnstile workloads |
+//! | [`sqs_harness`] | the §4 measurement harness and the `sqs-exp` experiment runner |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sqs_core;
+pub use sqs_data;
+pub use sqs_harness;
+pub use sqs_sketch;
+pub use sqs_turnstile;
+pub use sqs_util;
+
+/// The common imports for working with this library.
+pub mod prelude {
+    pub use sqs_core::biased::Ckms;
+    pub use sqs_core::gk::{GkAdaptive, GkArray, GkTheory};
+    pub use sqs_core::mrl98::Mrl98;
+    pub use sqs_core::mrl99::Mrl99;
+    pub use sqs_core::qdigest::QDigest;
+    pub use sqs_core::random::RandomSketch;
+    pub use sqs_core::sampled::ReservoirQuantiles;
+    pub use sqs_core::sliding::SlidingWindowQuantiles;
+    pub use sqs_core::QuantileSummary;
+    pub use sqs_turnstile::{new_dcm, new_dcs, new_rss, Dcm, Dcs, PostProcessed, Rss, TurnstileQuantiles};
+    pub use sqs_util::exact::ExactQuantiles;
+    pub use sqs_util::SpaceUsage;
+}
+
+pub use prelude::*;

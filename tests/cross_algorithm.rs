@@ -1,0 +1,148 @@
+//! Cross-crate integration: every cash-register summary against the
+//! exact oracle on every workload family the study uses (§4.1.1),
+//! checking the guarantees the paper's Figure 5a/5b verify — the
+//! deterministic algorithms never exceed ε, the randomized ones stay
+//! well inside a small multiple of it.
+
+use streaming_quantiles::prelude::*;
+use streaming_quantiles::sqs_data::{Lidar, Mpcat, Normal, Order, Uniform};
+use streaming_quantiles::sqs_util::exact::{observed_errors, probe_phis};
+
+const N: usize = 60_000;
+const EPS: f64 = 0.02;
+
+fn workloads() -> Vec<(&'static str, Vec<u64>, u32)> {
+    let mut sorted_uniform: Vec<u64> = Uniform::new(24, 11).take(N).collect();
+    Order::Sorted.apply(&mut sorted_uniform, 0);
+    vec![
+        ("uniform", Uniform::new(24, 1).take(N).collect(), 24),
+        ("uniform-sorted", sorted_uniform, 24),
+        ("normal-skewed", Normal::new(24, 0.05, 2).take(N).collect(), 24),
+        ("mpcat", Mpcat::new(3).take(N).collect(), 24),
+        ("lidar", Lidar::new(4).take(N).collect(), 14),
+    ]
+}
+
+fn max_err<S: QuantileSummary<u64> + ?Sized>(s: &mut S, data: &[u64], eps: f64) -> f64 {
+    for &x in data {
+        s.insert(x);
+    }
+    let oracle = ExactQuantiles::new(data.to_vec());
+    let answers: Vec<(f64, u64)> = probe_phis(eps)
+        .into_iter()
+        .map(|p| (p, s.quantile(p).expect("nonempty stream")))
+        .collect();
+    observed_errors(&oracle, &answers).0
+}
+
+#[test]
+fn deterministic_summaries_never_exceed_eps() {
+    for (name, data, log_u) in workloads() {
+        let checks: Vec<(&str, f64)> = vec![
+            ("GKTheory", max_err(&mut GkTheory::new(EPS), &data, EPS)),
+            ("GKAdaptive", max_err(&mut GkAdaptive::new(EPS), &data, EPS)),
+            ("GKArray", max_err(&mut GkArray::new(EPS), &data, EPS)),
+            ("FastQDigest", max_err(&mut QDigest::new(EPS, log_u), &data, EPS)),
+            ("MRL98", max_err(&mut Mrl98::new(EPS, data.len() as u64), &data, EPS)),
+        ];
+        for (algo, err) in checks {
+            assert!(err <= EPS, "{algo} on {name}: max err {err} > {EPS}");
+        }
+    }
+}
+
+#[test]
+fn randomized_summaries_stay_near_eps() {
+    // Constant-probability guarantees: average the observed max error
+    // over seeds, demand it below ε and every run below 2.5ε.
+    for (name, data, _) in workloads() {
+        for algo in ["Random", "MRL99"] {
+            let errs: Vec<f64> = (0..5)
+                .map(|seed| match algo {
+                    "Random" => max_err(&mut RandomSketch::new(EPS, seed), &data, EPS),
+                    _ => max_err(&mut Mrl99::new(EPS, seed), &data, EPS),
+                })
+                .collect();
+            let avg = errs.iter().sum::<f64>() / errs.len() as f64;
+            assert!(avg <= EPS, "{algo} on {name}: avg-of-max {avg} > {EPS} ({errs:?})");
+            assert!(
+                errs.iter().all(|&e| e <= 2.5 * EPS),
+                "{algo} on {name}: outlier run {errs:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn deterministic_average_error_is_well_below_eps() {
+    // §4.2.1: "they usually obtain average error between ¼ε and ⅔ε" —
+    // we check the ≤ ε side strictly and the typical range loosely.
+    let data: Vec<u64> = Mpcat::new(5).take(N).collect();
+    let oracle = ExactQuantiles::new(data.clone());
+    let mut s = GkArray::new(EPS);
+    for &x in &data {
+        s.insert(x);
+    }
+    let answers: Vec<(f64, u64)> = probe_phis(EPS)
+        .into_iter()
+        .map(|p| (p, s.quantile(p).unwrap()))
+        .collect();
+    let (_, avg) = observed_errors(&oracle, &answers);
+    assert!(avg < 0.75 * EPS, "avg err {avg} not well below eps");
+}
+
+#[test]
+fn rank_estimates_track_true_ranks() {
+    let data: Vec<u64> = Uniform::new(20, 9).take(N).collect();
+    let oracle = ExactQuantiles::new(data.clone());
+    let mut algos: Vec<Box<dyn QuantileSummary<u64>>> = vec![
+        Box::new(GkArray::new(EPS)),
+        Box::new(GkAdaptive::new(EPS)),
+        Box::new(RandomSketch::new(EPS, 1)),
+        Box::new(QDigest::new(EPS, 20)),
+    ];
+    for s in &mut algos {
+        for &x in &data {
+            s.insert(x);
+        }
+        for probe in [1u64 << 18, 1 << 19, 3 << 18] {
+            let est = s.rank_estimate(probe) as f64;
+            let truth = oracle.rank(probe) as f64;
+            assert!(
+                (est - truth).abs() <= 2.0 * EPS * N as f64,
+                "{}: rank({probe}) = {est} vs {truth}",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn summaries_are_always_ready() {
+    // The paper's streaming requirement (§1): answers must be valid at
+    // *any* prefix, not just at the end.
+    let data: Vec<u64> = Normal::new(20, 0.15, 6).take(N).collect();
+    let mut gk = GkArray::new(EPS);
+    let mut rnd = RandomSketch::new(EPS, 2);
+    let mut prefix = Vec::new();
+    for (i, &x) in data.iter().enumerate() {
+        gk.insert(x);
+        rnd.insert(x);
+        prefix.push(x);
+        if (i + 1) % 10_000 == 0 {
+            let oracle = ExactQuantiles::new(prefix.clone());
+            let q = gk.quantile(0.5).unwrap();
+            assert!(
+                oracle.quantile_error(0.5, q) <= EPS,
+                "GKArray mid-stream at n={}",
+                i + 1
+            );
+            let q = rnd.quantile(0.5).unwrap();
+            assert!(
+                oracle.quantile_error(0.5, q) <= 3.0 * EPS,
+                "Random mid-stream at n={}",
+                i + 1
+            );
+        }
+    }
+}
