@@ -24,12 +24,16 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_millis(1500));
     for eta in [0.5, 0.1, 0.02] {
-        group.bench_with_input(BenchmarkId::new("pipeline", format!("eta={eta}")), &eta, |b, &eta| {
-            b.iter(|| {
-                let post = PostProcessed::new(&dcs, EPS, eta);
-                post.tree_size()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pipeline", format!("eta={eta}")),
+            &eta,
+            |b, &eta| {
+                b.iter(|| {
+                    let post = PostProcessed::new(&dcs, EPS, eta);
+                    post.tree_size()
+                });
+            },
+        );
     }
     // Reference point: what one full stream pass costs.
     group.bench_function("stream_pass_reference", |b| {

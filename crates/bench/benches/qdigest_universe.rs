@@ -20,15 +20,19 @@ fn bench(c: &mut Criterion) {
     group.throughput(Throughput::Elements(N as u64));
     for log_u in [16u32, 24, 32] {
         let data: Vec<u64> = Normal::new(log_u, 0.15, 31).take(N).collect();
-        group.bench_with_input(BenchmarkId::new("update", format!("logu={log_u}")), &data, |b, data| {
-            b.iter(|| {
-                let mut s = QDigest::new(EPS, log_u);
-                for &x in data {
-                    s.insert(x);
-                }
-                s.n()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("update", format!("logu={log_u}")),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let mut s = QDigest::new(EPS, log_u);
+                    for &x in data {
+                        s.insert(x);
+                    }
+                    s.n()
+                });
+            },
+        );
     }
     // Merge throughput: fold 8 prebuilt digests.
     let shards: Vec<QDigest> = (0..8)

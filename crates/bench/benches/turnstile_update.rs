@@ -25,36 +25,48 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(1500));
     group.throughput(Throughput::Elements(N as u64));
     for eps in [1e-2, 1e-3] {
-        group.bench_with_input(BenchmarkId::new("DCM/insert", format!("eps={eps}")), &eps, |b, &e| {
-            b.iter(|| {
-                let mut s = new_dcm(e, LOG_U, 7);
-                for &x in &inserts {
-                    s.insert(x);
-                }
-                s.live()
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("DCS/insert", format!("eps={eps}")), &eps, |b, &e| {
-            b.iter(|| {
-                let mut s = new_dcs(e, LOG_U, 7);
-                for &x in &inserts {
-                    s.insert(x);
-                }
-                s.live()
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("DCS/churn50", format!("eps={eps}")), &eps, |b, &e| {
-            b.iter(|| {
-                let mut s = new_dcs(e, LOG_U, 7);
-                for op in &churn {
-                    match *op {
-                        Op::Insert(x) => s.insert(x),
-                        Op::Delete(x) => s.delete(x),
+        group.bench_with_input(
+            BenchmarkId::new("DCM/insert", format!("eps={eps}")),
+            &eps,
+            |b, &e| {
+                b.iter(|| {
+                    let mut s = new_dcm(e, LOG_U, 7);
+                    for &x in &inserts {
+                        s.insert(x);
                     }
-                }
-                s.live()
-            });
-        });
+                    s.live()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("DCS/insert", format!("eps={eps}")),
+            &eps,
+            |b, &e| {
+                b.iter(|| {
+                    let mut s = new_dcs(e, LOG_U, 7);
+                    for &x in &inserts {
+                        s.insert(x);
+                    }
+                    s.live()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("DCS/churn50", format!("eps={eps}")),
+            &eps,
+            |b, &e| {
+                b.iter(|| {
+                    let mut s = new_dcs(e, LOG_U, 7);
+                    for op in &churn {
+                        match *op {
+                            Op::Insert(x) => s.insert(x),
+                            Op::Delete(x) => s.delete(x),
+                        }
+                    }
+                    s.live()
+                });
+            },
+        );
     }
     group.finish();
 }

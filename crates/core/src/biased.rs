@@ -19,6 +19,11 @@
 //! the successor, periodically sweep and merge every tuple whose
 //! combined gap fits `f` at its rank.
 
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
 use crate::gk::Tuple;
 use crate::QuantileSummary;
 use sqs_util::space::{words, SpaceUsage};
@@ -49,6 +54,31 @@ impl Invariant {
                 .fold(f64::INFINITY, f64::min),
         };
         f.max(2.0)
+    }
+
+    /// Upper bound on `f` anywhere in the rank interval `[a, b]`.
+    /// Every component is monotone on each side of its kink, so a
+    /// component's max over an interval is at an endpoint; the min over
+    /// components is bounded by the max endpoint value of any of them.
+    fn budget_upper(&self, a: f64, b: f64, n: f64) -> f64 {
+        let hi = match self {
+            Invariant::LowBiased { eps } => 2.0 * eps * b,
+            Invariant::HighBiased { eps } => 2.0 * eps * (n - a),
+            Invariant::Targeted { targets } => targets
+                .iter()
+                .map(|&(phi, eps)| {
+                    let at = |r: f64| {
+                        if r >= phi * n {
+                            2.0 * eps * r / phi
+                        } else {
+                            2.0 * eps * (n - r) / (1.0 - phi)
+                        }
+                    };
+                    at(a).max(at(b))
+                })
+                .fold(0.0, f64::max),
+        };
+        hi.max(2.0)
     }
 }
 
@@ -81,7 +111,13 @@ pub struct Ckms<T> {
 
 impl<T: Ord + Copy> Ckms<T> {
     fn with_invariant(invariant: Invariant) -> Self {
-        Self { invariant, n: 0, tuples: Vec::new(), buffer: Vec::with_capacity(128), batch: 128 }
+        Self {
+            invariant,
+            n: 0,
+            tuples: Vec::new(),
+            buffer: Vec::with_capacity(128),
+            batch: 128,
+        }
     }
 
     /// Relative-error summary for the **lower** tail: the φ-quantile is
@@ -117,7 +153,9 @@ impl<T: Ord + Copy> Ckms<T> {
             assert!(phi > 0.0 && phi < 1.0, "target phi {phi} out of (0,1)");
             assert!(eps > 0.0 && eps < 1.0, "target eps {eps} out of (0,1)");
         }
-        Self::with_invariant(Invariant::Targeted { targets: targets.to_vec() })
+        Self::with_invariant(Invariant::Targeted {
+            targets: targets.to_vec(),
+        })
     }
 
     /// Number of tuples currently held.
@@ -177,12 +215,21 @@ impl<T: Ord + Copy> Ckms<T> {
             ranks.push(acc);
         }
         let mut kept: Vec<Tuple<T>> = Vec::with_capacity(self.tuples.len());
-        kept.push(*self.tuples.last().expect("len >= 3"));
+        kept.push(
+            *self
+                .tuples
+                .last()
+                .expect("CKMS invariant: compress runs only with >= 3 tuples"),
+        );
         for i in (1..self.tuples.len() - 1).rev() {
             let t = self.tuples[i];
-            let succ = *kept.last().expect("seeded with last tuple");
+            let succ = *kept
+                .last()
+                .expect("CKMS invariant: kept list seeded with the last tuple");
             if (t.g + succ.g + succ.delta) as f64 <= self.invariant.budget(ranks[i] as f64, n) {
-                kept.last_mut().expect("nonempty").g += t.g;
+                kept.last_mut()
+                    .expect("CKMS invariant: kept list stays nonempty during compress")
+                    .g += t.g;
             } else {
                 kept.push(t);
             }
@@ -190,6 +237,72 @@ impl<T: Ord + Copy> Ckms<T> {
         kept.push(self.tuples[0]);
         kept.reverse();
         self.tuples = kept;
+    }
+}
+
+impl<T: Ord + Copy> sqs_util::audit::CheckInvariants for Ckms<T> {
+    fn check_invariants(&self) -> Result<(), sqs_util::audit::InvariantViolation> {
+        use sqs_util::audit::ensure;
+        const ALG: &str = "CKMS";
+        ensure(self.batch >= 1, ALG, "ckms.batch_positive", || {
+            "compress batch size is zero".to_string()
+        })?;
+        ensure(
+            self.buffer.len() <= self.batch,
+            ALG,
+            "ckms.buffer_bound",
+            || {
+                format!(
+                    "buffer holds {} elements, batch limit {}",
+                    self.buffer.len(),
+                    self.batch
+                )
+            },
+        )?;
+        // Σg accounts for folded elements only; the rest sit in `buffer`.
+        let folded = self.n - self.buffer.len() as u64;
+        let n = self.n as f64;
+        let mut rmin = 0u64;
+        for (i, t) in self.tuples.iter().enumerate() {
+            ensure(t.g >= 1, ALG, "ckms.g_positive", || {
+                format!("tuple {i} has g = 0")
+            })?;
+            if i > 0 {
+                ensure(self.tuples[i - 1].v <= t.v, ALG, "ckms.sorted", || {
+                    format!("tuple {i} is smaller than its predecessor")
+                })?;
+            }
+            let before = rmin;
+            rmin += t.g;
+            if i > 0 && i + 1 < self.tuples.len() {
+                // The gap budget was granted at some rank in
+                // [rmin_before, rmin] and only grows with n and rank,
+                // so the endpoint upper bound (+1 merge slack) holds.
+                let cap = self.invariant.budget_upper(before as f64, rmin as f64, n) + 1.0;
+                ensure(
+                    (t.g + t.delta) as f64 <= cap + 1e-6,
+                    ALG,
+                    "ckms.gap_budget",
+                    || {
+                        format!(
+                            "tuple {i}: g+Δ = {} exceeds rank-budget bound {cap:.1}",
+                            t.g + t.delta
+                        )
+                    },
+                )?;
+            }
+        }
+        ensure(
+            self.tuples.is_empty() || rmin == folded,
+            ALG,
+            "ckms.g_sum",
+            || format!("Σg = {rmin} ≠ folded element count {folded}"),
+        )?;
+        let ends_pinned = self.tuples.first().is_none_or(|t| t.delta == 0)
+            && self.tuples.last().is_none_or(|t| t.delta == 0);
+        ensure(ends_pinned, ALG, "ckms.ends_pinned", || {
+            "extreme tuples must carry Δ = 0".to_string()
+        })
     }
 }
 
@@ -201,6 +314,10 @@ impl<T: Ord + Copy> QuantileSummary<T> for Ckms<T> {
             self.flush();
             // Keep the sweep amortized against the summary size.
             self.batch = self.tuples.len().max(128);
+        }
+        #[cfg(any(test, feature = "audit"))]
+        if sqs_util::audit::audit_point(self.n) {
+            sqs_util::audit::CheckInvariants::assert_invariants(self);
         }
     }
 
@@ -363,5 +480,39 @@ mod tests {
             s.insert(x);
         }
         assert!(s.tuple_count() < 30_000, "tuples = {}", s.tuple_count());
+    }
+}
+
+#[cfg(test)]
+mod corruption {
+    use super::*;
+    use sqs_util::audit::CheckInvariants;
+
+    fn filled() -> Ckms<u64> {
+        let mut s = Ckms::high_biased(0.05);
+        for x in 0..20_000u64 {
+            s.insert(x % 4_999);
+        }
+        s.flush();
+        s
+    }
+
+    #[test]
+    fn auditor_catches_mass_drift() {
+        let mut s = filled();
+        s.tuples[0].g += 5;
+        let err = s.check_invariants().unwrap_err();
+        assert_eq!(err.algorithm, "CKMS");
+        assert_eq!(err.invariant, "ckms.g_sum");
+    }
+
+    #[test]
+    fn auditor_catches_unpinned_extremes() {
+        let mut s = filled();
+        s.tuples.last_mut().expect("nonempty").delta = 3;
+        assert_eq!(
+            s.check_invariants().unwrap_err().invariant,
+            "ckms.ends_pinned"
+        );
     }
 }

@@ -18,6 +18,11 @@
 //! plus the weighted rank/quantile queries over the union of all live
 //! buffers.
 
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
 /// Merges two sorted equal-weight buffers, keeping odd (`take_odd`)
 /// or even positions of the merged sequence (0-indexed).
 ///
@@ -158,15 +163,15 @@ pub fn weighted_quantile<T: Ord + Copy>(bufs: &[(&[T], u64)], phi: f64) -> Optio
 /// Answers an ascending φ-grid in a single pass over the sorted
 /// weighted union (the per-query [`weighted_quantile`] sorts the union
 /// each time; grids of `1/ε − 1` probes need this batched form).
-pub fn weighted_quantile_grid<T: Ord + Copy>(
-    bufs: &[(&[T], u64)],
-    phis: &[f64],
-) -> Vec<(f64, T)> {
+pub fn weighted_quantile_grid<T: Ord + Copy>(bufs: &[(&[T], u64)], phis: &[f64]) -> Vec<(f64, T)> {
     let total_w: u64 = bufs.iter().map(|(d, w)| d.len() as u64 * w).sum();
     if total_w == 0 || phis.is_empty() {
         return Vec::new();
     }
-    debug_assert!(phis.windows(2).all(|w| w[0] <= w[1]), "grid must be ascending");
+    debug_assert!(
+        phis.windows(2).all(|w| w[0] <= w[1]),
+        "grid must be ascending"
+    );
     let mut items: Vec<(T, u64)> = Vec::with_capacity(bufs.iter().map(|(d, _)| d.len()).sum());
     for (data, w) in bufs {
         items.extend(data.iter().map(|&v| (v, *w)));

@@ -12,6 +12,11 @@
 //! chasing structure whose cache behaviour §4.2.3 of the paper
 //! dissects (the "big speed loss when space exceeds the CPU cache").
 
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
@@ -97,7 +102,11 @@ impl<T: Ord + Copy> GkAdaptive<T> {
         let mut cur = self.head;
         while cur != NIL {
             let s = &self.arena[cur as usize];
-            out.push(Tuple { v: s.v, g: s.g, delta: s.delta });
+            out.push(Tuple {
+                v: s.v,
+                g: s.g,
+                delta: s.delta,
+            });
             cur = s.next;
         }
         out
@@ -229,6 +238,79 @@ impl<T: Ord + Copy> GkAdaptive<T> {
     }
 }
 
+impl<T: Ord + Copy> sqs_util::audit::CheckInvariants for GkAdaptive<T> {
+    /// GKAdaptive invariants (§2.1.1): the GK tuple invariants over the
+    /// materialized list, plus the arena bookkeeping — doubly-linked
+    /// list consistency (prev/next symmetry, head/tail sentinels, live
+    /// count), the ordered index mirroring the list one-to-one, and the
+    /// lazy heap staying within its rebuild bound.
+    fn check_invariants(&self) -> Result<(), sqs_util::audit::InvariantViolation> {
+        use sqs_util::audit::ensure;
+        const ALG: &str = "GKAdaptive";
+        ensure(
+            self.eps > 0.0 && self.eps < 1.0,
+            ALG,
+            "gk.eps_range",
+            || format!("eps = {} outside (0,1)", self.eps),
+        )?;
+        // Walk the list, checking link symmetry and liveness.
+        let mut count = 0usize;
+        let mut prev = NIL;
+        let mut cur = self.head;
+        while cur != NIL {
+            ensure(count <= self.len, ALG, "gkadaptive.list_cycle", || {
+                format!("list walk exceeded len {} — cycle suspected", self.len)
+            })?;
+            let s = &self.arena[cur as usize];
+            ensure(s.alive, ALG, "gkadaptive.dead_slot_linked", || {
+                format!("slot {cur} is linked but not alive")
+            })?;
+            ensure(s.prev == prev, ALG, "gkadaptive.link_symmetry", || {
+                format!("slot {cur}: prev = {} but walked from {prev}", s.prev)
+            })?;
+            ensure(
+                self.index.get(&(s.v, s.seq)) == Some(&cur),
+                ALG,
+                "gkadaptive.index_mirror",
+                || format!("slot {cur} missing from (or misfiled in) the ordered index"),
+            )?;
+            count += 1;
+            prev = cur;
+            cur = s.next;
+        }
+        ensure(prev == self.tail, ALG, "gkadaptive.tail_sentinel", || {
+            format!("list ends at slot {prev}, but tail = {}", self.tail)
+        })?;
+        ensure(count == self.len, ALG, "gkadaptive.len_count", || {
+            format!("walked {count} live slots, len says {}", self.len)
+        })?;
+        ensure(
+            count == self.index.len(),
+            ALG,
+            "gkadaptive.index_size",
+            || {
+                format!(
+                    "index holds {} entries for {count} live slots",
+                    self.index.len()
+                )
+            },
+        )?;
+        ensure(
+            self.heap.len() <= 4 * self.len.max(16) + self.len + 1,
+            ALG,
+            "gkadaptive.heap_bound",
+            || {
+                format!(
+                    "lazy heap holds {} entries for {} tuples — rebuild bound breached",
+                    self.heap.len(),
+                    self.len
+                )
+            },
+        )?;
+        super::audit_tuples(&self.tuples(), self.eps, self.n, ALG)
+    }
+}
+
 impl<T: Ord + Copy> QuantileSummary<T> for GkAdaptive<T> {
     fn insert(&mut self, x: T) {
         self.n += 1;
@@ -303,6 +385,10 @@ impl<T: Ord + Copy> QuantileSummary<T> for GkAdaptive<T> {
             self.try_remove_one(cap);
         }
         self.maybe_shrink_heap();
+        #[cfg(any(test, feature = "audit"))]
+        if sqs_util::audit::audit_point(self.n) {
+            sqs_util::audit::CheckInvariants::assert_invariants(self);
+        }
     }
 
     fn n(&self) -> u64 {
@@ -318,7 +404,12 @@ impl<T: Ord + Copy> QuantileSummary<T> for GkAdaptive<T> {
     }
 
     fn quantile_grid(&mut self, eps: f64) -> Vec<(f64, T)> {
-        query_quantile_grid(&self.tuples(), self.n, self.eps, &sqs_util::exact::probe_phis(eps))
+        query_quantile_grid(
+            &self.tuples(),
+            self.n,
+            self.eps,
+            &sqs_util::exact::probe_phis(eps),
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -424,5 +515,41 @@ mod tests {
         }
         assert_eq!(s.quantile(0.5), Some(5));
         assert!(s.tuple_count() < 200, "tuples = {}", s.tuple_count());
+    }
+}
+
+#[cfg(test)]
+mod corruption {
+    use super::*;
+    use sqs_util::audit::CheckInvariants;
+
+    fn filled() -> GkAdaptive<u64> {
+        let mut s = GkAdaptive::new(0.02);
+        for x in 0..10_000u64 {
+            s.insert(x % 1_009);
+        }
+        s
+    }
+
+    #[test]
+    fn auditor_catches_len_drift() {
+        let mut s = filled();
+        s.len += 1;
+        let err = s.check_invariants().unwrap_err();
+        assert_eq!(err.algorithm, "GKAdaptive");
+        assert_eq!(err.invariant, "gkadaptive.len_count");
+    }
+
+    #[test]
+    fn auditor_catches_index_desync() {
+        let mut s = filled();
+        let key = *s.index.keys().next().expect("nonempty index");
+        s.index.remove(&key);
+        let err = s.check_invariants().unwrap_err();
+        assert!(
+            err.invariant == "gkadaptive.index_mirror" || err.invariant == "gkadaptive.index_size",
+            "unexpected invariant {}",
+            err.invariant
+        );
     }
 }

@@ -11,6 +11,11 @@
 //! pruning rule as [`GkAdaptive`](super::GkAdaptive), much faster in
 //! practice (Figures 5e/5f).
 
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
 use super::{query_quantile, query_quantile_grid, query_rank, threshold, Tuple};
 use crate::QuantileSummary;
 use sqs_util::space::{words, SpaceUsage};
@@ -151,12 +156,60 @@ impl<T: Ord + Copy> GkArray<T> {
     }
 }
 
+impl<T: Ord + Copy> sqs_util::audit::CheckInvariants for GkArray<T> {
+    /// GKArray invariants (§2.1.2): sorted tuple array with
+    /// `g+Δ ≤ ⌊2εn⌋` and `Σg` equal to the folded element count, plus
+    /// the buffer/segment bookkeeping — the buffer never exceeds its
+    /// Θ(|L|) capacity and the capacity tracks the tuple count.
+    fn check_invariants(&self) -> Result<(), sqs_util::audit::InvariantViolation> {
+        use sqs_util::audit::ensure;
+        const ALG: &str = "GKArray";
+        ensure(
+            self.eps > 0.0 && self.eps < 1.0,
+            ALG,
+            "gk.eps_range",
+            || format!("eps = {} outside (0,1)", self.eps),
+        )?;
+        ensure(
+            self.buffer.len() <= self.buffer_cap,
+            ALG,
+            "gkarray.buffer_bound",
+            || {
+                format!(
+                    "{} buffered > capacity {}",
+                    self.buffer.len(),
+                    self.buffer_cap
+                )
+            },
+        )?;
+        ensure(
+            self.buffer_cap
+                >= ((self.tuples.len() as f64 * self.buffer_factor) as usize).max(MIN_BUFFER),
+            ALG,
+            "gkarray.buffer_tracks_tuples",
+            || {
+                format!(
+                    "buffer capacity {} below Θ(|L|) sizing for {} tuples",
+                    self.buffer_cap,
+                    self.tuples.len()
+                )
+            },
+        )?;
+        let folded = self.n - self.buffer.len() as u64;
+        super::audit_tuples(&self.tuples, self.eps, folded, ALG)
+    }
+}
+
 impl<T: Ord + Copy> QuantileSummary<T> for GkArray<T> {
     fn insert(&mut self, x: T) {
         self.n += 1;
         self.buffer.push(x);
         if self.buffer.len() >= self.buffer_cap {
             self.flush();
+        }
+        #[cfg(any(test, feature = "audit"))]
+        if sqs_util::audit::audit_point(self.n) {
+            sqs_util::audit::CheckInvariants::assert_invariants(self);
         }
     }
 
@@ -176,7 +229,12 @@ impl<T: Ord + Copy> QuantileSummary<T> for GkArray<T> {
 
     fn quantile_grid(&mut self, eps: f64) -> Vec<(f64, T)> {
         self.flush();
-        query_quantile_grid(&self.tuples, self.n, self.eps, &sqs_util::exact::probe_phis(eps))
+        query_quantile_grid(
+            &self.tuples,
+            self.n,
+            self.eps,
+            &sqs_util::exact::probe_phis(eps),
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -313,5 +371,38 @@ mod tests {
         }
         s.flush();
         assert_eq!(s.buffer_cap, s.tuple_count().max(MIN_BUFFER));
+    }
+}
+
+#[cfg(test)]
+mod corruption {
+    use super::*;
+    use sqs_util::audit::CheckInvariants;
+
+    #[test]
+    fn auditor_catches_unsorted_tuples() {
+        let mut s = GkArray::new(0.02);
+        for x in 0..10_000u64 {
+            s.insert(x % 499);
+        }
+        let last = s.tuples.len() - 1;
+        s.tuples.swap(0, last);
+        let err = s.check_invariants().unwrap_err();
+        assert_eq!(err.algorithm, "GKArray");
+        assert_eq!(err.invariant, "gk.sorted");
+    }
+
+    #[test]
+    fn auditor_catches_buffer_overrun() {
+        let mut s = GkArray::new(0.02);
+        for x in 0..5_000u64 {
+            s.insert(x);
+        }
+        s.buffer_cap = 0;
+        s.buffer.push(1);
+        assert_eq!(
+            s.check_invariants().unwrap_err().invariant,
+            "gkarray.buffer_bound"
+        );
     }
 }

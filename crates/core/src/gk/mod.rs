@@ -21,6 +21,11 @@
 //!   pass (§2.1.2); algorithmically identical pruning rule, far more
 //!   cache-friendly.
 
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
 mod adaptive;
 mod array;
 mod theory;
@@ -117,7 +122,12 @@ pub(crate) fn query_quantile_grid<T: Ord + Copy>(
         .iter()
         .map(|t| {
             rmin += t.g;
-            (rmin, rmin + t.delta, rmin as f64 + t.delta as f64 / 2.0, t.v)
+            (
+                rmin,
+                rmin + t.delta,
+                rmin as f64 + t.delta as f64 / 2.0,
+                t.v,
+            )
         })
         .collect();
     let margin = eps * n as f64;
@@ -129,7 +139,9 @@ pub(crate) fn query_quantile_grid<T: Ord + Copy>(
             // closest: rmin ∈ [target − margin − maxgap, target + margin].
             let lo_rank = (target - margin).max(0.0) as u64;
             let hi_rank = (target + margin) as u64;
-            let start = brackets.partition_point(|b| b.0 < lo_rank).saturating_sub(1);
+            let start = brackets
+                .partition_point(|b| b.0 < lo_rank)
+                .saturating_sub(1);
             let mut best_valid: Option<(f64, T)> = None;
             let mut best_any: Option<(f64, T)> = None;
             for &(rmin, rmax, mid, v) in &brackets[start..] {
@@ -148,7 +160,10 @@ pub(crate) fn query_quantile_grid<T: Ord + Copy>(
                     break;
                 }
             }
-            let v = best_valid.or(best_any).map(|(_, v)| v).expect("nonempty tuples");
+            let v = best_valid
+                .or(best_any)
+                .map(|(_, v)| v)
+                .expect("GK invariant: summary holds at least the sentinel tuples");
             (phi, v)
         })
         .collect()
@@ -183,7 +198,11 @@ pub fn check_invariants<T: Ord + Copy + std::fmt::Debug>(
     for (i, t) in tuples.iter().enumerate() {
         if i > 0 {
             if t.v < tuples[i - 1].v {
-                return Err(format!("tuples out of order at {i}: {:?} < {:?}", t.v, tuples[i - 1].v));
+                return Err(format!(
+                    "tuples out of order at {i}: {:?} < {:?}",
+                    t.v,
+                    tuples[i - 1].v
+                ));
             }
             if t.g + t.delta > cap {
                 return Err(format!(
@@ -200,6 +219,41 @@ pub fn check_invariants<T: Ord + Copy + std::fmt::Debug>(
     Ok(())
 }
 
+/// Structured-audit form of [`check_invariants`], shared by the three
+/// GK variants' [`sqs_util::audit::CheckInvariants`] impls and by the
+/// biased (CKMS) summary. `n` is the *folded* element count — total
+/// insertions minus any still-buffered elements.
+pub(crate) fn audit_tuples<T: Ord>(
+    tuples: &[Tuple<T>],
+    eps: f64,
+    n: u64,
+    algorithm: &'static str,
+) -> Result<(), sqs_util::audit::InvariantViolation> {
+    use sqs_util::audit::ensure;
+    let cap = threshold(eps, n).max(1);
+    let mut total_g = 0u64;
+    for (i, t) in tuples.iter().enumerate() {
+        if i > 0 {
+            ensure(tuples[i - 1].v <= t.v, algorithm, "gk.sorted", || {
+                format!("tuple {i} is smaller than its predecessor")
+            })?;
+            ensure(t.g + t.delta <= cap, algorithm, "gk.g_delta_bound", || {
+                format!(
+                    "tuple {i}: g+Δ = {} > ⌊2εn⌋ = {cap} (n = {n})",
+                    t.g + t.delta
+                )
+            })?;
+        }
+        total_g += t.g;
+    }
+    ensure(
+        tuples.is_empty() || total_g == n,
+        algorithm,
+        "gk.g_sum",
+        || format!("Σg = {total_g} ≠ folded element count {n}"),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,10 +261,26 @@ mod tests {
     fn toy() -> Vec<Tuple<u64>> {
         // elements 10,20,30,40 with exact ranks (g=1 each, Δ=0)
         vec![
-            Tuple { v: 10, g: 1, delta: 0 },
-            Tuple { v: 20, g: 1, delta: 0 },
-            Tuple { v: 30, g: 1, delta: 0 },
-            Tuple { v: 40, g: 1, delta: 0 },
+            Tuple {
+                v: 10,
+                g: 1,
+                delta: 0,
+            },
+            Tuple {
+                v: 20,
+                g: 1,
+                delta: 0,
+            },
+            Tuple {
+                v: 30,
+                g: 1,
+                delta: 0,
+            },
+            Tuple {
+                v: 40,
+                g: 1,
+                delta: 0,
+            },
         ]
     }
 
@@ -245,8 +315,16 @@ mod tests {
         t[2].delta = 100;
         assert!(check_invariants(&t, 0.5, 4).is_err());
         let unsorted = vec![
-            Tuple { v: 5u64, g: 1, delta: 0 },
-            Tuple { v: 3, g: 1, delta: 0 },
+            Tuple {
+                v: 5u64,
+                g: 1,
+                delta: 0,
+            },
+            Tuple {
+                v: 3,
+                g: 1,
+                delta: 0,
+            },
         ];
         assert!(check_invariants(&unsorted, 0.5, 2).is_err());
     }
@@ -266,7 +344,11 @@ mod tests {
         let grid = query_quantile_grid(&tuples, 20_000, 0.02, &phis);
         assert_eq!(grid.len(), phis.len());
         for (phi, v) in grid {
-            assert_eq!(Some(v), query_quantile(&tuples, 20_000, 0.02, phi), "phi={phi}");
+            assert_eq!(
+                Some(v),
+                query_quantile(&tuples, 20_000, 0.02, phi),
+                "phi={phi}"
+            );
         }
     }
 

@@ -21,6 +21,11 @@
 //! reproduces — but it is the only GK variant with a proven size
 //! bound.
 
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
 use super::{query_quantile, query_quantile_grid, query_rank, threshold, Tuple};
 use crate::QuantileSummary;
 use sqs_util::space::{words, SpaceUsage};
@@ -68,7 +73,13 @@ impl<T: Ord + Copy> GkTheory<T> {
     pub fn new(eps: f64) -> Self {
         assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1), got {eps}");
         let period = (1.0 / (2.0 * eps)).ceil() as usize;
-        Self { eps, n: 0, tuples: Vec::new(), buffer: Vec::with_capacity(period), period }
+        Self {
+            eps,
+            n: 0,
+            tuples: Vec::new(),
+            buffer: Vec::with_capacity(period),
+            period,
+        }
     }
 
     /// Number of tuples currently held (after folding the buffer in).
@@ -105,7 +116,11 @@ impl<T: Ord + Copy> GkTheory<T> {
                 out.push(old[li]);
                 li += 1;
             }
-            let delta = if li == old.len() || out.is_empty() { 0 } else { delta_interior };
+            let delta = if li == old.len() || out.is_empty() {
+                0
+            } else {
+                delta_interior
+            };
             out.push(Tuple { v, g: 1, delta });
         }
         out.extend_from_slice(&old[li..]);
@@ -123,7 +138,11 @@ impl<T: Ord + Copy> GkTheory<T> {
             return;
         }
         let p = threshold(self.eps, self.n);
-        let bands: Vec<u32> = self.tuples.iter().map(|t| band(t.delta.min(p), p)).collect();
+        let bands: Vec<u32> = self
+            .tuples
+            .iter()
+            .map(|t| band(t.delta.min(p), p))
+            .collect();
 
         // Build the surviving list right-to-left. The last tuple (max
         // element) is never merged away; the first (min) is never part
@@ -147,9 +166,13 @@ impl<T: Ord + Copy> GkTheory<T> {
                     g_star += self.tuples[j as usize].g;
                     j -= 1;
                 }
-                let succ = out.last().expect("seeded with the max tuple");
+                let succ = out
+                    .last()
+                    .expect("GK invariant: compress output seeded with the max tuple");
                 if g_star + succ.g + succ.delta < p {
-                    out.last_mut().expect("nonempty").g += g_star;
+                    out.last_mut()
+                        .expect("GK invariant: compress output stays nonempty")
+                        .g += g_star;
                     i = j;
                     continue;
                 }
@@ -163,6 +186,50 @@ impl<T: Ord + Copy> GkTheory<T> {
     }
 }
 
+impl<T: Ord + Copy> sqs_util::audit::CheckInvariants for GkTheory<T> {
+    /// GK invariants (§2.1): sorted tuples, `g+Δ ≤ ⌊2εn⌋`, `Σg`
+    /// matching the folded element count, the buffer bounded by the
+    /// COMPRESS period, and band monotonicity (the GK01 band of a
+    /// tuple never increases with its `Δ` — the property the COMPRESS
+    /// subtree rule depends on).
+    fn check_invariants(&self) -> Result<(), sqs_util::audit::InvariantViolation> {
+        use sqs_util::audit::ensure;
+        const ALG: &str = "GKTheory";
+        ensure(
+            self.eps > 0.0 && self.eps < 1.0,
+            ALG,
+            "gk.eps_range",
+            || format!("eps = {} outside (0,1)", self.eps),
+        )?;
+        ensure(
+            self.period == (1.0 / (2.0 * self.eps)).ceil() as usize,
+            ALG,
+            "gk.compress_period",
+            || format!("period {} ≠ ⌈1/2ε⌉ for eps {}", self.period, self.eps),
+        )?;
+        ensure(
+            self.buffer.len() <= self.period,
+            ALG,
+            "gk.buffer_bound",
+            || format!("{} buffered > period {}", self.buffer.len(), self.period),
+        )?;
+        let folded = self.n - self.buffer.len() as u64;
+        super::audit_tuples(&self.tuples, self.eps, folded, ALG)?;
+        let p = threshold(self.eps, self.n);
+        let mut deltas: Vec<u64> = self.tuples.iter().map(|t| t.delta).collect();
+        deltas.sort_unstable();
+        for w in deltas.windows(2) {
+            ensure(
+                w[0] > p || band(w[0], p) >= band(w[1].min(p), p),
+                ALG,
+                "gk.band_monotone",
+                || format!("band(Δ={}) < band(Δ={}) at capacity p={p}", w[0], w[1]),
+            )?;
+        }
+        Ok(())
+    }
+}
+
 impl<T: Ord + Copy> QuantileSummary<T> for GkTheory<T> {
     fn insert(&mut self, x: T) {
         self.n += 1;
@@ -170,6 +237,10 @@ impl<T: Ord + Copy> QuantileSummary<T> for GkTheory<T> {
         if self.buffer.len() >= self.period {
             self.fold_in();
             self.compress();
+        }
+        #[cfg(any(test, feature = "audit"))]
+        if sqs_util::audit::audit_point(self.n) {
+            sqs_util::audit::CheckInvariants::assert_invariants(self);
         }
     }
 
@@ -189,7 +260,12 @@ impl<T: Ord + Copy> QuantileSummary<T> for GkTheory<T> {
 
     fn quantile_grid(&mut self, eps: f64) -> Vec<(f64, T)> {
         self.fold_in();
-        query_quantile_grid(&self.tuples, self.n, self.eps, &sqs_util::exact::probe_phis(eps))
+        query_quantile_grid(
+            &self.tuples,
+            self.n,
+            self.eps,
+            &sqs_util::exact::probe_phis(eps),
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -287,8 +363,9 @@ mod tests {
     #[test]
     fn space_is_sublinear_and_within_gk_bound() {
         let eps = 0.01;
-        let data: Vec<u64> =
-            (0..100_000u64).map(|i| i.wrapping_mul(2654435761) % 1_000_003).collect();
+        let data: Vec<u64> = (0..100_000u64)
+            .map(|i| i.wrapping_mul(2654435761) % 1_000_003)
+            .collect();
         let mut s = run_stream(eps, &data);
         // The bound is (11/2ε)·log(2εn) tuples; assert generous slack.
         let bound = (11.0 / (2.0 * eps)) * (2.0 * eps * 100_000.0).log2().max(1.0);
@@ -334,5 +411,43 @@ mod tests {
         let mut s = run_stream(0.1, &(0..1000u64).collect::<Vec<_>>());
         let tuples = s.tuple_count();
         assert_eq!(s.space_bytes(), (tuples * 3 + s.buffer.capacity()) * 4);
+    }
+}
+
+#[cfg(test)]
+mod corruption {
+    use super::*;
+    use sqs_util::audit::CheckInvariants;
+
+    fn filled(eps: f64, n: u64) -> GkTheory<u64> {
+        let mut s = GkTheory::new(eps);
+        for x in 0..n {
+            s.insert(x % 997);
+        }
+        s
+    }
+
+    #[test]
+    fn auditor_catches_inflated_delta() {
+        let mut s = filled(0.01, 10_000);
+        s.tuples[1].delta += threshold(s.eps, s.n) + 1;
+        let err = s.check_invariants().unwrap_err();
+        assert_eq!(err.algorithm, "GKTheory");
+        assert_eq!(err.invariant, "gk.g_delta_bound");
+    }
+
+    #[test]
+    fn auditor_catches_lost_mass() {
+        let mut s = filled(0.05, 5_000);
+        s.n += 100;
+        assert_eq!(s.check_invariants().unwrap_err().invariant, "gk.g_sum");
+    }
+
+    #[test]
+    fn auditor_catches_unsorted_tuples() {
+        let mut s = filled(0.05, 5_000);
+        let last = s.tuples.len() - 1;
+        s.tuples.swap(0, last);
+        assert_eq!(s.check_invariants().unwrap_err().invariant, "gk.sorted");
     }
 }

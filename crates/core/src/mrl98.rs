@@ -29,7 +29,12 @@
 //! working but the guarantee degrades (documented; this awkwardness is
 //! why the paper's lineage moved on to MRL99 and GK).
 
-use crate::buffers::{weighted_quantile_grid, weighted_collapse, weighted_quantile, weighted_rank};
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
+use crate::buffers::{weighted_collapse, weighted_quantile, weighted_quantile_grid, weighted_rank};
 use crate::QuantileSummary;
 use sqs_util::space::{words, SpaceUsage};
 
@@ -69,7 +74,10 @@ fn tree_height_for(b: usize, fills: u64) -> u32 {
             levels.push(lmin);
             remaining -= 1;
         } else {
-            let lmin = *levels.iter().min().expect("buffers full");
+            let lmin = *levels
+                .iter()
+                .min()
+                .expect("MRL98 invariant: collapse sees at least one full buffer");
             levels.retain(|&l| l != lmin);
             levels.push(lmin + 1);
             max_level = max_level.max(lmin + 1);
@@ -94,7 +102,11 @@ fn size_parameters(eps: f64, n_hint: u64) -> (usize, usize) {
             let k = (lo + hi) / 2;
             let fills = n_hint.div_ceil(k as u64);
             let h = tree_height_for(b, fills);
-            let err = if h == 0 { 0.0 } else { h as f64 / (2.0 * k as f64) };
+            let err = if h == 0 {
+                0.0
+            } else {
+                h as f64 / (2.0 * k as f64)
+            };
             if err <= eps {
                 hi = k;
             } else {
@@ -107,7 +119,7 @@ fn size_parameters(eps: f64, n_hint: u64) -> (usize, usize) {
             _ => best = Some((b, k)),
         }
     }
-    best.expect("sizing search always succeeds")
+    best.expect("MRL98 invariant: (b, k) sizing search covers every n_hint")
 }
 
 impl<T: Ord + Copy> Mrl98<T> {
@@ -124,7 +136,12 @@ impl<T: Ord + Copy> Mrl98<T> {
             eps,
             k,
             buffers: (0..b)
-                .map(|_| Buffer { level: 0, weight: 1, data: Vec::with_capacity(k), full: false })
+                .map(|_| Buffer {
+                    level: 0,
+                    weight: 1,
+                    data: Vec::with_capacity(k),
+                    full: false,
+                })
                 .collect(),
             fill: None,
             n: 0,
@@ -155,7 +172,7 @@ impl<T: Ord + Copy> Mrl98<T> {
             .filter(|b| b.full)
             .map(|b| b.level)
             .min()
-            .expect("collapse requires full buffers");
+            .expect("MRL98 invariant: collapse requires \u{2265} 2 full buffers");
         let chosen: Vec<usize> = self
             .buffers
             .iter()
@@ -163,9 +180,14 @@ impl<T: Ord + Copy> Mrl98<T> {
             .filter(|(_, b)| b.full && b.level == lmin)
             .map(|(i, _)| i)
             .collect();
-        debug_assert!(chosen.len() >= 2, "the NEW policy guarantees ≥ 2 at the min level");
-        let inputs: Vec<(&[T], u64)> =
-            chosen.iter().map(|&i| (self.buffers[i].data.as_slice(), self.buffers[i].weight)).collect();
+        debug_assert!(
+            chosen.len() >= 2,
+            "the NEW policy guarantees ≥ 2 at the min level"
+        );
+        let inputs: Vec<(&[T], u64)> = chosen
+            .iter()
+            .map(|&i| (self.buffers[i].data.as_slice(), self.buffers[i].weight))
+            .collect();
         let total_w: u64 = inputs.iter().map(|(d, w)| d.len() as u64 * w).sum();
         let stride = (total_w / self.k as u64).max(1);
         let (merged, _) = weighted_collapse(&inputs, self.k, stride / 2);
@@ -191,6 +213,90 @@ impl<T: Ord + Copy> Mrl98<T> {
     }
 }
 
+impl<T: Ord + Copy> sqs_util::audit::CheckInvariants for Mrl98<T> {
+    /// MRL98 invariants (Manku et al. '98): positive buffer weights,
+    /// the `full ⇔ |data| = k` fill discipline, and — because NEW
+    /// stores raw elements at weight 1 and the deterministic COLLAPSE
+    /// of full buffers conserves `k·Σw` exactly — the represented mass
+    /// `Σ weight·|data|` equals the stream length `n` at all times.
+    fn check_invariants(&self) -> Result<(), sqs_util::audit::InvariantViolation> {
+        use sqs_util::audit::ensure;
+        const ALG: &str = "MRL98";
+        ensure(
+            self.eps > 0.0 && self.eps < 1.0,
+            ALG,
+            "mrl98.eps_range",
+            || format!("eps = {} outside (0,1)", self.eps),
+        )?;
+        ensure(self.buffers.len() >= 3, ALG, "mrl98.buffer_count", || {
+            format!(
+                "{} buffers — the NEW/COLLAPSE schedule needs ≥ 3",
+                self.buffers.len()
+            )
+        })?;
+        ensure(self.k >= 2, ALG, "mrl98.buffer_size", || {
+            format!("k = {} below the minimum of 2", self.k)
+        })?;
+        let mut mass = 0u64;
+        for (i, b) in self.buffers.iter().enumerate() {
+            ensure(b.weight >= 1, ALG, "mrl98.weight_positive", || {
+                format!("buffer {i} has weight 0")
+            })?;
+            ensure(b.data.len() <= self.k, ALG, "mrl98.buffer_overflow", || {
+                format!("buffer {i} holds {} > k = {}", b.data.len(), self.k)
+            })?;
+            ensure(
+                b.full == (b.data.len() == self.k),
+                ALG,
+                "mrl98.fill_flag",
+                || {
+                    format!(
+                        "buffer {i}: full = {} but |data| = {} (k = {})",
+                        b.full,
+                        b.data.len(),
+                        self.k
+                    )
+                },
+            )?;
+            if Some(i) != self.fill && !b.data.is_empty() {
+                ensure(
+                    b.weight == 1 || b.level >= 1,
+                    ALG,
+                    "mrl98.collapse_level",
+                    || format!("buffer {i}: weight {} > 1 at leaf level 0", b.weight),
+                )?;
+            }
+            mass += b.data.len() as u64 * b.weight;
+        }
+        ensure(mass == self.n, ALG, "mrl98.mass_conservation", || {
+            format!(
+                "represented mass {mass} ≠ n = {} — COLLAPSE lost or invented mass",
+                self.n
+            )
+        })?;
+        if let Some(idx) = self.fill {
+            ensure(idx < self.buffers.len(), ALG, "mrl98.fill_index", || {
+                format!("fill index {idx} out of range")
+            })?;
+            ensure(!self.buffers[idx].full, ALG, "mrl98.fill_not_full", || {
+                format!("fill buffer {idx} is already marked full")
+            })?;
+            ensure(
+                self.buffers[idx].weight == 1,
+                ALG,
+                "mrl98.fill_weight",
+                || {
+                    format!(
+                        "fill buffer {idx} has weight {} ≠ 1 (NEW stores raw elements)",
+                        self.buffers[idx].weight
+                    )
+                },
+            )?;
+        }
+        Ok(())
+    }
+}
+
 impl<T: Ord + Copy> QuantileSummary<T> for Mrl98<T> {
     fn insert(&mut self, x: T) {
         if self.fill.is_none() {
@@ -207,7 +313,7 @@ impl<T: Ord + Copy> QuantileSummary<T> for Mrl98<T> {
                     self.buffers
                         .iter()
                         .position(|b| !b.full && b.data.is_empty())
-                        .expect("collapse frees at least one buffer")
+                        .expect("MRL98 invariant: collapse always frees a buffer")
                 }
                 _ => empties[0],
             };
@@ -215,19 +321,30 @@ impl<T: Ord + Copy> QuantileSummary<T> for Mrl98<T> {
             let level = if empties.len() >= 2 {
                 0
             } else {
-                self.buffers.iter().filter(|b| b.full).map(|b| b.level).min().unwrap_or(0)
+                self.buffers
+                    .iter()
+                    .filter(|b| b.full)
+                    .map(|b| b.level)
+                    .min()
+                    .unwrap_or(0)
             };
             self.buffers[idx].level = level;
             self.buffers[idx].weight = 1;
             self.fill = Some(idx);
         }
         self.n += 1;
-        let idx = self.fill.expect("fill buffer chosen above");
+        let idx = self
+            .fill
+            .expect("MRL98 invariant: fill buffer selected before append");
         self.buffers[idx].data.push(x);
         if self.buffers[idx].data.len() == self.k {
             self.buffers[idx].data.sort_unstable();
             self.buffers[idx].full = true;
             self.fill = None;
+        }
+        #[cfg(any(test, feature = "audit"))]
+        if sqs_util::audit::audit_point(self.n) {
+            sqs_util::audit::CheckInvariants::assert_invariants(self);
         }
     }
 
@@ -295,7 +412,11 @@ mod tests {
         for (eps, n) in [(0.1, 50_000u64), (0.05, 200_000), (0.01, 1_000_000)] {
             let (b, k) = size_parameters(eps, n);
             let h = tree_height_for(b, n.div_ceil(k as u64));
-            let err = if h == 0 { 0.0 } else { h as f64 / (2.0 * k as f64) };
+            let err = if h == 0 {
+                0.0
+            } else {
+                h as f64 / (2.0 * k as f64)
+            };
             assert!(err <= eps, "eps={eps} n={n} b={b} k={k} h={h} err={err}");
         }
     }
@@ -379,5 +500,46 @@ mod tests {
     fn empty_is_none() {
         let mut s = Mrl98::<u64>::new(0.1, 100);
         assert_eq!(s.quantile(0.5), None);
+    }
+}
+
+#[cfg(test)]
+mod corruption {
+    use super::*;
+    use sqs_util::audit::CheckInvariants;
+
+    #[test]
+    fn auditor_catches_weight_tampering() {
+        let mut s = Mrl98::<u64>::new(0.05, 20_000);
+        for x in 0..20_000u64 {
+            s.insert(x);
+        }
+        let b = s
+            .buffers
+            .iter_mut()
+            .find(|b| b.full && b.weight >= 1)
+            .expect("a full buffer");
+        b.weight += 1;
+        let err = s.check_invariants().unwrap_err();
+        assert_eq!(err.algorithm, "MRL98");
+        assert_eq!(err.invariant, "mrl98.mass_conservation");
+    }
+
+    #[test]
+    fn auditor_catches_fill_flag_lie() {
+        let mut s = Mrl98::<u64>::new(0.05, 20_000);
+        for x in 0..20_000u64 {
+            s.insert(x);
+        }
+        let b = s
+            .buffers
+            .iter_mut()
+            .find(|b| b.full)
+            .expect("a full buffer");
+        b.full = false;
+        assert_eq!(
+            s.check_invariants().unwrap_err().invariant,
+            "mrl98.fill_flag"
+        );
     }
 }

@@ -25,7 +25,12 @@
 //! observation that the two perform near-identically is then directly
 //! checkable.
 
-use crate::buffers::{weighted_quantile_grid, weighted_collapse, weighted_quantile, weighted_rank};
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
+use crate::buffers::{weighted_collapse, weighted_quantile, weighted_quantile_grid, weighted_rank};
 use crate::QuantileSummary;
 use sqs_util::rng::Xoshiro256pp;
 use sqs_util::space::{words, SpaceUsage};
@@ -69,7 +74,11 @@ impl<T: Ord + Copy> Mrl99<T> {
             h,
             k,
             buffers: (0..b)
-                .map(|_| Buffer { weight: 1, data: Vec::with_capacity(k), full: false })
+                .map(|_| Buffer {
+                    weight: 1,
+                    data: Vec::with_capacity(k),
+                    full: false,
+                })
                 .collect(),
             fill: None,
             group_size: 1,
@@ -98,7 +107,11 @@ impl<T: Ord + Copy> Mrl99<T> {
 
     /// Weights of the currently full buffers (inspection/tests).
     pub fn weights(&self) -> Vec<u64> {
-        self.buffers.iter().filter(|b| b.full).map(|b| b.weight).collect()
+        self.buffers
+            .iter()
+            .filter(|b| b.full)
+            .map(|b| b.weight)
+            .collect()
     }
 
     fn active_weight(&self) -> u64 {
@@ -115,7 +128,11 @@ impl<T: Ord + Copy> Mrl99<T> {
         self.group_size = weight;
         self.group_pos = 0;
         self.group_choice = None;
-        self.group_target = if weight == 1 { 0 } else { self.rng.next_below(weight) };
+        self.group_target = if weight == 1 {
+            0
+        } else {
+            self.rng.next_below(weight)
+        };
     }
 
     /// The MRL99 COLLAPSE: merge all minimal-weight full buffers (at
@@ -123,7 +140,12 @@ impl<T: Ord + Copy> Mrl99<T> {
     /// into one buffer of summed weight.
     fn collapse(&mut self) {
         debug_assert!(self.buffers.iter().all(|b| b.full));
-        let min_w = self.buffers.iter().map(|b| b.weight).min().expect("buffers exist");
+        let min_w = self
+            .buffers
+            .iter()
+            .map(|b| b.weight)
+            .min()
+            .expect("MRL99 invariant: at least one buffer exists");
         let mut chosen: Vec<usize> = self
             .buffers
             .iter()
@@ -140,11 +162,13 @@ impl<T: Ord + Copy> Mrl99<T> {
                 .filter(|(i, _)| !chosen.contains(i))
                 .min_by_key(|(_, b)| b.weight)
                 .map(|(i, _)| i)
-                .expect("at least two buffers");
+                .expect("MRL99 invariant: collapse requires >= 2 minimum-weight buffers");
             chosen.push(next);
         }
-        let inputs: Vec<(&[T], u64)> =
-            chosen.iter().map(|&i| (self.buffers[i].data.as_slice(), self.buffers[i].weight)).collect();
+        let inputs: Vec<(&[T], u64)> = chosen
+            .iter()
+            .map(|&i| (self.buffers[i].data.as_slice(), self.buffers[i].weight))
+            .collect();
         let total_w: u64 = inputs.iter().map(|(d, w)| d.len() as u64 * w).sum();
         let stride = (total_w / self.k as u64).max(1);
         let offset = self.rng.next_below(stride);
@@ -171,6 +195,111 @@ impl<T: Ord + Copy> Mrl99<T> {
     }
 }
 
+impl<T: Ord + Copy> sqs_util::audit::CheckInvariants for Mrl99<T> {
+    /// MRL99 invariants (Manku et al. '99, study §1.2.1): `b = h+1`
+    /// buffers of capacity `k`, positive integer buffer weights
+    /// (arbitrary, not powers of two — the COLLAPSE sums them), the
+    /// `full ⇔ |data| = k` fill discipline with full buffers sorted,
+    /// represented mass `Σ weight·|data| ≤ n`, and the level sampler
+    /// targeting a uniform position inside the current weight-sized
+    /// group.
+    fn check_invariants(&self) -> Result<(), sqs_util::audit::InvariantViolation> {
+        use sqs_util::audit::ensure;
+        const ALG: &str = "MRL99";
+        ensure(
+            self.eps > 0.0 && self.eps < 1.0,
+            ALG,
+            "mrl99.eps_range",
+            || format!("eps = {} outside (0,1)", self.eps),
+        )?;
+        ensure(
+            self.buffers.len() == self.h as usize + 1,
+            ALG,
+            "mrl99.buffer_count",
+            || format!("{} buffers ≠ b = h+1 = {}", self.buffers.len(), self.h + 1),
+        )?;
+        ensure(self.k >= 2, ALG, "mrl99.buffer_size", || {
+            format!("k = {} below the minimum of 2", self.k)
+        })?;
+        let mut mass = 0u64;
+        for (i, b) in self.buffers.iter().enumerate() {
+            ensure(b.weight >= 1, ALG, "mrl99.weight_positive", || {
+                format!("buffer {i} has weight 0")
+            })?;
+            ensure(b.data.len() <= self.k, ALG, "mrl99.buffer_overflow", || {
+                format!("buffer {i} holds {} > k = {}", b.data.len(), self.k)
+            })?;
+            ensure(
+                b.full == (b.data.len() == self.k),
+                ALG,
+                "mrl99.fill_flag",
+                || {
+                    format!(
+                        "buffer {i}: full = {} but |data| = {} (k = {})",
+                        b.full,
+                        b.data.len(),
+                        self.k
+                    )
+                },
+            )?;
+            if b.full {
+                ensure(
+                    b.data.windows(2).all(|w| w[0] <= w[1]),
+                    ALG,
+                    "mrl99.full_buffer_sorted",
+                    || format!("full buffer {i} at weight {} is not sorted", b.weight),
+                )?;
+            }
+            mass += b.data.len() as u64 * b.weight;
+        }
+        ensure(mass <= self.n, ALG, "mrl99.mass_bound", || {
+            format!("represented mass {mass} exceeds arrivals n = {}", self.n)
+        })?;
+        ensure(
+            self.group_target < self.group_size,
+            ALG,
+            "mrl99.sampler_target",
+            || {
+                format!(
+                    "sampler target {} outside group of {}",
+                    self.group_target, self.group_size
+                )
+            },
+        )?;
+        ensure(
+            self.group_pos <= self.group_size,
+            ALG,
+            "mrl99.sampler_pos",
+            || {
+                format!(
+                    "sampler position {} beyond group of {}",
+                    self.group_pos, self.group_size
+                )
+            },
+        )?;
+        if let Some(idx) = self.fill {
+            ensure(idx < self.buffers.len(), ALG, "mrl99.fill_index", || {
+                format!("fill index {idx} out of range")
+            })?;
+            ensure(!self.buffers[idx].full, ALG, "mrl99.fill_not_full", || {
+                format!("fill buffer {idx} is already marked full")
+            })?;
+            ensure(
+                self.group_size == self.buffers[idx].weight,
+                ALG,
+                "mrl99.sampler_weight",
+                || {
+                    format!(
+                        "group size {} ≠ fill buffer weight {}",
+                        self.group_size, self.buffers[idx].weight
+                    )
+                },
+            )?;
+        }
+        Ok(())
+    }
+}
+
 impl<T: Ord + Copy> QuantileSummary<T> for Mrl99<T> {
     fn insert(&mut self, x: T) {
         if self.fill.is_none() {
@@ -178,7 +307,7 @@ impl<T: Ord + Copy> QuantileSummary<T> for Mrl99<T> {
                 .buffers
                 .iter()
                 .position(|b| !b.full && b.data.is_empty())
-                .expect("an empty buffer always exists after collapsing");
+                .expect("MRL99 invariant: an empty buffer exists after collapsing");
             let w = self.active_weight();
             self.buffers[idx].weight = w;
             self.fill = Some(idx);
@@ -191,8 +320,13 @@ impl<T: Ord + Copy> QuantileSummary<T> for Mrl99<T> {
         }
         self.group_pos += 1;
         if self.group_pos == self.group_size {
-            let idx = self.fill.expect("fill buffer set above");
-            let chosen = self.group_choice.take().expect("target within group");
+            let idx = self
+                .fill
+                .expect("MRL99 invariant: fill buffer selected before append");
+            let chosen = self
+                .group_choice
+                .take()
+                .expect("MRL99 invariant: group choice set when targeting a group");
             self.buffers[idx].data.push(chosen);
             if self.buffers[idx].data.len() == self.k {
                 self.buffers[idx].data.sort_unstable();
@@ -205,6 +339,10 @@ impl<T: Ord + Copy> QuantileSummary<T> for Mrl99<T> {
                 let w = self.buffers[idx].weight;
                 self.start_group(w);
             }
+        }
+        #[cfg(any(test, feature = "audit"))]
+        if sqs_util::audit::audit_point(self.n) {
+            sqs_util::audit::CheckInvariants::assert_invariants(self);
         }
     }
 
@@ -273,7 +411,9 @@ mod tests {
         let mut rng = sqs_util::rng::Xoshiro256pp::new(42);
         let data: Vec<u64> = (0..100_000).map(|_| rng.next_below(1 << 28)).collect();
         let eps = 0.02;
-        let errs: Vec<f64> = (0..5).map(|seed| observed_max_err(eps, &data, seed)).collect();
+        let errs: Vec<f64> = (0..5)
+            .map(|seed| observed_max_err(eps, &data, seed))
+            .collect();
         let avg = errs.iter().sum::<f64>() / errs.len() as f64;
         assert!(avg <= eps, "avg max err {avg} > {eps} ({errs:?})");
         assert!(errs.iter().all(|&e| e <= 2.0 * eps), "outlier: {errs:?}");
@@ -324,5 +464,36 @@ mod tests {
         let mut s = Mrl99::<u64>::new(0.1, 5);
         assert_eq!(s.quantile(0.4), None);
         assert_eq!(s.n(), 0);
+    }
+}
+
+#[cfg(test)]
+mod corruption {
+    use super::*;
+    use sqs_util::audit::CheckInvariants;
+
+    #[test]
+    fn auditor_catches_zeroed_weight() {
+        let mut s = Mrl99::<u64>::new(0.05, 9);
+        for x in 0..20_000u64 {
+            s.insert(x);
+        }
+        s.buffers[0].weight = 0;
+        let err = s.check_invariants().unwrap_err();
+        assert_eq!(err.algorithm, "MRL99");
+        assert_eq!(err.invariant, "mrl99.weight_positive");
+    }
+
+    #[test]
+    fn auditor_catches_lost_buffer() {
+        let mut s = Mrl99::<u64>::new(0.05, 9);
+        for x in 0..20_000u64 {
+            s.insert(x);
+        }
+        s.buffers.pop();
+        assert_eq!(
+            s.check_invariants().unwrap_err().invariant,
+            "mrl99.buffer_count"
+        );
     }
 }

@@ -15,6 +15,11 @@
 //! re-run when the node map outgrows `3σ`, giving amortized O(1)-ish
 //! updates — the behaviour Figures 5e/5f and 7a measure.
 
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
 use std::collections::HashMap;
 
 use crate::QuantileSummary;
@@ -47,7 +52,6 @@ impl std::fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 const MAGIC: u32 = 0x5144_4731; // "QDG1"
-
 
 /// A streaming q-digest over the universe `[0, 2^log_u)`.
 ///
@@ -90,7 +94,10 @@ impl QDigest {
     /// Panics unless `0 < ε < 1` and `1 ≤ log_u ≤ 40`.
     pub fn new(eps: f64, log_u: u32) -> Self {
         assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1), got {eps}");
-        assert!((1..=40).contains(&log_u), "log_u must be in 1..=40, got {log_u}");
+        assert!(
+            (1..=40).contains(&log_u),
+            "log_u must be in 1..=40, got {log_u}"
+        );
         let sigma = ((log_u as f64) / eps).ceil() as u64;
         Self {
             log_u,
@@ -235,12 +242,22 @@ impl QDigest {
     pub fn from_bytes(bytes: &[u8]) -> Result<QDigest, DecodeError> {
         let take_u32 = |b: &[u8], at: usize| -> Result<u32, DecodeError> {
             b.get(at..at + 4)
-                .map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+                .map(|s| {
+                    u32::from_le_bytes(
+                        s.try_into()
+                            .expect("QDigest invariant: chunks_exact(4) yields 4-byte slices"),
+                    )
+                })
                 .ok_or(DecodeError::Truncated)
         };
         let take_u64 = |b: &[u8], at: usize| -> Result<u64, DecodeError> {
             b.get(at..at + 8)
-                .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+                .map(|s| {
+                    u64::from_le_bytes(
+                        s.try_into()
+                            .expect("QDigest invariant: chunks_exact(8) yields 8-byte slices"),
+                    )
+                })
                 .ok_or(DecodeError::Truncated)
         };
         if take_u32(bytes, 0)? != MAGIC {
@@ -296,14 +313,95 @@ impl QDigest {
     }
 }
 
+impl sqs_util::audit::CheckInvariants for QDigest {
+    /// q-digest invariants (Shrivastava et al. §3, study §1.2.1):
+    /// every stored node id lies inside the dyadic tree over
+    /// `[0, 2^log_u)` (so parent/child arithmetic `2id, 2id+1` stays
+    /// closed), the node count respects the `3σ` capacity (plus the
+    /// buffered-"Fast" slack of one unflushed buffer), and the node
+    /// counts plus buffered updates conserve the stream mass `n`.
+    fn check_invariants(&self) -> Result<(), sqs_util::audit::InvariantViolation> {
+        use sqs_util::audit::ensure;
+        const ALG: &str = "FastQDigest";
+        ensure(
+            (1..=40).contains(&self.log_u),
+            ALG,
+            "qdigest.log_u_range",
+            || format!("log_u = {} outside 1..=40", self.log_u),
+        )?;
+        ensure(self.sigma >= 1, ALG, "qdigest.sigma_positive", || {
+            format!("σ = {} must be ≥ 1", self.sigma)
+        })?;
+        let max_id = 1u64 << (self.log_u + 1);
+        let mut mass = 0u64;
+        for (&id, &c) in &self.counts {
+            ensure(id >= 1 && id < max_id, ALG, "qdigest.node_in_tree", || {
+                format!("node id {id} outside the heap numbering [1, {max_id})")
+            })?;
+            ensure(
+                Self::depth(id) <= self.log_u,
+                ALG,
+                "qdigest.depth_bound",
+                || format!("node id {id} deeper than the leaf level {}", self.log_u),
+            )?;
+            mass += c;
+        }
+        ensure(
+            mass + self.buffer.len() as u64 == self.n,
+            ALG,
+            "qdigest.mass_conservation",
+            || {
+                format!(
+                    "node mass {mass} + {} buffered ≠ n = {}",
+                    self.buffer.len(),
+                    self.n
+                )
+            },
+        )?;
+        ensure(
+            self.buffer.len() <= self.buffer_cap,
+            ALG,
+            "qdigest.buffer_bound",
+            || {
+                format!(
+                    "{} buffered > capacity {}",
+                    self.buffer.len(),
+                    self.buffer_cap
+                )
+            },
+        )?;
+        ensure(
+            self.counts.len() <= 3 * self.sigma as usize + self.buffer_cap,
+            ALG,
+            "qdigest.node_capacity",
+            || {
+                format!(
+                    "{} nodes > 3σ = {} (+ {} buffer slack)",
+                    self.counts.len(),
+                    3 * self.sigma,
+                    self.buffer_cap
+                )
+            },
+        )
+    }
+}
+
 impl QuantileSummary<u64> for QDigest {
     /// Observes `x`, which must lie in `[0, 2^log_u)`.
     fn insert(&mut self, x: u64) {
-        assert!(x < self.universe(), "value {x} outside universe 2^{}", self.log_u);
+        assert!(
+            x < self.universe(),
+            "value {x} outside universe 2^{}",
+            self.log_u
+        );
         self.n += 1;
         self.buffer.push(x);
         if self.buffer.len() >= self.buffer_cap {
             self.flush();
+        }
+        #[cfg(any(test, feature = "audit"))]
+        if sqs_util::audit::audit_point(self.n) {
+            sqs_util::audit::CheckInvariants::assert_invariants(self);
         }
     }
 
@@ -360,7 +458,11 @@ impl QuantileSummary<u64> for QDigest {
                 cum += nodes[idx].2;
                 idx += 1;
             }
-            let hi = if idx < nodes.len() { nodes[idx].0 } else { self.universe() - 1 };
+            let hi = if idx < nodes.len() {
+                nodes[idx].0
+            } else {
+                self.universe() - 1
+            };
             out.push((phi, hi));
         }
         out
@@ -420,14 +522,19 @@ mod tests {
     fn errors_within_eps_skewed() {
         // Normal-ish pile-up in a narrow band of the universe.
         let mut rng = Xoshiro256pp::new(21);
-        let data: Vec<u64> =
-            (0..50_000).map(|_| 30_000 + rng.next_below(200) + rng.next_below(200)).collect();
+        let data: Vec<u64> = (0..50_000)
+            .map(|_| 30_000 + rng.next_below(200) + rng.next_below(200))
+            .collect();
         check_errors(0.02, 16, data);
     }
 
     #[test]
     fn errors_within_eps_sorted() {
-        check_errors(0.05, 20, (0..60_000u64).map(|i| i * 17 % (1 << 20)).collect());
+        check_errors(
+            0.05,
+            20,
+            (0..60_000u64).map(|i| i * 17 % (1 << 20)).collect(),
+        );
     }
 
     #[test]
@@ -446,7 +553,9 @@ mod tests {
         let eps = 0.05;
         let mut rng = Xoshiro256pp::new(23);
         let a_data: Vec<u64> = (0..30_000).map(|_| rng.next_below(1 << 16)).collect();
-        let b_data: Vec<u64> = (0..30_000).map(|_| 20_000 + rng.next_below(1 << 14)).collect();
+        let b_data: Vec<u64> = (0..30_000)
+            .map(|_| 20_000 + rng.next_below(1 << 14))
+            .collect();
         let mut a = QDigest::new(eps, 16);
         let mut b = QDigest::new(eps, 16);
         for &x in &a_data {
@@ -527,10 +636,16 @@ mod tests {
         let mut d = QDigest::new(0.1, 8);
         d.insert(3);
         let good = d.to_bytes();
-        assert_eq!(QDigest::from_bytes(&good[..10]).err(), Some(DecodeError::Truncated));
+        assert_eq!(
+            QDigest::from_bytes(&good[..10]).err(),
+            Some(DecodeError::Truncated)
+        );
         let mut bad_magic = good.clone();
         bad_magic[0] ^= 0xFF;
-        assert_eq!(QDigest::from_bytes(&bad_magic).err(), Some(DecodeError::BadHeader));
+        assert_eq!(
+            QDigest::from_bytes(&bad_magic).err(),
+            Some(DecodeError::BadHeader)
+        );
         let mut bad_count = good.clone();
         let last = bad_count.len() - 1;
         bad_count[last] ^= 0x01; // corrupt a node count
@@ -546,5 +661,39 @@ mod tests {
     fn rejects_out_of_universe() {
         let mut s = QDigest::new(0.1, 8);
         s.insert(256);
+    }
+}
+
+#[cfg(test)]
+mod corruption {
+    use super::*;
+    use crate::QuantileSummary;
+    use sqs_util::audit::CheckInvariants;
+
+    fn filled() -> QDigest {
+        let mut s = QDigest::new(0.05, 12);
+        for x in 0..10_000u64 {
+            s.insert(x % 4_096);
+        }
+        s
+    }
+
+    #[test]
+    fn auditor_catches_out_of_tree_node() {
+        let mut s = filled();
+        s.counts.insert(1u64 << (s.log_u + 2), 1);
+        let err = s.check_invariants().unwrap_err();
+        assert_eq!(err.algorithm, "FastQDigest");
+        assert_eq!(err.invariant, "qdigest.node_in_tree");
+    }
+
+    #[test]
+    fn auditor_catches_broken_mass() {
+        let mut s = filled();
+        *s.counts.values_mut().next().expect("nonempty") += 17;
+        assert_eq!(
+            s.check_invariants().unwrap_err().invariant,
+            "qdigest.mass_conservation"
+        );
     }
 }

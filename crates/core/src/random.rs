@@ -11,7 +11,14 @@
 //! one level higher. Ranks are estimated as
 //! `r̂(v) = Σ_X 2^{l(X)} · |{y ∈ X : y < v}|`.
 
-use crate::buffers::{weighted_quantile_grid, merge_equal_level, weighted_collapse, weighted_quantile, weighted_rank};
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
+use crate::buffers::{
+    merge_equal_level, weighted_collapse, weighted_quantile, weighted_quantile_grid, weighted_rank,
+};
 use crate::QuantileSummary;
 use sqs_util::rng::Xoshiro256pp;
 use sqs_util::space::{words, SpaceUsage};
@@ -77,7 +84,11 @@ impl<T: Ord + Copy> RandomSketch<T> {
             h,
             s,
             buffers: (0..b)
-                .map(|_| Buffer { level: 0, data: Vec::with_capacity(s), full: false })
+                .map(|_| Buffer {
+                    level: 0,
+                    data: Vec::with_capacity(s),
+                    full: false,
+                })
                 .collect(),
             fill: None,
             group_size: 1,
@@ -137,10 +148,17 @@ impl<T: Ord + Copy> RandomSketch<T> {
     fn merge_once(&mut self) {
         debug_assert!(self.buffers.iter().all(|b| b.full));
         // Find the lowest level with at least two full buffers.
-        let mut by_level: Vec<(u32, usize)> =
-            self.buffers.iter().enumerate().map(|(i, b)| (b.level, i)).collect();
+        let mut by_level: Vec<(u32, usize)> = self
+            .buffers
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.level, i))
+            .collect();
         by_level.sort_unstable();
-        let pair = by_level.windows(2).find(|w| w[0].0 == w[1].0).map(|w| (w[0].1, w[1].1));
+        let pair = by_level
+            .windows(2)
+            .find(|w| w[0].0 == w[1].0)
+            .map(|w| (w[0].1, w[1].1));
         if let Some((i, j)) = pair {
             let take_odd = self.rng.next_bool();
             let merged = merge_equal_level(&self.buffers[i].data, &self.buffers[j].data, take_odd);
@@ -156,7 +174,8 @@ impl<T: Ord + Copy> RandomSketch<T> {
             let (i, j) = (by_level[0].1, by_level[1].1);
             let wi = 1u64 << self.buffers[i].level;
             let wj = 1u64 << self.buffers[j].level;
-            let total = self.buffers[i].data.len() as u64 * wi + self.buffers[j].data.len() as u64 * wj;
+            let total =
+                self.buffers[i].data.len() as u64 * wi + self.buffers[j].data.len() as u64 * wj;
             let stride = (total / self.s as u64).max(1);
             let offset = self.rng.next_below(stride);
             let (merged, _) = weighted_collapse(
@@ -186,7 +205,11 @@ impl<T: Ord + Copy> RandomSketch<T> {
 
     /// Current levels of the full buffers (inspection/tests).
     pub fn levels(&self) -> Vec<u32> {
-        self.buffers.iter().filter(|b| b.full).map(|b| b.level).collect()
+        self.buffers
+            .iter()
+            .filter(|b| b.full)
+            .map(|b| b.level)
+            .collect()
     }
 
     /// Merges another summary into this one — the mergeable-summary
@@ -254,8 +277,11 @@ impl<T: Ord + Copy> RandomSketch<T> {
                     let total = a.len() as u64 * wa + b.len() as u64 * wb;
                     let stride = (total / self.s as u64).max(1);
                     let offset = self.rng.next_below(stride);
-                    let (merged, _) =
-                        weighted_collapse(&[(&a, wa), (&b, wb)], self.s.min(total as usize), offset);
+                    let (merged, _) = weighted_collapse(
+                        &[(&a, wa), (&b, wb)],
+                        self.s.min(total as usize),
+                        offset,
+                    );
                     pool.push((l1 + 1, merged));
                 }
             }
@@ -268,6 +294,128 @@ impl<T: Ord + Copy> RandomSketch<T> {
     }
 }
 
+impl<T: Ord + Copy> sqs_util::audit::CheckInvariants for RandomSketch<T> {
+    /// `Random` invariants (§2.2): the `b = h+1` / `s = ⌈(1/ε)√h⌉`
+    /// sizing formulas, per-buffer fill discipline (`full ⇔ |data| = s`,
+    /// full buffers sorted), the level sampler drawing its target
+    /// uniformly inside the current `2^l` group, and the represented
+    /// mass `Σ 2^level·|data|` never exceeding the arrivals `n`.
+    fn check_invariants(&self) -> Result<(), sqs_util::audit::InvariantViolation> {
+        use sqs_util::audit::ensure;
+        const ALG: &str = "Random";
+        ensure(
+            self.eps > 0.0 && self.eps < 1.0,
+            ALG,
+            "random.eps_range",
+            || format!("eps = {} outside (0,1)", self.eps),
+        )?;
+        ensure(
+            self.buffers.len() == self.h as usize + 1,
+            ALG,
+            "random.buffer_count",
+            || format!("{} buffers ≠ b = h+1 = {}", self.buffers.len(), self.h + 1),
+        )?;
+        ensure(
+            self.s >= 2 && self.s >= (1.0 / self.eps).floor() as usize,
+            ALG,
+            "random.buffer_size",
+            || {
+                format!(
+                    "s = {} below the ⌈(1/ε)√h⌉ sizing for eps {}",
+                    self.s, self.eps
+                )
+            },
+        )?;
+        let mut mass = 0u64;
+        for (i, b) in self.buffers.iter().enumerate() {
+            ensure(
+                b.data.len() <= self.s,
+                ALG,
+                "random.buffer_overflow",
+                || format!("buffer {i} holds {} > s = {}", b.data.len(), self.s),
+            )?;
+            ensure(
+                b.full == (b.data.len() == self.s),
+                ALG,
+                "random.fill_flag",
+                || {
+                    format!(
+                        "buffer {i}: full = {} but |data| = {} (s = {})",
+                        b.full,
+                        b.data.len(),
+                        self.s
+                    )
+                },
+            )?;
+            if b.full {
+                ensure(
+                    b.data.windows(2).all(|w| w[0] <= w[1]),
+                    ALG,
+                    "random.full_buffer_sorted",
+                    || format!("full buffer {i} at level {} is not sorted", b.level),
+                )?;
+            }
+            mass += (b.data.len() as u64) << b.level;
+        }
+        ensure(mass <= self.n, ALG, "random.mass_bound", || {
+            format!("represented mass {mass} exceeds arrivals n = {}", self.n)
+        })?;
+        ensure(
+            self.group_size.is_power_of_two(),
+            ALG,
+            "random.group_size_pow2",
+            || {
+                format!(
+                    "sampling group size {} is not a power of two",
+                    self.group_size
+                )
+            },
+        )?;
+        ensure(
+            self.group_target < self.group_size,
+            ALG,
+            "random.sampler_target",
+            || {
+                format!(
+                    "sampler target {} outside group of {}",
+                    self.group_target, self.group_size
+                )
+            },
+        )?;
+        ensure(
+            self.group_pos <= self.group_size,
+            ALG,
+            "random.sampler_pos",
+            || {
+                format!(
+                    "sampler position {} beyond group of {}",
+                    self.group_pos, self.group_size
+                )
+            },
+        )?;
+        if let Some(idx) = self.fill {
+            ensure(idx < self.buffers.len(), ALG, "random.fill_index", || {
+                format!("fill index {idx} out of range")
+            })?;
+            ensure(!self.buffers[idx].full, ALG, "random.fill_not_full", || {
+                format!("fill buffer {idx} is already marked full")
+            })?;
+            ensure(
+                self.group_size == 1u64 << self.buffers[idx].level,
+                ALG,
+                "random.sampler_level",
+                || {
+                    format!(
+                        "group size {} ≠ 2^level for fill buffer at level {}",
+                        self.group_size, self.buffers[idx].level
+                    )
+                },
+            )?;
+        }
+        Ok(())
+    }
+}
+
 impl<T: Ord + Copy> QuantileSummary<T> for RandomSketch<T> {
     fn insert(&mut self, x: T) {
         // Ensure a fill target exists before consuming the element.
@@ -276,7 +424,7 @@ impl<T: Ord + Copy> QuantileSummary<T> for RandomSketch<T> {
                 .buffers
                 .iter()
                 .position(|b| !b.full && b.data.is_empty())
-                .expect("an empty buffer always exists after merging");
+                .expect("RandomSketch invariant: an empty buffer exists after merging");
             let lvl = self.active_level();
             self.buffers[idx].level = lvl;
             self.fill = Some(idx);
@@ -289,8 +437,13 @@ impl<T: Ord + Copy> QuantileSummary<T> for RandomSketch<T> {
         }
         self.group_pos += 1;
         if self.group_pos == self.group_size {
-            let idx = self.fill.expect("fill buffer set above");
-            let chosen = self.group_choice.take().expect("target within group");
+            let idx = self
+                .fill
+                .expect("RandomSketch invariant: fill buffer selected before append");
+            let chosen = self
+                .group_choice
+                .take()
+                .expect("RandomSketch invariant: group choice set when targeting a group");
             self.buffers[idx].data.push(chosen);
             if self.buffers[idx].data.len() == self.s {
                 self.buffers[idx].data.sort_unstable();
@@ -303,6 +456,10 @@ impl<T: Ord + Copy> QuantileSummary<T> for RandomSketch<T> {
                 let lvl = self.buffers[idx].level;
                 self.start_group(lvl);
             }
+        }
+        #[cfg(any(test, feature = "audit"))]
+        if sqs_util::audit::audit_point(self.n) {
+            sqs_util::audit::CheckInvariants::assert_invariants(self);
         }
     }
 
@@ -386,8 +543,9 @@ mod tests {
         // require the *average* within ε (the observed error in the
         // paper is far below ε).
         let eps = 0.02;
-        let errs: Vec<f64> =
-            (0..5).map(|seed| observed_max_err(eps, data.clone(), seed)).collect();
+        let errs: Vec<f64> = (0..5)
+            .map(|seed| observed_max_err(eps, data.clone(), seed))
+            .collect();
         let avg = errs.iter().sum::<f64>() / errs.len() as f64;
         assert!(avg <= eps, "avg of max errors {avg} > eps {eps} ({errs:?})");
         assert!(errs.iter().all(|&e| e <= 2.0 * eps), "outlier: {errs:?}");
@@ -409,7 +567,10 @@ mod tests {
         let max_lvl = s.levels().into_iter().max().unwrap_or(0);
         assert!(max_lvl >= 2, "max level = {max_lvl}");
         // Sampling keeps the space fixed regardless.
-        assert_eq!(s.space_bytes(), s.buffer_count() * (s.buffer_size() + 2) * 4);
+        assert_eq!(
+            s.space_bytes(),
+            s.buffer_count() * (s.buffer_size() + 2) * 4
+        );
     }
 
     #[test]
@@ -459,7 +620,9 @@ mod tests {
         let eps = 0.05;
         let mut rng = sqs_util::rng::Xoshiro256pp::new(21);
         let a_data: Vec<u64> = (0..80_000).map(|_| rng.next_below(1 << 20)).collect();
-        let b_data: Vec<u64> = (0..80_000).map(|_| (1 << 19) + rng.next_below(1 << 20)).collect();
+        let b_data: Vec<u64> = (0..80_000)
+            .map(|_| (1 << 19) + rng.next_below(1 << 20))
+            .collect();
         let mut a = RandomSketch::new(eps, 1);
         let mut b = RandomSketch::new(eps, 2);
         for &x in &a_data {
@@ -533,5 +696,52 @@ mod tests {
         let mut a = RandomSketch::<u64>::new(0.1, 1);
         let mut b = RandomSketch::<u64>::new(0.2, 2);
         a.merge(&mut b);
+    }
+}
+
+#[cfg(test)]
+mod corruption {
+    use super::*;
+    use sqs_util::audit::CheckInvariants;
+
+    fn filled() -> RandomSketch<u64> {
+        let mut s = RandomSketch::new(0.05, 7);
+        for x in 0..20_000u64 {
+            s.insert(20_000 - x);
+        }
+        s
+    }
+
+    #[test]
+    fn auditor_catches_unsorted_full_buffer() {
+        let mut s = filled();
+        let b = s
+            .buffers
+            .iter_mut()
+            .find(|b| b.full && b.data.len() >= 2 && b.data[0] != b.data[b.data.len() - 1])
+            .expect("a full buffer with distinct values");
+        b.data.reverse();
+        let err = s.check_invariants().unwrap_err();
+        assert_eq!(err.algorithm, "Random");
+        assert_eq!(err.invariant, "random.full_buffer_sorted");
+    }
+
+    #[test]
+    fn auditor_catches_mass_inflation() {
+        let mut s = filled();
+        let extra = vec![1u64; 3];
+        s.buffers
+            .iter_mut()
+            .filter(|b| b.full)
+            .for_each(|b| b.data.extend(&extra));
+        let err = s.check_invariants().unwrap_err();
+        assert!(
+            err.invariant == "random.mass_bound"
+                || err.invariant == "random.buffer_overflow"
+                || err.invariant == "random.fill_flag"
+                || err.invariant == "random.full_buffer_sorted",
+            "unexpected invariant {}",
+            err.invariant
+        );
     }
 }

@@ -9,6 +9,11 @@
 //! the reservoir. This baseline is what the sophisticated algorithms
 //! must beat: its space is quadratic in 1/ε where theirs is linear.
 
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
 use crate::QuantileSummary;
 use sqs_util::rng::Xoshiro256pp;
 use sqs_util::space::{words, SpaceUsage};
@@ -71,6 +76,53 @@ impl<T: Ord + Copy> ReservoirQuantiles<T> {
     }
 }
 
+impl<T: Ord + Copy> sqs_util::audit::CheckInvariants for ReservoirQuantiles<T> {
+    fn check_invariants(&self) -> Result<(), sqs_util::audit::InvariantViolation> {
+        use sqs_util::audit::ensure;
+        const ALG: &str = "Reservoir";
+        ensure(
+            self.capacity > 0,
+            ALG,
+            "reservoir.capacity_positive",
+            || "reservoir capacity is zero".to_string(),
+        )?;
+        ensure(
+            self.reservoir.len() <= self.capacity,
+            ALG,
+            "reservoir.size_bound",
+            || {
+                format!(
+                    "reservoir holds {} elements, capacity {}",
+                    self.reservoir.len(),
+                    self.capacity
+                )
+            },
+        )?;
+        // Algorithm R keeps the reservoir exactly full once n >= capacity,
+        // and exactly n-sized before that.
+        let expect = (self.n as usize).min(self.capacity);
+        ensure(
+            self.reservoir.len() == expect,
+            ALG,
+            "reservoir.fill_level",
+            || {
+                format!(
+                    "reservoir holds {} elements but n = {} implies {}",
+                    self.reservoir.len(),
+                    self.n,
+                    expect
+                )
+            },
+        )?;
+        ensure(
+            !self.sorted || self.reservoir.windows(2).all(|w| w[0] <= w[1]),
+            ALG,
+            "reservoir.sorted_flag",
+            || "sorted flag set but reservoir is out of order".to_string(),
+        )
+    }
+}
+
 impl<T: Ord + Copy> QuantileSummary<T> for ReservoirQuantiles<T> {
     fn insert(&mut self, x: T) {
         self.n += 1;
@@ -84,6 +136,10 @@ impl<T: Ord + Copy> QuantileSummary<T> for ReservoirQuantiles<T> {
                 self.reservoir[j as usize] = x;
                 self.sorted = false;
             }
+        }
+        #[cfg(any(test, feature = "audit"))]
+        if sqs_util::audit::audit_point(self.n) {
+            sqs_util::audit::CheckInvariants::assert_invariants(self);
         }
     }
 
@@ -171,8 +227,7 @@ mod tests {
         for x in 0..100_000u64 {
             s.insert(x);
         }
-        let mean: f64 =
-            s.reservoir.iter().map(|&x| x as f64).sum::<f64>() / s.sample_len() as f64;
+        let mean: f64 = s.reservoir.iter().map(|&x| x as f64).sum::<f64>() / s.sample_len() as f64;
         assert!((mean - 50_000.0).abs() < 4_000.0, "mean = {mean}");
     }
 
@@ -189,5 +244,36 @@ mod tests {
         let mut s = ReservoirQuantiles::<u64>::with_capacity(10, 7);
         assert_eq!(s.quantile(0.5), None);
         assert_eq!(s.rank_estimate(5), 0);
+    }
+}
+
+#[cfg(test)]
+mod corruption {
+    use super::*;
+    use sqs_util::audit::CheckInvariants;
+
+    #[test]
+    fn auditor_catches_reservoir_overfill() {
+        let mut s = ReservoirQuantiles::with_capacity(100, 1);
+        for x in 0..5_000u64 {
+            s.insert(x);
+        }
+        s.reservoir.push(0);
+        let err = s.check_invariants().unwrap_err();
+        assert_eq!(err.algorithm, "Reservoir");
+        assert_eq!(err.invariant, "reservoir.size_bound");
+    }
+
+    #[test]
+    fn auditor_catches_false_sorted_flag() {
+        let mut s = ReservoirQuantiles::with_capacity(100, 2);
+        for x in (0..100u64).rev() {
+            s.insert(x);
+        }
+        s.sorted = true; // reservoir still holds the reversed insertion order
+        assert_eq!(
+            s.check_invariants().unwrap_err().invariant,
+            "reservoir.sorted_flag"
+        );
     }
 }

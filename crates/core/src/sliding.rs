@@ -18,6 +18,11 @@
 //! GKArray per block; the study's own scope ends at whole-stream
 //! summaries, so this stays deliberately minimal.)
 
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
 use crate::buffers::{weighted_quantile, weighted_quantile_grid, weighted_rank};
 use crate::QuantileSummary;
 use sqs_util::space::{words, SpaceUsage};
@@ -87,7 +92,10 @@ impl<T: Ord + Copy> SlidingWindowQuantiles<T> {
 
     /// Number of elements currently covered (≤ window + one block).
     pub fn covered(&self) -> usize {
-        self.blocks.iter().map(|b| b.samples.len() * b.stride as usize).sum::<usize>()
+        self.blocks
+            .iter()
+            .map(|b| b.samples.len() * b.stride as usize)
+            .sum::<usize>()
             + self.active.len()
     }
 
@@ -100,7 +108,10 @@ impl<T: Ord + Copy> SlidingWindowQuantiles<T> {
             .skip(self.stride / 2)
             .step_by(self.stride)
             .collect();
-        self.blocks.push_back(Sealed { samples, stride: self.stride as u64 });
+        self.blocks.push_back(Sealed {
+            samples,
+            stride: self.stride as u64,
+        });
         self.active.clear();
         // Expire whole blocks beyond the window.
         let max_blocks = self.window.div_ceil(self.block_size);
@@ -126,12 +137,114 @@ impl<T: Ord + Copy> SlidingWindowQuantiles<T> {
     }
 }
 
+impl<T: Ord + Copy> sqs_util::audit::CheckInvariants for SlidingWindowQuantiles<T> {
+    fn check_invariants(&self) -> Result<(), sqs_util::audit::InvariantViolation> {
+        use sqs_util::audit::ensure;
+        const ALG: &str = "SlidingWindow";
+        ensure(
+            self.block_size >= 1 && self.stride >= 1,
+            ALG,
+            "sliding.config_positive",
+            || format!("block_size = {}, stride = {}", self.block_size, self.stride),
+        )?;
+        ensure(
+            self.active.len() < self.block_size,
+            ALG,
+            "sliding.active_bound",
+            || {
+                format!(
+                    "active block holds {} elements, seals at {}",
+                    self.active.len(),
+                    self.block_size
+                )
+            },
+        )?;
+        let max_blocks = self.window.div_ceil(self.block_size);
+        ensure(
+            self.blocks.len() <= max_blocks,
+            ALG,
+            "sliding.ring_bound",
+            || {
+                format!(
+                    "{} sealed blocks exceed ring capacity {max_blocks}",
+                    self.blocks.len()
+                )
+            },
+        )?;
+        // Every block seals at exactly `block_size` raw elements, so
+        // sparsification yields a fixed sample count per block.
+        let expect = (self.block_size - self.stride / 2).div_ceil(self.stride);
+        for (i, b) in self.blocks.iter().enumerate() {
+            ensure(
+                b.stride == self.stride as u64,
+                ALG,
+                "sliding.block_stride",
+                || {
+                    format!(
+                        "block {i} carries stride {}, configured {}",
+                        b.stride, self.stride
+                    )
+                },
+            )?;
+            ensure(
+                b.samples.len() == expect,
+                ALG,
+                "sliding.block_sample_count",
+                || {
+                    format!(
+                        "block {i} holds {} samples, sparsification yields {expect}",
+                        b.samples.len()
+                    )
+                },
+            )?;
+            ensure(
+                b.samples.windows(2).all(|w| w[0] <= w[1]),
+                ALG,
+                "sliding.block_sorted",
+                || format!("block {i} samples are out of order"),
+            )?;
+        }
+        // Sparsification rounding can credit each block up to `stride`
+        // extra elements, so the coverage bounds carry that slack.
+        let slack = self.blocks.len() * self.stride;
+        ensure(
+            self.covered() <= self.window + 2 * self.block_size + slack,
+            ALG,
+            "sliding.coverage_bound",
+            || {
+                format!(
+                    "covers {} elements, window {} + block {} + rounding slack {slack}",
+                    self.covered(),
+                    self.window,
+                    self.block_size
+                )
+            },
+        )?;
+        ensure(
+            self.covered() as u64 <= self.n + slack as u64,
+            ALG,
+            "sliding.coverage_le_n",
+            || {
+                format!(
+                    "covers {} elements but only {} were ever inserted",
+                    self.covered(),
+                    self.n
+                )
+            },
+        )
+    }
+}
+
 impl<T: Ord + Copy> QuantileSummary<T> for SlidingWindowQuantiles<T> {
     fn insert(&mut self, x: T) {
         self.n += 1;
         self.active.push(x);
         if self.active.len() >= self.block_size {
             self.seal_active();
+        }
+        #[cfg(any(test, feature = "audit"))]
+        if sqs_util::audit::audit_point(self.n) {
+            sqs_util::audit::CheckInvariants::assert_invariants(self);
         }
     }
 
@@ -254,5 +367,39 @@ mod tests {
         for (phi, v) in s.quantile_grid(0.05) {
             assert_eq!(Some(v), s.quantile(phi), "phi={phi}");
         }
+    }
+}
+
+#[cfg(test)]
+mod corruption {
+    use super::*;
+    use sqs_util::audit::CheckInvariants;
+
+    fn filled() -> SlidingWindowQuantiles<u64> {
+        let mut s = SlidingWindowQuantiles::new(0.05, 10_000);
+        for x in 0..30_000u64 {
+            s.insert(x);
+        }
+        s
+    }
+
+    #[test]
+    fn auditor_catches_unsorted_block() {
+        let mut s = filled();
+        let b = s.blocks.front_mut().expect("a sealed block");
+        b.samples.reverse();
+        let err = s.check_invariants().unwrap_err();
+        assert_eq!(err.algorithm, "SlidingWindow");
+        assert_eq!(err.invariant, "sliding.block_sorted");
+    }
+
+    #[test]
+    fn auditor_catches_stride_mismatch() {
+        let mut s = filled();
+        s.blocks.front_mut().expect("a sealed block").stride += 1;
+        assert_eq!(
+            s.check_invariants().unwrap_err().invariant,
+            "sliding.block_stride"
+        );
     }
 }

@@ -15,14 +15,23 @@ use crate::report::{fkb, fnum, Table};
 use crate::runner::{run_turnstile_cell, TurnstileAlgo};
 use sqs_core::{gk::GkArray, QuantileSummary};
 use sqs_data::Uniform;
-use sqs_turnstile::{new_dcs, post::{FrontierMode, VarianceMode}, PostProcessed, TurnstileQuantiles};
+use sqs_turnstile::{
+    new_dcs,
+    post::{FrontierMode, VarianceMode},
+    PostProcessed, TurnstileQuantiles,
+};
 use sqs_util::exact::{observed_errors, probe_phis, ExactQuantiles};
 use sqs_util::SpaceUsage;
 use std::time::Instant;
 
 /// Runs all four ablations.
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
-    vec![buffer_factor(cfg), frontier(cfg), variance_mode(cfg), rss(cfg)]
+    vec![
+        buffer_factor(cfg),
+        frontier(cfg),
+        variance_mode(cfg),
+        rss(cfg),
+    ]
 }
 
 /// Post variance-mode ablation: per-cell `(F₂ − f̂²)/w` (ours) vs the
@@ -35,7 +44,12 @@ fn variance_mode(cfg: &ExpConfig) -> Table {
     let mut t = Table::new(
         "ablation_post_variance",
         "Post variance mode: per-cell (ours) vs per-level (paper)",
-        &["dataset", "raw_avg_err", "per_cell_avg_err", "per_level_avg_err"],
+        &[
+            "dataset",
+            "raw_avg_err",
+            "per_cell_avg_err",
+            "per_level_avg_err",
+        ],
     );
     let mut rng = Xoshiro256pp::new(cfg.seed ^ 0xAB3);
     let mild: Vec<u64> = (0..cfg.n)
@@ -59,7 +73,17 @@ fn variance_mode(cfg: &ExpConfig) -> Table {
             dcs.insert(x);
         }
         let score = |answers: Vec<(f64, u64)>| observed_errors(&oracle, &answers).1;
-        let raw = score(phis.iter().map(|&p| (p, dcs.quantile(p).unwrap())).collect());
+        let raw = score(
+            phis.iter()
+                .map(|&p| {
+                    (
+                        p,
+                        dcs.quantile(p)
+                            .expect("harness invariant: summary nonempty after feeding the stream"),
+                    )
+                })
+                .collect(),
+        );
         let per_cell = {
             let post = PostProcessed::with_options(
                 &dcs,
@@ -68,7 +92,18 @@ fn variance_mode(cfg: &ExpConfig) -> Table {
                 FrontierMode::Interpolate,
                 VarianceMode::PerCell,
             );
-            score(phis.iter().map(|&p| (p, post.quantile(p).unwrap())).collect())
+            score(
+                phis.iter()
+                    .map(|&p| {
+                        (
+                            p,
+                            post.quantile(p).expect(
+                                "harness invariant: summary nonempty after feeding the stream",
+                            ),
+                        )
+                    })
+                    .collect(),
+            )
         };
         let per_level = {
             let post = PostProcessed::with_options(
@@ -78,9 +113,25 @@ fn variance_mode(cfg: &ExpConfig) -> Table {
                 FrontierMode::Interpolate,
                 VarianceMode::PerLevel,
             );
-            score(phis.iter().map(|&p| (p, post.quantile(p).unwrap())).collect())
+            score(
+                phis.iter()
+                    .map(|&p| {
+                        (
+                            p,
+                            post.quantile(p).expect(
+                                "harness invariant: summary nonempty after feeding the stream",
+                            ),
+                        )
+                    })
+                    .collect(),
+            )
         };
-        t.push_row(vec![name.into(), fnum(raw), fnum(per_cell), fnum(per_level)]);
+        t.push_row(vec![
+            name.into(),
+            fnum(raw),
+            fnum(per_cell),
+            fnum(per_level),
+        ]);
     }
     t
 }
@@ -102,10 +153,23 @@ fn buffer_factor(cfg: &ExpConfig) -> Table {
             s.insert(x);
         }
         let ns = t0.elapsed().as_nanos() as f64 / data.len() as f64;
-        let answers: Vec<(f64, u64)> =
-            phis.iter().map(|&p| (p, s.quantile(p).expect("nonempty"))).collect();
+        let answers: Vec<(f64, u64)> = phis
+            .iter()
+            .map(|&p| {
+                (
+                    p,
+                    s.quantile(p)
+                        .expect("harness invariant: summary nonempty after feeding the stream"),
+                )
+            })
+            .collect();
         let (max_err, _) = observed_errors(&oracle, &answers);
-        t.push_row(vec![fnum(factor), fnum(ns), fkb(s.space_bytes()), fnum(max_err)]);
+        t.push_row(vec![
+            fnum(factor),
+            fnum(ns),
+            fkb(s.space_bytes()),
+            fnum(max_err),
+        ]);
     }
     t
 }
@@ -131,8 +195,16 @@ fn frontier(cfg: &ExpConfig) -> Table {
             ("discard", FrontierMode::Discard),
         ] {
             let post = PostProcessed::with_options(&dcs, eps, eta, mode, VarianceMode::PerCell);
-            let answers: Vec<(f64, u64)> =
-                phis.iter().map(|&p| (p, post.quantile(p).expect("nonempty"))).collect();
+            let answers: Vec<(f64, u64)> = phis
+                .iter()
+                .map(|&p| {
+                    (
+                        p,
+                        post.quantile(p)
+                            .expect("harness invariant: summary nonempty after feeding the stream"),
+                    )
+                })
+                .collect();
             let (_, avg_err) = observed_errors(&oracle, &answers);
             t.push_row(vec![fnum(eta), name.to_string(), fnum(avg_err)]);
         }
@@ -153,7 +225,12 @@ fn rss(cfg: &ExpConfig) -> Table {
     );
     for algo in [TurnstileAlgo::Rss, TurnstileAlgo::Dcm, TurnstileAlgo::Dcs] {
         let c = run_turnstile_cell(algo, &data, eps, 16, 1, cfg.seed ^ 0xAB2);
-        t.push_row(vec![c.algo.into(), fkb(c.space_bytes), fnum(c.avg_err), fnum(c.update_ns)]);
+        t.push_row(vec![
+            c.algo.into(),
+            fkb(c.space_bytes),
+            fnum(c.avg_err),
+            fnum(c.update_ns),
+        ]);
     }
     // DGM (deterministic CR-precis) measured inline — it is not part of
     // the standard TurnstileAlgo sweep because it only exists to be
@@ -169,10 +246,21 @@ fn rss(cfg: &ExpConfig) -> Table {
         let ns = t0.elapsed().as_nanos() as f64 / data.len() as f64;
         let answers: Vec<(f64, u64)> = probe_phis(eps)
             .iter()
-            .map(|&p| (p, s.quantile(p).expect("nonempty")))
+            .map(|&p| {
+                (
+                    p,
+                    s.quantile(p)
+                        .expect("harness invariant: summary nonempty after feeding the stream"),
+                )
+            })
             .collect();
         let (_, avg) = observed_errors(&oracle, &answers);
-        t.push_row(vec!["DGM".into(), fkb(s.space_bytes()), fnum(avg), fnum(ns)]);
+        t.push_row(vec![
+            "DGM".into(),
+            fkb(s.space_bytes()),
+            fnum(avg),
+            fnum(ns),
+        ]);
     }
     t
 }

@@ -15,7 +15,11 @@ use sqs_data::mpcat::{Mpcat, MPCAT_LOG_U};
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let data: Vec<u64> = Mpcat::new(cfg.seed).take(cfg.n).collect();
     let mut cells: Vec<TurnstileCell> = Vec::new();
-    for algo in [TurnstileAlgo::Dcm, TurnstileAlgo::Dcs, TurnstileAlgo::Post(0.1)] {
+    for algo in [
+        TurnstileAlgo::Dcm,
+        TurnstileAlgo::Dcs,
+        TurnstileAlgo::Post(0.1),
+    ] {
         for &eps in &cfg.eps_sweep_turnstile() {
             cells.push(run_turnstile_cell(
                 algo,
@@ -33,18 +37,42 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
 /// The five turnstile panels (shared with Figures 11/12 variants).
 pub fn panels(cells: &[TurnstileCell], prefix: &str, dataset: &str) -> Vec<Table> {
     let mk = |suffix: &str, title: &str, headers: &[&str]| {
-        Table::new(&format!("{prefix}{suffix}"), &format!("{title} ({dataset})"), headers)
+        Table::new(
+            &format!("{prefix}{suffix}"),
+            &format!("{title} ({dataset})"),
+            headers,
+        )
     };
-    let mut a = mk("a", "eps vs observed max error", &["algo", "eps", "max_err"]);
-    let mut b = mk("b", "eps vs observed avg error", &["algo", "eps", "avg_err"]);
+    let mut a = mk(
+        "a",
+        "eps vs observed max error",
+        &["algo", "eps", "max_err"],
+    );
+    let mut b = mk(
+        "b",
+        "eps vs observed avg error",
+        &["algo", "eps", "avg_err"],
+    );
     let mut c = mk("c", "space vs avg error", &["algo", "space_kb", "avg_err"]);
-    let mut d = mk("d", "update time vs avg error", &["algo", "update_ns", "avg_err"]);
-    let mut e = mk("e", "space vs update time", &["algo", "space_kb", "update_ns"]);
+    let mut d = mk(
+        "d",
+        "update time vs avg error",
+        &["algo", "update_ns", "avg_err"],
+    );
+    let mut e = mk(
+        "e",
+        "space vs update time",
+        &["algo", "space_kb", "update_ns"],
+    );
     for cell in cells {
         let algo = cell.algo.to_string();
         a.push_row(vec![algo.clone(), fnum(cell.eps), fnum(cell.max_err)]);
         b.push_row(vec![algo.clone(), fnum(cell.eps), fnum(cell.avg_err)]);
-        c.push_row(vec![algo.clone(), fkb(cell.space_bytes), fnum(cell.avg_err)]);
+        c.push_row(vec![
+            algo.clone(),
+            fkb(cell.space_bytes),
+            fnum(cell.avg_err),
+        ]);
         d.push_row(vec![algo.clone(), fnum(cell.update_ns), fnum(cell.avg_err)]);
         e.push_row(vec![algo, fkb(cell.space_bytes), fnum(cell.update_ns)]);
     }

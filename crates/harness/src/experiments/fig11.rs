@@ -41,7 +41,11 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
                 "0".into(),
             ]);
         }
-        for algo in [TurnstileAlgo::Dcm, TurnstileAlgo::Dcs, TurnstileAlgo::Post(0.1)] {
+        for algo in [
+            TurnstileAlgo::Dcm,
+            TurnstileAlgo::Dcs,
+            TurnstileAlgo::Post(0.1),
+        ] {
             for &eps in &cfg.eps_sweep_turnstile() {
                 let cell =
                     run_turnstile_cell(algo, &data, eps, log_u, cfg.trials, cfg.seed ^ 0x000F_1611);

@@ -27,14 +27,22 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         &["algo", "sigma", "eps", "avg_err"],
     );
     for sigma in SIGMAS {
-        let data: Vec<u64> =
-            Normal::new(LOG_U, sigma, cfg.seed).take(cfg.n).collect();
-        for algo in [TurnstileAlgo::Dcm, TurnstileAlgo::Dcs, TurnstileAlgo::Post(0.1)] {
+        let data: Vec<u64> = Normal::new(LOG_U, sigma, cfg.seed).take(cfg.n).collect();
+        for algo in [
+            TurnstileAlgo::Dcm,
+            TurnstileAlgo::Dcs,
+            TurnstileAlgo::Post(0.1),
+        ] {
             for &eps in &cfg.eps_sweep_turnstile() {
                 let cell =
                     run_turnstile_cell(algo, &data, eps, LOG_U, cfg.trials, cfg.seed ^ 0x000F_1612);
                 let name = format!("{}(s={sigma})", cell.algo);
-                a.push_row(vec![name.clone(), fnum(sigma), fnum(eps), fnum(cell.max_err)]);
+                a.push_row(vec![
+                    name.clone(),
+                    fnum(sigma),
+                    fnum(eps),
+                    fnum(cell.max_err),
+                ]);
                 b.push_row(vec![name, fnum(sigma), fnum(eps), fnum(cell.avg_err)]);
             }
         }

@@ -28,7 +28,14 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let mut cells: Vec<CashCell> = Vec::new();
     for algo in algos() {
         for &eps in &cfg.eps_sweep() {
-            cells.push(run_cash_cell(algo, &data, eps, MPCAT_LOG_U, cfg.trials, cfg.seed ^ 0xF165));
+            cells.push(run_cash_cell(
+                algo,
+                &data,
+                eps,
+                MPCAT_LOG_U,
+                cfg.trials,
+                cfg.seed ^ 0xF165,
+            ));
         }
     }
     panels(&cells, "fig5", "MPCAT-OBS surrogate")
@@ -44,18 +51,42 @@ pub fn panels(cells: &[CashCell], prefix: &str, dataset: &str) -> Vec<Table> {
             headers,
         )
     };
-    let mut a = mk("a", "eps vs observed max error", &["algo", "eps", "max_err"]);
-    let mut b = mk("b", "eps vs observed avg error", &["algo", "eps", "avg_err"]);
+    let mut a = mk(
+        "a",
+        "eps vs observed max error",
+        &["algo", "eps", "max_err"],
+    );
+    let mut b = mk(
+        "b",
+        "eps vs observed avg error",
+        &["algo", "eps", "avg_err"],
+    );
     let mut c = mk("c", "space vs max error", &["algo", "space_kb", "max_err"]);
     let mut d = mk("d", "space vs avg error", &["algo", "space_kb", "avg_err"]);
-    let mut e = mk("e", "update time vs avg error", &["algo", "update_ns", "avg_err"]);
-    let mut f = mk("f", "space vs update time", &["algo", "space_kb", "update_ns"]);
+    let mut e = mk(
+        "e",
+        "update time vs avg error",
+        &["algo", "update_ns", "avg_err"],
+    );
+    let mut f = mk(
+        "f",
+        "space vs update time",
+        &["algo", "space_kb", "update_ns"],
+    );
     for cell in cells {
         let algo = cell.algo.to_string();
         a.push_row(vec![algo.clone(), fnum(cell.eps), fnum(cell.max_err)]);
         b.push_row(vec![algo.clone(), fnum(cell.eps), fnum(cell.avg_err)]);
-        c.push_row(vec![algo.clone(), fkb(cell.space_bytes), fnum(cell.max_err)]);
-        d.push_row(vec![algo.clone(), fkb(cell.space_bytes), fnum(cell.avg_err)]);
+        c.push_row(vec![
+            algo.clone(),
+            fkb(cell.space_bytes),
+            fnum(cell.max_err),
+        ]);
+        d.push_row(vec![
+            algo.clone(),
+            fkb(cell.space_bytes),
+            fnum(cell.avg_err),
+        ]);
         e.push_row(vec![algo.clone(), fnum(cell.update_ns), fnum(cell.avg_err)]);
         f.push_row(vec![algo, fkb(cell.space_bytes), fnum(cell.update_ns)]);
     }

@@ -28,7 +28,11 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     for log_u in LOG_US {
         let data: Vec<u64> = Normal::new(log_u, 0.15, cfg.seed).take(cfg.n).collect();
         for &eps in &cfg.eps_sweep() {
-            for algo in [CashAlgo::FastQDigest, CashAlgo::GkAdaptive, CashAlgo::Random] {
+            for algo in [
+                CashAlgo::FastQDigest,
+                CashAlgo::GkAdaptive,
+                CashAlgo::Random,
+            ] {
                 // The comparison-based algorithms only need one
                 // representative universe (their behaviour is universe-
                 // independent; §4.2.4 plots a single curve for them).

@@ -20,7 +20,13 @@ const EPS: f64 = 1e-4;
 
 /// Runs the experiment.
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
-    let mut lens = vec![100_000usize, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000];
+    let mut lens = vec![
+        100_000usize,
+        1_000_000,
+        10_000_000,
+        100_000_000,
+        1_000_000_000,
+    ];
     lens.retain(|&n| n <= cfg.max_stream_len);
     if lens.is_empty() {
         lens.push(cfg.max_stream_len.max(10_000));
@@ -38,10 +44,24 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     );
     for algo in CashAlgo::HEADLINE {
         for &n in &lens {
-            let cell =
-                run_cash_perf(algo, Uniform::new(32, cfg.seed), n, EPS, 32, cfg.seed ^ 0xF167);
-            a.push_row(vec![cell.algo.to_string(), n.to_string(), fnum(cell.update_ns)]);
-            b.push_row(vec![cell.algo.to_string(), n.to_string(), fkb(cell.space_bytes)]);
+            let cell = run_cash_perf(
+                algo,
+                Uniform::new(32, cfg.seed),
+                n,
+                EPS,
+                32,
+                cfg.seed ^ 0xF167,
+            );
+            a.push_row(vec![
+                cell.algo.to_string(),
+                n.to_string(),
+                fnum(cell.update_ns),
+            ]);
+            b.push_row(vec![
+                cell.algo.to_string(),
+                n.to_string(),
+                fkb(cell.space_bytes),
+            ]);
         }
     }
     vec![a, b]

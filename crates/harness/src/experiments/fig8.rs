@@ -20,10 +20,21 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         let mut cells: Vec<CashCell> = Vec::new();
         for algo in CashAlgo::HEADLINE {
             for &eps in &cfg.eps_sweep() {
-                cells.push(run_cash_cell(algo, &data, eps, 32, cfg.trials, cfg.seed ^ 0xF168));
+                cells.push(run_cash_cell(
+                    algo,
+                    &data,
+                    eps,
+                    32,
+                    cfg.trials,
+                    cfg.seed ^ 0xF168,
+                ));
             }
         }
-        out.extend(panels(&cells, &format!("fig8_{tag}_"), &format!("Uniform u=2^32, {tag} order")));
+        out.extend(panels(
+            &cells,
+            &format!("fig8_{tag}_"),
+            &format!("Uniform u=2^32, {tag} order"),
+        ));
     }
     out
 }

@@ -58,10 +58,12 @@ impl ExpConfig {
     /// restricted to values meaningful at the configured `n`
     /// (`ε·n ≥ 50`, so the probe grid and the guarantees make sense).
     pub fn eps_sweep(&self) -> Vec<f64> {
-        [0.05, 0.02, 0.01, 0.005, 0.002, 0.001, 0.0005, 0.0002, 0.0001]
-            .into_iter()
-            .filter(|e| e * self.n as f64 >= 50.0)
-            .collect()
+        [
+            0.05, 0.02, 0.01, 0.005, 0.002, 0.001, 0.0005, 0.0002, 0.0001,
+        ]
+        .into_iter()
+        .filter(|e| e * self.n as f64 >= 50.0)
+        .collect()
     }
 
     /// A shorter sweep for the expensive turnstile cells.
@@ -75,8 +77,8 @@ impl ExpConfig {
 
 /// Every experiment id, in DESIGN.md order.
 pub const ALL_EXPERIMENTS: [&str; 13] = [
-    "fig4", "fig5", "fig6", "fig7", "fig8", "tab34", "fig9", "fig10", "fig11", "fig12",
-    "xcompare", "ablation", "claims",
+    "fig4", "fig5", "fig6", "fig7", "fig8", "tab34", "fig9", "fig10", "fig11", "fig12", "xcompare",
+    "ablation", "claims",
 ];
 
 /// Runs one experiment by id.
@@ -108,7 +110,10 @@ mod tests {
 
     #[test]
     fn eps_sweep_respects_n() {
-        let mut cfg = ExpConfig { n: 10_000, ..ExpConfig::default() };
+        let mut cfg = ExpConfig {
+            n: 10_000,
+            ..ExpConfig::default()
+        };
         assert!(cfg.eps_sweep().iter().all(|&e| e * 10_000.0 >= 50.0));
         cfg.n = 100_000_000;
         assert!(cfg.eps_sweep().contains(&0.0001));

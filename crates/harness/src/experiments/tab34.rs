@@ -12,10 +12,10 @@
 
 use super::ExpConfig;
 use crate::report::Table;
+use sqs_data::Uniform;
 use sqs_turnstile::{dcs, TurnstileQuantiles};
 use sqs_util::exact::{observed_errors, probe_phis, ExactQuantiles};
 use sqs_util::rng::SplitMix64;
-use sqs_data::Uniform;
 
 const DEPTHS: [usize; 6] = [3, 5, 7, 9, 11, 13];
 const SIZES_KB: [usize; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
@@ -61,8 +61,17 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
                 for &x in &data {
                     s.insert(x);
                 }
-                let answers: Vec<(f64, u64)> =
-                    phis.iter().map(|&p| (p, s.quantile(p).expect("nonempty"))).collect();
+                let answers: Vec<(f64, u64)> = phis
+                    .iter()
+                    .map(|&p| {
+                        (
+                            p,
+                            s.quantile(p).expect(
+                                "harness invariant: summary nonempty after feeding the stream",
+                            ),
+                        )
+                    })
+                    .collect();
                 let (me, ae) = observed_errors(&oracle, &answers);
                 max_sum += me;
                 avg_sum += ae;

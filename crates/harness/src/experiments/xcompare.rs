@@ -16,8 +16,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         "cash-register vs turnstile at equal eps (MPCAT-OBS surrogate)",
         &["model", "algo", "eps", "avg_err", "space_kb", "update_ns"],
     );
-    let mut eps_list: Vec<f64> =
-        [0.01, 0.001].into_iter().filter(|e| e * cfg.n as f64 >= 50.0).collect();
+    let mut eps_list: Vec<f64> = [0.01, 0.001]
+        .into_iter()
+        .filter(|e| e * cfg.n as f64 >= 50.0)
+        .collect();
     if eps_list.is_empty() {
         eps_list.push(0.01);
     }

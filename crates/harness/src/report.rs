@@ -34,7 +34,12 @@ impl Table {
     /// # Panics
     /// Panics if the arity doesn't match the headers.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row arity mismatch in {}", self.id);
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity mismatch in {}",
+            self.id
+        );
         self.rows.push(row);
     }
 
@@ -57,7 +62,11 @@ impl Table {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", line(&self.headers, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", line(row, &widths));
         }

@@ -80,7 +80,10 @@ impl CashAlgo {
 
     /// Whether the algorithm is randomized (needs trial averaging).
     pub fn randomized(&self) -> bool {
-        matches!(self, CashAlgo::Random | CashAlgo::Mrl99 | CashAlgo::Reservoir)
+        matches!(
+            self,
+            CashAlgo::Random | CashAlgo::Mrl99 | CashAlgo::Reservoir
+        )
     }
 
     /// Instantiates the summary. `log_u` parameterizes the fixed-
@@ -313,8 +316,16 @@ fn run_turnstile_once(
                 s.insert(x);
             }
             let ns = t0.elapsed().as_nanos() as f64 / data.len() as f64;
-            let answers: Vec<(f64, u64)> =
-                phis.iter().map(|&p| (p, s.quantile(p).expect("nonempty"))).collect();
+            let answers: Vec<(f64, u64)> = phis
+                .iter()
+                .map(|&p| {
+                    (
+                        p,
+                        s.quantile(p)
+                            .expect("harness invariant: summary nonempty after feeding the stream"),
+                    )
+                })
+                .collect();
             let (me, ae) = observed_errors(oracle, &answers);
             (me, ae, s.space_bytes(), ns)
         }
@@ -325,8 +336,16 @@ fn run_turnstile_once(
                 s.insert(x);
             }
             let ns = t0.elapsed().as_nanos() as f64 / data.len() as f64;
-            let answers: Vec<(f64, u64)> =
-                phis.iter().map(|&p| (p, s.quantile(p).expect("nonempty"))).collect();
+            let answers: Vec<(f64, u64)> = phis
+                .iter()
+                .map(|&p| {
+                    (
+                        p,
+                        s.quantile(p)
+                            .expect("harness invariant: summary nonempty after feeding the stream"),
+                    )
+                })
+                .collect();
             let (me, ae) = observed_errors(oracle, &answers);
             (me, ae, s.space_bytes(), ns)
         }
@@ -338,8 +357,16 @@ fn run_turnstile_once(
             }
             let ns = t0.elapsed().as_nanos() as f64 / data.len() as f64;
             let post = PostProcessed::new(&s, eps, eta);
-            let answers: Vec<(f64, u64)> =
-                phis.iter().map(|&p| (p, post.quantile(p).expect("nonempty"))).collect();
+            let answers: Vec<(f64, u64)> = phis
+                .iter()
+                .map(|&p| {
+                    (
+                        p,
+                        post.quantile(p)
+                            .expect("harness invariant: summary nonempty after feeding the stream"),
+                    )
+                })
+                .collect();
             let (me, ae) = observed_errors(oracle, &answers);
             // Post adds no streaming space or time (§4.3.4); its size
             // is the DCS it refines.
@@ -352,8 +379,16 @@ fn run_turnstile_once(
                 s.insert(x);
             }
             let ns = t0.elapsed().as_nanos() as f64 / data.len() as f64;
-            let answers: Vec<(f64, u64)> =
-                phis.iter().map(|&p| (p, s.quantile(p).expect("nonempty"))).collect();
+            let answers: Vec<(f64, u64)> = phis
+                .iter()
+                .map(|&p| {
+                    (
+                        p,
+                        s.quantile(p)
+                            .expect("harness invariant: summary nonempty after feeding the stream"),
+                    )
+                })
+                .collect();
             let (me, ae) = observed_errors(oracle, &answers);
             (me, ae, s.space_bytes(), ns)
         }
@@ -370,7 +405,12 @@ mod tests {
         let data: Vec<u64> = Uniform::new(20, 1).take(20_000).collect();
         for algo in CashAlgo::ALL {
             let cell = run_cash_cell(algo, &data, 0.05, 20, 2, 7);
-            assert!(cell.max_err <= 0.15, "{}: max_err {}", cell.algo, cell.max_err);
+            assert!(
+                cell.max_err <= 0.15,
+                "{}: max_err {}",
+                cell.algo,
+                cell.max_err
+            );
             assert!(cell.avg_err <= cell.max_err + 1e-12);
             assert!(cell.space_bytes > 0);
             assert!(cell.update_ns > 0.0);
@@ -386,8 +426,7 @@ mod tests {
 
     #[test]
     fn perf_cell_streams_without_materializing() {
-        let cell =
-            run_cash_perf(CashAlgo::Random, Uniform::new(32, 2), 100_000, 0.01, 32, 3);
+        let cell = run_cash_perf(CashAlgo::Random, Uniform::new(32, 2), 100_000, 0.01, 32, 3);
         assert!(cell.max_err.is_nan());
         assert!(cell.space_bytes > 0);
         assert_eq!(cell.n, 100_000);

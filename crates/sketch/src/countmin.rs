@@ -1,6 +1,11 @@
 //! The Count-Min sketch (Cormode & Muthukrishnan, 2005) — the
 //! frequency estimator behind the paper's `DCM` baseline (§1.2.2).
 
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
 use crate::FrequencySketch;
 use sqs_util::hash::PairwiseHash;
 use sqs_util::rng::Xoshiro256pp;
@@ -16,6 +21,8 @@ pub struct CountMin {
     counters: Vec<i64>, // d rows × w, row-major
     hashes: Vec<PairwiseHash>,
     universe: u64,
+    #[cfg(any(test, feature = "audit"))]
+    updates: u64,
 }
 
 impl CountMin {
@@ -24,12 +31,19 @@ impl CountMin {
     /// # Panics
     /// Panics if `width == 0` or `depth == 0`.
     pub fn new(width: usize, depth: usize, rng: &mut Xoshiro256pp) -> Self {
-        assert!(width > 0 && depth > 0, "CountMin: width and depth must be positive");
+        assert!(
+            width > 0 && depth > 0,
+            "CountMin: width and depth must be positive"
+        );
         Self {
             width,
             counters: vec![0; width * depth],
-            hashes: (0..depth).map(|_| PairwiseHash::new(rng, width as u64)).collect(),
+            hashes: (0..depth)
+                .map(|_| PairwiseHash::new(rng, width as u64))
+                .collect(),
             universe: u64::MAX,
+            #[cfg(any(test, feature = "audit"))]
+            updates: 0,
         }
     }
 
@@ -52,11 +66,59 @@ impl CountMin {
     }
 }
 
+impl sqs_util::audit::CheckInvariants for CountMin {
+    fn check_invariants(&self) -> Result<(), sqs_util::audit::InvariantViolation> {
+        use sqs_util::audit::ensure;
+        const ALG: &str = "CountMin";
+        ensure(
+            self.width > 0 && !self.hashes.is_empty(),
+            ALG,
+            "countmin.shape_positive",
+            || format!("width = {}, depth = {}", self.width, self.hashes.len()),
+        )?;
+        ensure(
+            self.counters.len() == self.width * self.hashes.len(),
+            ALG,
+            "countmin.counter_layout",
+            || {
+                format!(
+                    "{} counters for {}×{} layout",
+                    self.counters.len(),
+                    self.width,
+                    self.hashes.len()
+                )
+            },
+        )?;
+        ensure(self.universe > 0, ALG, "countmin.universe_positive", || {
+            "universe is zero".to_string()
+        })?;
+        // Every update adds its delta to exactly one counter per row,
+        // so all row sums equal the total update mass.
+        let first: i64 = self.counters[..self.width].iter().sum();
+        for i in 1..self.hashes.len() {
+            let row: i64 = self.counters[i * self.width..(i + 1) * self.width]
+                .iter()
+                .sum();
+            ensure(row == first, ALG, "countmin.row_mass_equal", || {
+                format!("row {i} sums to {row}, row 0 sums to {first}")
+            })?;
+        }
+        Ok(())
+    }
+}
+
 impl FrequencySketch for CountMin {
     fn update(&mut self, x: u64, delta: i64) {
         for (i, h) in self.hashes.iter().enumerate() {
             let j = h.hash(x) as usize;
             self.counters[i * self.width + j] += delta;
+        }
+        #[cfg(any(test, feature = "audit"))]
+        {
+            self.updates += 1;
+            if sqs_util::audit::audit_point(self.updates) {
+                sqs_util::audit::CheckInvariants::assert_invariants(self);
+            }
         }
     }
 
@@ -66,7 +128,7 @@ impl FrequencySketch for CountMin {
             .enumerate()
             .map(|(i, h)| self.counters[i * self.width + h.hash(x) as usize])
             .min()
-            .expect("depth > 0")
+            .expect("CountMin invariant: depth > 0")
     }
 
     fn universe(&self) -> u64 {
@@ -152,5 +214,35 @@ mod tests {
     #[should_panic(expected = "width and depth must be positive")]
     fn rejects_zero_width() {
         CountMin::new(0, 3, &mut Xoshiro256pp::new(1));
+    }
+}
+
+#[cfg(test)]
+mod corruption {
+    use super::*;
+    use sqs_util::audit::CheckInvariants;
+
+    #[test]
+    fn auditor_catches_row_mass_drift() {
+        let mut rng = Xoshiro256pp::new(50);
+        let mut cm = CountMin::new(32, 4, &mut rng);
+        for x in 0..1_000u64 {
+            cm.update(x % 200, 1);
+        }
+        cm.counters[0] += 1; // row 0 no longer matches the others
+        let err = cm.check_invariants().unwrap_err();
+        assert_eq!(err.algorithm, "CountMin");
+        assert_eq!(err.invariant, "countmin.row_mass_equal");
+    }
+
+    #[test]
+    fn auditor_catches_truncated_counters() {
+        let mut rng = Xoshiro256pp::new(51);
+        let mut cm = CountMin::new(32, 4, &mut rng);
+        cm.counters.pop();
+        assert_eq!(
+            cm.check_invariants().unwrap_err().invariant,
+            "countmin.counter_layout"
+        );
     }
 }

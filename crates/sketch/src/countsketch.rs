@@ -9,6 +9,11 @@
 //! estimates with only `√(log u)` error growth — the asymptotic win of
 //! DCS over DCM.
 
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
 use crate::FrequencySketch;
 use sqs_util::hash::{FourwiseHash, PairwiseHash};
 use sqs_util::rng::Xoshiro256pp;
@@ -39,6 +44,8 @@ pub struct CountSketch {
     bucket_hashes: Vec<PairwiseHash>,
     sign_hashes: Vec<FourwiseHash>,
     universe: u64,
+    #[cfg(any(test, feature = "audit"))]
+    updates: u64,
 }
 
 impl CountSketch {
@@ -47,13 +54,20 @@ impl CountSketch {
     /// # Panics
     /// Panics if `width == 0` or `depth == 0`.
     pub fn new(width: usize, depth: usize, rng: &mut Xoshiro256pp) -> Self {
-        assert!(width > 0 && depth > 0, "CountSketch: width and depth must be positive");
+        assert!(
+            width > 0 && depth > 0,
+            "CountSketch: width and depth must be positive"
+        );
         Self {
             width,
             counters: vec![0; width * depth],
-            bucket_hashes: (0..depth).map(|_| PairwiseHash::new(rng, width as u64)).collect(),
+            bucket_hashes: (0..depth)
+                .map(|_| PairwiseHash::new(rng, width as u64))
+                .collect(),
             sign_hashes: (0..depth).map(|_| FourwiseHash::new(rng)).collect(),
             universe: u64::MAX,
+            #[cfg(any(test, feature = "audit"))]
+            updates: 0,
         }
     }
 
@@ -78,7 +92,11 @@ impl CountSketch {
     /// counters (each row's sum is an unbiased F₂ estimator).
     pub fn f2_estimate(&self) -> f64 {
         let d = self.bucket_hashes.len();
-        self.counters.iter().map(|&c| (c as f64) * (c as f64)).sum::<f64>() / d as f64
+        self.counters
+            .iter()
+            .map(|&c| (c as f64) * (c as f64))
+            .sum::<f64>()
+            / d as f64
     }
 
     /// The per-row estimates `g_i(x)·C[i, h_i(x)]` (tests, diagnostics).
@@ -92,11 +110,77 @@ impl CountSketch {
     }
 }
 
+impl sqs_util::audit::CheckInvariants for CountSketch {
+    fn check_invariants(&self) -> Result<(), sqs_util::audit::InvariantViolation> {
+        use sqs_util::audit::ensure;
+        const ALG: &str = "CountSketch";
+        ensure(
+            self.width > 0 && !self.bucket_hashes.is_empty(),
+            ALG,
+            "countsketch.shape_positive",
+            || {
+                format!(
+                    "width = {}, depth = {}",
+                    self.width,
+                    self.bucket_hashes.len()
+                )
+            },
+        )?;
+        ensure(
+            self.sign_hashes.len() == self.bucket_hashes.len(),
+            ALG,
+            "countsketch.hash_pairing",
+            || {
+                format!(
+                    "{} sign hashes for {} bucket hashes",
+                    self.sign_hashes.len(),
+                    self.bucket_hashes.len()
+                )
+            },
+        )?;
+        ensure(
+            self.counters.len() == self.width * self.bucket_hashes.len(),
+            ALG,
+            "countsketch.counter_layout",
+            || {
+                format!(
+                    "{} counters for {}×{} layout",
+                    self.counters.len(),
+                    self.width,
+                    self.bucket_hashes.len()
+                )
+            },
+        )?;
+        // Signs are ±1, so each row's sum has the parity of the total
+        // update mass — every row must agree on it.
+        let first: i64 = self.counters[..self.width].iter().sum();
+        for i in 1..self.bucket_hashes.len() {
+            let row: i64 = self.counters[i * self.width..(i + 1) * self.width]
+                .iter()
+                .sum();
+            ensure(
+                row.rem_euclid(2) == first.rem_euclid(2),
+                ALG,
+                "countsketch.row_mass_parity",
+                || format!("row {i} sum {row} disagrees in parity with row 0 sum {first}"),
+            )?;
+        }
+        Ok(())
+    }
+}
+
 impl FrequencySketch for CountSketch {
     fn update(&mut self, x: u64, delta: i64) {
         for i in 0..self.bucket_hashes.len() {
             let j = self.bucket_hashes[i].hash(x) as usize;
             self.counters[i * self.width + j] += self.sign_hashes[i].sign(x) * delta;
+        }
+        #[cfg(any(test, feature = "audit"))]
+        {
+            self.updates += 1;
+            if sqs_util::audit::audit_point(self.updates) {
+                sqs_util::audit::CheckInvariants::assert_invariants(self);
+            }
         }
     }
 
@@ -231,5 +315,35 @@ mod tests {
         let mut rng = Xoshiro256pp::new(35);
         let cs = CountSketch::new(8, 7, &mut rng);
         assert_eq!(cs.row_estimates(42).len(), 7);
+    }
+}
+
+#[cfg(test)]
+mod corruption {
+    use super::*;
+    use sqs_util::audit::CheckInvariants;
+
+    #[test]
+    fn auditor_catches_single_counter_flip() {
+        let mut rng = Xoshiro256pp::new(60);
+        let mut cs = CountSketch::new(32, 4, &mut rng);
+        for x in 0..1_000u64 {
+            cs.update(x % 200, 1);
+        }
+        cs.counters[0] += 1; // breaks the shared row-sum parity
+        let err = cs.check_invariants().unwrap_err();
+        assert_eq!(err.algorithm, "CountSketch");
+        assert_eq!(err.invariant, "countsketch.row_mass_parity");
+    }
+
+    #[test]
+    fn auditor_catches_dropped_sign_hash() {
+        let mut rng = Xoshiro256pp::new(61);
+        let mut cs = CountSketch::new(32, 4, &mut rng);
+        cs.sign_hashes.pop();
+        assert_eq!(
+            cs.check_invariants().unwrap_err().invariant,
+            "countsketch.hash_pairing"
+        );
     }
 }

@@ -15,6 +15,11 @@
 //!   rows (CRT), so the *minimum* row overshoots by at most
 //!   `(n − f_x)·log_b(u)/t`.
 
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
 use crate::FrequencySketch;
 use sqs_util::space::{words, SpaceUsage};
 
@@ -23,7 +28,9 @@ fn primes_from(from: u64, count: usize) -> Vec<u64> {
     let mut out = Vec::with_capacity(count);
     let mut candidate = from.max(2);
     while out.len() < count {
-        let is_prime = (2..).take_while(|d| d * d <= candidate).all(|d| !candidate.is_multiple_of(d));
+        let is_prime = (2..)
+            .take_while(|d| d * d <= candidate)
+            .all(|d| !candidate.is_multiple_of(d));
         if is_prime {
             out.push(candidate);
         }
@@ -41,6 +48,8 @@ pub struct CrPrecis {
     counters: Vec<i64>,
     offsets: Vec<usize>,
     universe: u64,
+    #[cfg(any(test, feature = "audit"))]
+    updates: u64,
 }
 
 impl CrPrecis {
@@ -61,7 +70,14 @@ impl CrPrecis {
             offsets.push(total);
             total += p as usize;
         }
-        Self { primes, counters: vec![0; total], offsets, universe }
+        Self {
+            primes,
+            counters: vec![0; total],
+            offsets,
+            universe,
+            #[cfg(any(test, feature = "audit"))]
+            updates: 0,
+        }
     }
 
     /// Sizes a sketch for ε-fraction frequency error over `universe`:
@@ -82,10 +98,84 @@ impl CrPrecis {
     }
 }
 
+impl sqs_util::audit::CheckInvariants for CrPrecis {
+    fn check_invariants(&self) -> Result<(), sqs_util::audit::InvariantViolation> {
+        use sqs_util::audit::ensure;
+        const ALG: &str = "CrPrecis";
+        ensure(
+            !self.primes.is_empty(),
+            ALG,
+            "crprecis.rows_positive",
+            || "no rows".to_string(),
+        )?;
+        ensure(
+            self.offsets.len() == self.primes.len(),
+            ALG,
+            "crprecis.offset_count",
+            || {
+                format!(
+                    "{} offsets for {} rows",
+                    self.offsets.len(),
+                    self.primes.len()
+                )
+            },
+        )?;
+        let mut total = 0usize;
+        for (j, &p) in self.primes.iter().enumerate() {
+            ensure(
+                j == 0 || self.primes[j - 1] < p,
+                ALG,
+                "crprecis.primes_increasing",
+                || format!("row {j} modulus {p} does not exceed its predecessor"),
+            )?;
+            let is_prime = p >= 2
+                && (2..)
+                    .take_while(|d| d * d <= p)
+                    .all(|d| !p.is_multiple_of(d));
+            ensure(is_prime, ALG, "crprecis.modulus_prime", || {
+                format!("row {j} modulus {p} is composite")
+            })?;
+            ensure(
+                self.offsets[j] == total,
+                ALG,
+                "crprecis.row_offsets",
+                || format!("row {j} starts at {} instead of {total}", self.offsets[j]),
+            )?;
+            total += p as usize;
+        }
+        ensure(
+            self.counters.len() == total,
+            ALG,
+            "crprecis.counter_layout",
+            || format!("{} counters for Σ primes = {total}", self.counters.len()),
+        )?;
+        // Each update adds its delta to one residue class per row, so
+        // all row sums equal the total update mass.
+        let width0 = self.primes[0] as usize;
+        let first: i64 = self.counters[..width0].iter().sum();
+        for (j, &p) in self.primes.iter().enumerate().skip(1) {
+            let row: i64 = self.counters[self.offsets[j]..self.offsets[j] + p as usize]
+                .iter()
+                .sum();
+            ensure(row == first, ALG, "crprecis.row_mass_equal", || {
+                format!("row {j} sums to {row}, row 0 sums to {first}")
+            })?;
+        }
+        Ok(())
+    }
+}
+
 impl FrequencySketch for CrPrecis {
     fn update(&mut self, x: u64, delta: i64) {
         for (j, &p) in self.primes.iter().enumerate() {
             self.counters[self.offsets[j] + (x % p) as usize] += delta;
+        }
+        #[cfg(any(test, feature = "audit"))]
+        {
+            self.updates += 1;
+            if sqs_util::audit::audit_point(self.updates) {
+                sqs_util::audit::CheckInvariants::assert_invariants(self);
+            }
         }
     }
 
@@ -95,7 +185,7 @@ impl FrequencySketch for CrPrecis {
             .enumerate()
             .map(|(j, &p)| self.counters[self.offsets[j] + (x % p) as usize])
             .min()
-            .expect("t > 0")
+            .expect("CrPrecis invariant: t > 0 rows")
     }
 
     fn universe(&self) -> u64 {
@@ -142,13 +232,12 @@ mod tests {
         // Two distinct items in [u] collide in < log_base(u) rows.
         let s = CrPrecis::new(1 << 16, 20, 17);
         for (x, y) in [(5u64, 9000), (123, 45678), (1, 65535)] {
-            let collisions = s
-                .primes
-                .iter()
-                .filter(|&&p| x % p == y % p)
-                .count();
+            let collisions = s.primes.iter().filter(|&&p| x % p == y % p).count();
             let bound = (65536f64).log(17.0).ceil() as usize;
-            assert!(collisions < bound.max(1), "{x},{y}: {collisions} collisions");
+            assert!(
+                collisions < bound.max(1),
+                "{x},{y}: {collisions} collisions"
+            );
         }
     }
 
@@ -194,6 +283,39 @@ mod tests {
         let coarse = CrPrecis::for_eps(1 << 20, 0.1);
         let fine = CrPrecis::for_eps(1 << 20, 0.01);
         let ratio = fine.space_bytes() as f64 / coarse.space_bytes() as f64;
-        assert!(ratio > 20.0, "ratio = {ratio} — should blow up quadratically");
+        assert!(
+            ratio > 20.0,
+            "ratio = {ratio} — should blow up quadratically"
+        );
+    }
+}
+
+#[cfg(test)]
+mod corruption {
+    use super::*;
+    use sqs_util::audit::CheckInvariants;
+
+    #[test]
+    fn auditor_catches_row_mass_drift() {
+        let mut s = CrPrecis::new(1 << 12, 6, 16);
+        for x in 0..2_000u64 {
+            s.update(x % 500, 1);
+        }
+        s.counters[0] += 1;
+        let err = s.check_invariants().unwrap_err();
+        assert_eq!(err.algorithm, "CrPrecis");
+        assert_eq!(err.invariant, "crprecis.row_mass_equal");
+    }
+
+    #[test]
+    fn auditor_catches_composite_modulus() {
+        let mut s = CrPrecis::new(1 << 12, 6, 16);
+        s.primes[2] += 1; // 19 → 20, composite (and layout now lies too)
+        let err = s.check_invariants().unwrap_err();
+        assert!(
+            err.invariant == "crprecis.modulus_prime" || err.invariant == "crprecis.row_offsets",
+            "unexpected invariant {}",
+            err.invariant
+        );
     }
 }

@@ -7,6 +7,11 @@
 //! which is also what anchors the OLS post-processing (the exact nodes
 //! are the `σ_i = 0` constraints in Definition 1).
 
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
 use crate::FrequencySketch;
 use sqs_util::space::{words, SpaceUsage};
 
@@ -14,6 +19,8 @@ use sqs_util::space::{words, SpaceUsage};
 #[derive(Debug, Clone)]
 pub struct ExactCounts {
     counts: Vec<i64>,
+    #[cfg(any(test, feature = "audit"))]
+    updates: u64,
 }
 
 impl ExactCounts {
@@ -24,14 +31,48 @@ impl ExactCounts {
     /// dyadic structure should have used a sketch instead.
     pub fn new(universe: u64) -> Self {
         assert!(universe > 0, "ExactCounts: empty universe");
-        assert!(universe <= 1 << 28, "ExactCounts: universe too large for exact counting");
-        Self { counts: vec![0; universe as usize] }
+        assert!(
+            universe <= 1 << 28,
+            "ExactCounts: universe too large for exact counting"
+        );
+        Self {
+            counts: vec![0; universe as usize],
+            #[cfg(any(test, feature = "audit"))]
+            updates: 0,
+        }
+    }
+}
+
+impl sqs_util::audit::CheckInvariants for ExactCounts {
+    fn check_invariants(&self) -> Result<(), sqs_util::audit::InvariantViolation> {
+        use sqs_util::audit::ensure;
+        const ALG: &str = "ExactCounts";
+        ensure(
+            !self.counts.is_empty() && self.counts.len() <= 1 << 28,
+            ALG,
+            "exact.universe_range",
+            || format!("universe of {} counters", self.counts.len()),
+        )?;
+        // Strict turnstile model: no multiplicity ever goes negative.
+        for (x, &c) in self.counts.iter().enumerate() {
+            ensure(c >= 0, ALG, "exact.count_nonnegative", || {
+                format!("item {x} has multiplicity {c}")
+            })?;
+        }
+        Ok(())
     }
 }
 
 impl FrequencySketch for ExactCounts {
     fn update(&mut self, x: u64, delta: i64) {
         self.counts[x as usize] += delta;
+        #[cfg(any(test, feature = "audit"))]
+        {
+            self.updates += 1;
+            if sqs_util::audit::audit_point(self.updates) {
+                sqs_util::audit::CheckInvariants::assert_invariants(self);
+            }
+        }
     }
 
     fn estimate(&self, x: u64) -> i64 {
@@ -75,5 +116,21 @@ mod tests {
     #[should_panic(expected = "empty universe")]
     fn rejects_empty() {
         ExactCounts::new(0);
+    }
+}
+
+#[cfg(test)]
+mod corruption {
+    use super::*;
+    use sqs_util::audit::CheckInvariants;
+
+    #[test]
+    fn auditor_catches_negative_multiplicity() {
+        let mut e = ExactCounts::new(64);
+        e.update(10, 3);
+        e.counts[20] = -1; // a deletion that never had a matching insert
+        let err = e.check_invariants().unwrap_err();
+        assert_eq!(err.algorithm, "ExactCounts");
+        assert_eq!(err.invariant, "exact.count_nonnegative");
     }
 }

@@ -34,22 +34,27 @@
 #![warn(missing_docs)]
 
 pub mod countmin;
-pub mod crprecis;
 pub mod countsketch;
+pub mod crprecis;
 pub mod exactlevel;
 pub mod subsetsum;
 
 pub use countmin::CountMin;
-pub use crprecis::CrPrecis;
 pub use countsketch::CountSketch;
+pub use crprecis::CrPrecis;
 pub use exactlevel::ExactCounts;
 pub use subsetsum::SubsetSum;
 
+use sqs_util::audit::CheckInvariants;
 use sqs_util::SpaceUsage;
 
 /// A frequency-estimation sketch over a fixed universe, processing a
 /// turnstile stream of item insertions and deletions.
-pub trait FrequencySketch: SpaceUsage {
+///
+/// Every sketch must also implement [`CheckInvariants`] — the audit
+/// layer relies on the supertrait to recurse into the per-level
+/// sketches of the dyadic structures.
+pub trait FrequencySketch: SpaceUsage + CheckInvariants {
     /// Adds `delta` copies of item `x` (negative to delete). The
     /// turnstile model guarantees no item's multiplicity goes negative;
     /// sketches do not check this (they cannot).

@@ -27,6 +27,8 @@ pub struct SubsetSum {
     members: Vec<PairwiseHash>, // b_j : [u] → {0, 1}
     total: i64,                 // exact N (insertions − deletions)
     universe: u64,
+    #[cfg(any(test, feature = "audit"))]
+    updates: u64,
 }
 
 impl SubsetSum {
@@ -42,12 +44,59 @@ impl SubsetSum {
             members: (0..k).map(|_| PairwiseHash::new(rng, 2)).collect(),
             total: 0,
             universe,
+            #[cfg(any(test, feature = "audit"))]
+            updates: 0,
         }
     }
 
     /// Number of repetitions `k`.
     pub fn repetitions(&self) -> usize {
         self.counters.len()
+    }
+}
+
+impl sqs_util::audit::CheckInvariants for SubsetSum {
+    fn check_invariants(&self) -> Result<(), sqs_util::audit::InvariantViolation> {
+        use sqs_util::audit::ensure;
+        const ALG: &str = "SubsetSum";
+        ensure(
+            !self.counters.is_empty(),
+            ALG,
+            "subsetsum.reps_positive",
+            || "no repetitions".to_string(),
+        )?;
+        ensure(
+            self.members.len() == self.counters.len(),
+            ALG,
+            "subsetsum.member_pairing",
+            || {
+                format!(
+                    "{} membership hashes for {} counters",
+                    self.members.len(),
+                    self.counters.len()
+                )
+            },
+        )?;
+        ensure(
+            self.universe > 0,
+            ALG,
+            "subsetsum.universe_positive",
+            || "universe is zero".to_string(),
+        )?;
+        // Strict turnstile model: item multiplicities never go negative,
+        // so each subset's mass sits between 0 and the total mass.
+        ensure(self.total >= 0, ALG, "subsetsum.total_nonnegative", || {
+            format!("total mass is {}", self.total)
+        })?;
+        for (j, &c) in self.counters.iter().enumerate() {
+            ensure(
+                c >= 0 && c <= self.total,
+                ALG,
+                "subsetsum.subset_mass_bound",
+                || format!("repetition {j} holds {c}, outside [0, {}]", self.total),
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -59,6 +108,13 @@ impl FrequencySketch for SubsetSum {
                 *c += delta;
             }
         }
+        #[cfg(any(test, feature = "audit"))]
+        {
+            self.updates += 1;
+            if sqs_util::audit::audit_point(self.updates) {
+                sqs_util::audit::CheckInvariants::assert_invariants(self);
+            }
+        }
     }
 
     fn estimate(&self, x: u64) -> i64 {
@@ -67,7 +123,13 @@ impl FrequencySketch for SubsetSum {
             .counters
             .iter()
             .zip(&self.members)
-            .map(|(&c, b)| if b.hash(x) == 1 { 2 * c - self.total } else { self.total - 2 * c })
+            .map(|(&c, b)| {
+                if b.hash(x) == 1 {
+                    2 * c - self.total
+                } else {
+                    self.total - 2 * c
+                }
+            })
             .sum();
         // Round-to-nearest average.
         (sum + k.signum() * k / 2) / k
@@ -146,5 +208,35 @@ mod tests {
         let mut rng = Xoshiro256pp::new(44);
         let ss = SubsetSum::new(64, 100, &mut rng);
         assert_eq!(ss.space_bytes(), (300 + 1) * 4);
+    }
+}
+
+#[cfg(test)]
+mod corruption {
+    use super::*;
+    use sqs_util::audit::CheckInvariants;
+
+    #[test]
+    fn auditor_catches_subset_exceeding_total() {
+        let mut rng = Xoshiro256pp::new(70);
+        let mut ss = SubsetSum::new(256, 16, &mut rng);
+        for x in 0..500u64 {
+            ss.update(x % 200, 1);
+        }
+        ss.counters[3] = ss.total + 1;
+        let err = ss.check_invariants().unwrap_err();
+        assert_eq!(err.algorithm, "SubsetSum");
+        assert_eq!(err.invariant, "subsetsum.subset_mass_bound");
+    }
+
+    #[test]
+    fn auditor_catches_negative_total() {
+        let mut rng = Xoshiro256pp::new(71);
+        let mut ss = SubsetSum::new(256, 16, &mut rng);
+        ss.total = -5;
+        assert_eq!(
+            ss.check_invariants().unwrap_err().invariant,
+            "subsetsum.total_nonnegative"
+        );
     }
 }

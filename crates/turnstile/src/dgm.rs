@@ -4,6 +4,11 @@
 //! study dismisses it as impractical without measuring; `new_dgm`
 //! makes the footprint comparison one function call.
 
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
 use crate::dyadic::DyadicQuantiles;
 use sqs_sketch::CrPrecis;
 

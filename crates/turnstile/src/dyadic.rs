@@ -9,6 +9,11 @@
 //! the sketch's counter budget store exact frequencies instead (§3),
 //! which also anchors the OLS post-processing.
 
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
 use crate::TurnstileQuantiles;
 use sqs_sketch::{ExactCounts, FrequencySketch};
 use sqs_util::dyadic::{Cell, DyadicUniverse};
@@ -32,6 +37,8 @@ pub struct DyadicQuantiles<S> {
     levels: Vec<Level<S>>,
     live: i64,
     name: &'static str,
+    #[cfg(any(test, feature = "audit"))]
+    updates: u64,
 }
 
 impl<S: FrequencySketch> DyadicQuantiles<S> {
@@ -56,7 +63,14 @@ impl<S: FrequencySketch> DyadicQuantiles<S> {
                 }
             })
             .collect();
-        Self { universe, levels, live: 0, name }
+        Self {
+            universe,
+            levels,
+            live: 0,
+            name,
+            #[cfg(any(test, feature = "audit"))]
+            updates: 0,
+        }
     }
 
     /// The universe descriptor.
@@ -120,6 +134,13 @@ impl<S: FrequencySketch> DyadicQuantiles<S> {
                 Level::Sketch(s) => s.update(idx, delta),
             }
         }
+        #[cfg(any(test, feature = "audit"))]
+        {
+            self.updates += 1;
+            if sqs_util::audit::audit_point(self.updates) {
+                sqs_util::audit::CheckInvariants::assert_invariants(self);
+            }
+        }
     }
 
     /// Signed rank estimate (before clamping): the summed cell
@@ -130,6 +151,111 @@ impl<S: FrequencySketch> DyadicQuantiles<S> {
             .into_iter()
             .map(|c| self.cell_estimate(c))
             .sum()
+    }
+}
+
+impl<S: FrequencySketch> sqs_util::audit::CheckInvariants for DyadicQuantiles<S> {
+    fn check_invariants(&self) -> Result<(), sqs_util::audit::InvariantViolation> {
+        use sqs_util::audit::ensure;
+        const ALG: &str = "Dyadic";
+        ensure(
+            self.levels.len() == self.universe.log_u() as usize,
+            ALG,
+            "dyadic.level_count",
+            || {
+                format!(
+                    "{} stored levels for log u = {}",
+                    self.levels.len(),
+                    self.universe.log_u()
+                )
+            },
+        )?;
+        // Strict turnstile model: deletions never outrun insertions.
+        ensure(self.live >= 0, ALG, "dyadic.live_nonnegative", || {
+            format!("live count is {}", self.live)
+        })?;
+        let mut prev_exact = false;
+        for (i, store) in self.levels.iter().enumerate() {
+            let cells = self.universe.cells_at_level(i as u32);
+            let (scope, exact) = match store {
+                Level::Exact(e) => (e.universe(), true),
+                Level::Sketch(s) => (s.universe(), false),
+            };
+            ensure(scope == cells, ALG, "dyadic.level_universe", || {
+                format!("level {i} summarizes {scope} cells, the dyadic tree has {cells}")
+            })?;
+            // Reduced universes shrink as levels rise, so once a level
+            // qualifies for exact counters every higher one does too.
+            ensure(
+                !prev_exact || exact,
+                ALG,
+                "dyadic.exact_levels_contiguous",
+                || format!("level {i} is a sketch but level {} is exact", i - 1),
+            )?;
+            prev_exact = exact;
+            // Recurse into the per-level store's own invariants.
+            match store {
+                Level::Exact(e) => e.check_invariants()?,
+                Level::Sketch(s) => s.check_invariants()?,
+            }
+            if let Level::Exact(e) = store {
+                // Sum-consistency: each exact level partitions the live
+                // multiset, so its counters must total `live`.
+                let sum: i64 = (0..cells).map(|c| e.estimate(c)).sum();
+                ensure(sum == self.live, ALG, "dyadic.exact_level_mass", || {
+                    format!(
+                        "level {i} counters total {sum}, live count is {}",
+                        self.live
+                    )
+                })?;
+            }
+        }
+        // Parent/child consistency across adjacent exact levels: a
+        // parent cell holds exactly its two children's mass.
+        for i in 0..self.levels.len().saturating_sub(1) {
+            if let (Level::Exact(child), Level::Exact(parent)) =
+                (&self.levels[i], &self.levels[i + 1])
+            {
+                for j in 0..self.universe.cells_at_level(i as u32 + 1) {
+                    ensure(
+                        parent.estimate(j) == child.estimate(2 * j) + child.estimate(2 * j + 1),
+                        ALG,
+                        "dyadic.parent_child_mass",
+                        || {
+                            format!(
+                                "level {} cell {j} holds {}, children hold {} + {}",
+                                i + 1,
+                                parent.estimate(j),
+                                child.estimate(2 * j),
+                                child.estimate(2 * j + 1)
+                            )
+                        },
+                    )?;
+                }
+            }
+        }
+        // Space accounting: the reported footprint must equal the sum
+        // of the per-level stores plus the live counter word.
+        let expect: usize = self
+            .levels
+            .iter()
+            .map(|l| match l {
+                Level::Exact(e) => e.space_bytes(),
+                Level::Sketch(s) => s.space_bytes(),
+            })
+            .sum::<usize>()
+            + words(1);
+        ensure(
+            self.space_bytes() == expect,
+            ALG,
+            "dyadic.space_accounting",
+            || {
+                format!(
+                    "space_bytes() reports {}, levels total {expect}",
+                    self.space_bytes()
+                )
+            },
+        )
     }
 }
 
@@ -296,5 +422,40 @@ mod tests {
     fn empty_quantile_is_none() {
         let dq = make(8, 16, 3, 9);
         assert_eq!(dq.quantile(0.5), None);
+    }
+}
+
+#[cfg(test)]
+mod corruption {
+    use super::*;
+    use crate::new_dgm;
+    use crate::TurnstileQuantiles;
+    use sqs_util::audit::CheckInvariants;
+
+    #[test]
+    fn auditor_catches_live_mass_drift() {
+        // Small universe → every level is exact, so the exact-level
+        // mass check sees the full picture.
+        let mut d = new_dgm(0.1, 8);
+        for x in 0..200u64 {
+            d.insert(x % 37);
+        }
+        d.live += 1; // claim one more live item than the levels hold
+        let err = d.check_invariants().unwrap_err();
+        assert_eq!(err.algorithm, "Dyadic");
+        assert_eq!(err.invariant, "dyadic.exact_level_mass");
+    }
+
+    #[test]
+    fn auditor_catches_dropped_level() {
+        let mut d = new_dgm(0.1, 8);
+        for x in 0..50u64 {
+            d.insert(x);
+        }
+        d.levels.pop();
+        assert_eq!(
+            d.check_invariants().unwrap_err().invariant,
+            "dyadic.level_count"
+        );
     }
 }

@@ -9,6 +9,11 @@
 //! descending the implicit tree), all *exact* — strictly dominating
 //! every sketch whenever `u` words of memory are affordable.
 
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
 use crate::TurnstileQuantiles;
 use sqs_util::space::{words, SpaceUsage};
 
@@ -21,6 +26,8 @@ pub struct ExactTurnstile {
     live: i64,
     /// Largest power of two ≤ u (for the quantile descent).
     top_bit: u64,
+    #[cfg(any(test, feature = "audit"))]
+    updates: u64,
 }
 
 impl ExactTurnstile {
@@ -31,12 +38,22 @@ impl ExactTurnstile {
     /// use a sketch instead, which is the paper's whole subject).
     pub fn new(universe: u64) -> Self {
         assert!(universe > 0, "ExactTurnstile: empty universe");
-        assert!(universe <= 1 << 28, "ExactTurnstile: use a sketch for universes this large");
+        assert!(
+            universe <= 1 << 28,
+            "ExactTurnstile: use a sketch for universes this large"
+        );
         let mut top_bit = 1u64;
         while top_bit * 2 <= universe {
             top_bit *= 2;
         }
-        Self { tree: vec![0; universe as usize + 1], universe, live: 0, top_bit }
+        Self {
+            tree: vec![0; universe as usize + 1],
+            universe,
+            live: 0,
+            top_bit,
+            #[cfg(any(test, feature = "audit"))]
+            updates: 0,
+        }
     }
 
     /// Convenience: universe `2^log_u`.
@@ -53,6 +70,13 @@ impl ExactTurnstile {
             self.tree[i] += delta;
             i += i & i.wrapping_neg();
         }
+        #[cfg(any(test, feature = "audit"))]
+        {
+            self.updates += 1;
+            if sqs_util::audit::audit_point(self.updates) {
+                sqs_util::audit::CheckInvariants::assert_invariants(self);
+            }
+        }
     }
 
     /// Exact number of live elements < `x`.
@@ -64,6 +88,63 @@ impl ExactTurnstile {
             i -= i & i.wrapping_neg();
         }
         acc
+    }
+}
+
+impl sqs_util::audit::CheckInvariants for ExactTurnstile {
+    fn check_invariants(&self) -> Result<(), sqs_util::audit::InvariantViolation> {
+        use sqs_util::audit::ensure;
+        const ALG: &str = "ExactTurnstile";
+        ensure(
+            self.universe > 0 && self.universe <= 1 << 28,
+            ALG,
+            "fenwick.universe_range",
+            || format!("universe of {} items", self.universe),
+        )?;
+        ensure(
+            self.tree.len() == self.universe as usize + 1,
+            ALG,
+            "fenwick.tree_size",
+            || {
+                format!(
+                    "Fenwick array of {} slots for universe {}",
+                    self.tree.len(),
+                    self.universe
+                )
+            },
+        )?;
+        ensure(
+            self.top_bit.is_power_of_two()
+                && self.top_bit <= self.universe
+                && self.top_bit * 2 > self.universe,
+            ALG,
+            "fenwick.top_bit",
+            || format!("top_bit {} for universe {}", self.top_bit, self.universe),
+        )?;
+        // Strict turnstile model: deletions never outrun insertions.
+        ensure(self.live >= 0, ALG, "fenwick.live_nonnegative", || {
+            format!("live count is {}", self.live)
+        })?;
+        // Each Fenwick node covers a contiguous value range, whose
+        // multiplicities are all non-negative in the strict model.
+        for (i, &node) in self.tree.iter().enumerate().skip(1) {
+            ensure(node >= 0, ALG, "fenwick.node_nonnegative", || {
+                format!("node {i} holds {node}")
+            })?;
+        }
+        // The full prefix must reproduce the exactly-tracked live count.
+        ensure(
+            self.prefix(self.universe) == self.live,
+            ALG,
+            "fenwick.total_mass",
+            || {
+                format!(
+                    "prefix over the whole universe is {}, live count is {}",
+                    self.prefix(self.universe),
+                    self.live
+                )
+            },
+        )
     }
 }
 
@@ -205,5 +286,35 @@ mod tests {
     #[should_panic(expected = "outside universe")]
     fn bounds_checked() {
         ExactTurnstile::new(8).insert(8);
+    }
+}
+
+#[cfg(test)]
+mod corruption {
+    use super::*;
+    use sqs_util::audit::CheckInvariants;
+
+    #[test]
+    fn auditor_catches_tampered_tree_node() {
+        let mut e = ExactTurnstile::new(256);
+        for x in 0..100u64 {
+            e.insert(x);
+        }
+        let root = e.tree.len() - 1;
+        e.tree[root] += 3; // prefix sums no longer reconcile with `live`
+        let err = e.check_invariants().unwrap_err();
+        assert_eq!(err.algorithm, "ExactTurnstile");
+        assert_eq!(err.invariant, "fenwick.total_mass");
+    }
+
+    #[test]
+    fn auditor_catches_negative_node() {
+        let mut e = ExactTurnstile::new(256);
+        e.insert(5);
+        e.tree[1] = -2;
+        assert_eq!(
+            e.check_invariants().unwrap_err().invariant,
+            "fenwick.node_nonnegative"
+        );
     }
 }

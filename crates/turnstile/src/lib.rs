@@ -31,16 +31,16 @@
 #![warn(missing_docs)]
 
 pub mod dcm;
-pub mod dgm;
 pub mod dcs;
+pub mod dgm;
 pub mod dyadic;
 pub mod exact;
 pub mod post;
 pub mod rss;
 
 pub use dcm::{new_dcm, Dcm};
-pub use dgm::{new_dgm, Dgm};
 pub use dcs::{new_dcs, Dcs};
+pub use dgm::{new_dgm, Dgm};
 pub use dyadic::DyadicQuantiles;
 pub use exact::ExactTurnstile;
 pub use post::{FrontierMode, PostProcessed, VarianceMode};

@@ -38,6 +38,11 @@
 //! measurably beats the raw-sketch fallback (see the frontier
 //! ablation).
 
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
 use std::collections::HashMap;
 
 use crate::dyadic::DyadicQuantiles;
@@ -192,7 +197,9 @@ fn solve_blue(nodes: &mut [BlueNode]) {
     nodes[0].zprime = 0.0;
     for &v in &order {
         if v != 0 {
-            let p = nodes[v].parent.expect("non-root has parent");
+            let p = nodes[v]
+                .parent
+                .expect("Dyadic invariant: non-root node has a parent");
             nodes[v].zprime = nodes[p].zprime + nodes[v].y / nodes[v].sigma2.max(SIGMA2_FLOOR);
         }
     }
@@ -208,7 +215,9 @@ fn solve_blue(nodes: &mut [BlueNode]) {
     }
 
     // ---- Pass 5 (top-down): Δ, then F and x*.
-    let left_of_root = nodes[0].left.expect("root has children here");
+    let left_of_root = nodes[0]
+        .left
+        .expect("Dyadic invariant: root has children when log_u > 0");
     let delta = (nodes[0].z - nodes[0].y * nodes[left_of_root].pi) / nodes[0].lambda;
     nodes[0].xstar = nodes[0].y;
     let mut f = vec![0.0f64; nodes.len()];
@@ -217,7 +226,9 @@ fn solve_blue(nodes: &mut [BlueNode]) {
             f[0] = 0.0;
             continue;
         }
-        let p = nodes[v].parent.expect("non-root has parent");
+        let p = nodes[v]
+            .parent
+            .expect("Dyadic invariant: non-root node has a parent");
         nodes[v].xstar =
             (nodes[v].z - nodes[v].lambda * f[p] - nodes[v].lambda * delta) / nodes[v].pi;
         f[v] = f[p] + nodes[v].xstar / nodes[v].sigma2.max(SIGMA2_FLOOR);
@@ -249,7 +260,13 @@ impl<'a, S: FrequencySketch> PostProcessed<'a, S> {
     /// # Panics
     /// Panics unless `0 < ε < 1` and `η > 0`.
     pub fn new(dq: &'a DyadicQuantiles<S>, eps: f64, eta: f64) -> Self {
-        Self::with_options(dq, eps, eta, FrontierMode::Interpolate, VarianceMode::PerCell)
+        Self::with_options(
+            dq,
+            eps,
+            eta,
+            FrontierMode::Interpolate,
+            VarianceMode::PerCell,
+        )
     }
 
     /// [`PostProcessed::new`] with the frontier and variance modes made
@@ -265,8 +282,14 @@ impl<'a, S: FrequencySketch> PostProcessed<'a, S> {
         assert!(eta > 0.0, "eta must be positive, got {eta}");
         use crate::TurnstileQuantiles;
 
-        let mut this =
-            Self { dq, xstar: HashMap::new(), eta, eps, frontier_mode, variance_mode };
+        let mut this = Self {
+            dq,
+            xstar: HashMap::new(),
+            eta,
+            eps,
+            frontier_mode,
+            variance_mode,
+        };
         let n = dq.live();
         if n == 0 {
             return this;
@@ -276,7 +299,10 @@ impl<'a, S: FrequencySketch> PostProcessed<'a, S> {
         // ---- Truncation (§3.2.2): include both children of every
         // node whose estimate clears the threshold; recurse into
         // children that clear it themselves.
-        let root = Cell { level: dq.universe().log_u(), index: 0 };
+        let root = Cell {
+            level: dq.universe().log_u(),
+            index: 0,
+        };
         this.xstar.insert(root, n as f64);
         let mut stack = vec![root];
         while let Some(cell) = stack.pop() {
@@ -387,7 +413,10 @@ impl<'a, S: FrequencySketch> PostProcessed<'a, S> {
             while (1u64 << level) > x - cur {
                 level -= 1;
             }
-            let cell = Cell { level, index: cur >> level };
+            let cell = Cell {
+                level,
+                index: cur >> level,
+            };
             acc += self.raw(cell);
             cur = cell.end();
         }
@@ -398,14 +427,21 @@ impl<'a, S: FrequencySketch> PostProcessed<'a, S> {
     pub fn rank_signed(&self, x: u64) -> f64 {
         let u = self.dq.universe();
         let x = x.min(u.size());
-        let mut cell = Cell { level: u.log_u(), index: 0 };
+        let mut cell = Cell {
+            level: u.log_u(),
+            index: 0,
+        };
         let mut acc = 0.0;
         loop {
             if x <= cell.start() {
                 break;
             }
             if x >= cell.end() {
-                acc += self.xstar.get(&cell).copied().unwrap_or_else(|| self.raw(cell));
+                acc += self
+                    .xstar
+                    .get(&cell)
+                    .copied()
+                    .unwrap_or_else(|| self.raw(cell));
                 break;
             }
             if !self.has_children(cell) {
@@ -413,7 +449,11 @@ impl<'a, S: FrequencySketch> PostProcessed<'a, S> {
                 match self.frontier_mode {
                     FrontierMode::Interpolate => {
                         let frac = (x - cell.start()) as f64 / cell.len() as f64;
-                        acc += self.xstar.get(&cell).copied().unwrap_or_else(|| self.raw(cell))
+                        acc += self
+                            .xstar
+                            .get(&cell)
+                            .copied()
+                            .unwrap_or_else(|| self.raw(cell))
                             * frac;
                     }
                     FrontierMode::Raw => acc += self.raw_range(cell.start(), x),
@@ -576,8 +616,9 @@ mod tests {
     fn run_errors(eps: f64, eta: f64, seed: u64) -> ((f64, f64), (f64, f64), usize) {
         let mut dcs = new_dcs(eps, 20, seed);
         let mut rng = Xoshiro256pp::new(seed ^ 0xABCD);
-        let data: Vec<u64> =
-            (0..60_000).map(|_| 400_000 + rng.next_below(1 << 17) + rng.next_below(1 << 17)).collect();
+        let data: Vec<u64> = (0..60_000)
+            .map(|_| 400_000 + rng.next_below(1 << 17) + rng.next_below(1 << 17))
+            .collect();
         for &x in &data {
             dcs.insert(x);
         }
@@ -643,8 +684,10 @@ mod tests {
             let oracle = ExactQuantiles::new(data);
             let phis = probe_phis(0.02);
             let score = |post: &PostProcessed<_>| {
-                let answers: Vec<(f64, u64)> =
-                    phis.iter().map(|&p| (p, post.quantile(p).unwrap())).collect();
+                let answers: Vec<(f64, u64)> = phis
+                    .iter()
+                    .map(|&p| (p, post.quantile(p).unwrap()))
+                    .collect();
                 observed_errors(&oracle, &answers).1
             };
             let interp = PostProcessed::with_options(

@@ -7,6 +7,11 @@
 //! repetitions for `εn` error, so at equal ε it is quadratically
 //! larger than the hash-bucketed sketches.
 
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
 use crate::dyadic::DyadicQuantiles;
 use sqs_sketch::SubsetSum;
 use sqs_util::rng::{SplitMix64, Xoshiro256pp};

@@ -54,15 +54,24 @@ impl Cell {
     pub fn children(&self) -> (Cell, Cell) {
         assert!(self.level > 0, "Cell::children: level-0 cell");
         (
-            Cell { level: self.level - 1, index: self.index * 2 },
-            Cell { level: self.level - 1, index: self.index * 2 + 1 },
+            Cell {
+                level: self.level - 1,
+                index: self.index * 2,
+            },
+            Cell {
+                level: self.level - 1,
+                index: self.index * 2 + 1,
+            },
         )
     }
 
     /// The parent cell at `level + 1`.
     #[inline]
     pub fn parent(&self) -> Cell {
-        Cell { level: self.level + 1, index: self.index / 2 }
+        Cell {
+            level: self.level + 1,
+            index: self.index / 2,
+        }
     }
 }
 
@@ -79,7 +88,10 @@ impl DyadicUniverse {
     /// Panics unless `1 ≤ log_u ≤ 63` (64 would overflow cell spans;
     /// the paper's universes top out at 2^32).
     pub fn new(log_u: u32) -> Self {
-        assert!((1..=63).contains(&log_u), "log_u must be in 1..=63, got {log_u}");
+        assert!(
+            (1..=63).contains(&log_u),
+            "log_u must be in 1..=63, got {log_u}"
+        );
         Self { log_u }
     }
 
@@ -116,7 +128,10 @@ impl DyadicUniverse {
     pub fn cell_of(&self, x: u64, level: u32) -> Cell {
         debug_assert!(x < self.size(), "element {x} outside universe");
         assert!(level <= self.log_u);
-        Cell { level, index: x >> level }
+        Cell {
+            level,
+            index: x >> level,
+        }
     }
 
     /// Decomposes the prefix `[0, x)` into at most `log u` disjoint
@@ -136,7 +151,10 @@ impl DyadicUniverse {
         let mut bits = x;
         while bits != 0 {
             let i = 63 - bits.leading_zeros();
-            out.push(Cell { level: i, index: (x >> i) - 1 });
+            out.push(Cell {
+                level: i,
+                index: (x >> i) - 1,
+            });
             bits &= !(1u64 << i);
         }
         out
@@ -161,8 +179,20 @@ mod tests {
         assert_eq!(c.len(), 8);
         assert_eq!(c.parent(), Cell { level: 4, index: 2 });
         let (l, r) = c.children();
-        assert_eq!(l, Cell { level: 2, index: 10 });
-        assert_eq!(r, Cell { level: 2, index: 11 });
+        assert_eq!(
+            l,
+            Cell {
+                level: 2,
+                index: 10
+            }
+        );
+        assert_eq!(
+            r,
+            Cell {
+                level: 2,
+                index: 11
+            }
+        );
         assert_eq!(l.end(), r.start());
         assert_eq!(l.start(), c.start());
         assert_eq!(r.end(), c.end());
@@ -184,10 +214,16 @@ mod tests {
         let u = DyadicUniverse::new(3);
         // [0,5) = [0,4) ∪ [4,5)
         let cells = u.prefix_decomposition(5);
-        assert_eq!(cells, vec![Cell { level: 2, index: 0 }, Cell { level: 0, index: 4 }]);
+        assert_eq!(
+            cells,
+            vec![Cell { level: 2, index: 0 }, Cell { level: 0, index: 4 }]
+        );
         // [0,6) = [0,4) ∪ [4,6)
         let cells = u.prefix_decomposition(6);
-        assert_eq!(cells, vec![Cell { level: 2, index: 0 }, Cell { level: 1, index: 2 }]);
+        assert_eq!(
+            cells,
+            vec![Cell { level: 2, index: 0 }, Cell { level: 1, index: 2 }]
+        );
         // empty prefix
         assert!(u.prefix_decomposition(0).is_empty());
         // whole universe

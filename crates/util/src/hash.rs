@@ -13,6 +13,11 @@
 //! a k-wise independent function (Wegman & Carter). The Mersenne
 //! structure lets the `mod p` reduction be two shifts and an add.
 
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
 use crate::rng::Xoshiro256pp;
 
 /// The Mersenne prime 2^61 − 1 used as the field size.

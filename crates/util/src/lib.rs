@@ -19,10 +19,14 @@
 //!   uses (§4.1.2).
 //! * [`space`] — the paper's space-accounting convention (4 bytes per
 //!   stored element / counter / pointer; §4.1.2).
+//! * [`audit`] — the [`audit::CheckInvariants`] trait every summary
+//!   implements so its §2/§3 structural invariants are
+//!   machine-checkable (see `docs/ANALYSIS.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod dyadic;
 pub mod exact;
 pub mod hash;
@@ -30,4 +34,5 @@ pub mod ordkey;
 pub mod rng;
 pub mod space;
 
+pub use audit::{CheckInvariants, InvariantViolation};
 pub use space::SpaceUsage;

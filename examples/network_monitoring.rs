@@ -45,7 +45,11 @@ fn main() {
     );
     for i in 0..total {
         // A congestion event in the middle third of the trace.
-        let congestion = if (total / 3..2 * total / 3).contains(&i) { 1.0 } else { 0.0 };
+        let congestion = if (total / 3..2 * total / 3).contains(&i) {
+            1.0
+        } else {
+            0.0
+        };
         let rtt = sample_rtt(&mut rng, congestion);
         summary.insert(f64_to_ordered_u64(rtt));
 

@@ -12,7 +12,9 @@ fn main() {
 
     // Ground truth for comparison (don't do this in production — the
     // whole point is not keeping the data).
-    let data: Vec<u64> = (0..n).map(|i| i.wrapping_mul(2654435761) % 10_000_000).collect();
+    let data: Vec<u64> = (0..n)
+        .map(|i| i.wrapping_mul(2654435761) % 10_000_000)
+        .collect();
     let oracle = ExactQuantiles::new(data.clone());
 
     // 1. GKArray: deterministic ε = 0.001 guarantee.
@@ -39,7 +41,10 @@ fn main() {
         dcs.insert(x);
     }
 
-    println!("{:<12} {:>12} {:>12} {:>12} {:>10}", "algorithm", "p50", "p95", "p99", "space KB");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>10}",
+        "algorithm", "p50", "p95", "p99", "space KB"
+    );
     println!("{}", "-".repeat(62));
     let truth = |phi: f64| oracle.quantile(phi);
     println!(

@@ -50,8 +50,7 @@ fn main() {
         all_keys.extend(keys);
         digests.push(d);
     }
-    let leaf_kb: f64 =
-        digests.iter().map(|d| d.space_bytes()).sum::<usize>() as f64 / 1024.0;
+    let leaf_kb: f64 = digests.iter().map(|d| d.space_bytes()).sum::<usize>() as f64 / 1024.0;
     println!(
         "{SENSORS} sensors x {READINGS_PER_SENSOR} readings; leaf digests total {leaf_kb:.1} KB \
          (raw data would be {:.0} KB)\n",
@@ -82,7 +81,10 @@ fn main() {
     let oracle = ExactQuantiles::new(all_keys);
     let to_c = |k: u64| -20.0 + k as f64 / (1u64 << LOG_U) as f64 * 80.0;
     println!("\nnetwork-wide temperature quantiles at the base station:");
-    println!("{:>6} {:>12} {:>12} {:>10}", "phi", "digest (C)", "exact (C)", "rank err");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "phi", "digest (C)", "exact (C)", "rank err"
+    );
     for phi in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
         let q = root.quantile(phi).unwrap();
         let err = oracle.quantile_error(phi, q);

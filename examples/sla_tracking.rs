@@ -80,7 +80,10 @@ fn main() {
     println!("\nerrors vs their own ground truth:");
     for &(phi, eps) in &targets {
         let err = oracle_all.quantile_error(phi, targeted.quantile(phi).unwrap());
-        println!("  targeted p{:<5} err {err:.6}  (budget {eps})", phi * 100.0);
+        println!(
+            "  targeted p{:<5} err {err:.6}  (budget {eps})",
+            phi * 100.0
+        );
     }
     let werr = oracle_win.quantile_error(0.5, windowed.quantile(0.5).unwrap());
     println!("  windowed p50   err {werr:.6}  (budget 0.02)");

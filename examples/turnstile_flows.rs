@@ -38,9 +38,7 @@ fn main() {
     let mut dcs = new_dcs(EPS, LOG_U, 7);
     let mut live: VecDeque<u64> = VecDeque::with_capacity(WINDOW);
 
-    println!(
-        "flow table: {TOTAL} flows total, ~{WINDOW} concurrently active, eps = {EPS}\n"
-    );
+    println!("flow table: {TOTAL} flows total, ~{WINDOW} concurrently active, eps = {EPS}\n");
     println!(
         "{:>9} {:>9}  {:>20}  {:>20}  {:>20}",
         "flows", "active", "p50 raw/post/exact", "p90 raw/post/exact", "p99 raw/post/exact"
@@ -90,7 +88,11 @@ fn main() {
     }
     raw_avg /= phis.len() as f64;
     post_avg /= phis.len() as f64;
-    println!("\nlive flows at end: {} (tracked exactly: {})", live.len(), dcs.live());
+    println!(
+        "\nlive flows at end: {} (tracked exactly: {})",
+        live.len(),
+        dcs.live()
+    );
     println!("avg rank error over the percentile grid: raw DCS {raw_avg:.6}, post-processed {post_avg:.6}");
     println!(
         "(sketch: {:.0} KB; both errors are a few ranks out of {} — this distribution is so\n\

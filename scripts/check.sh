@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Local wrapper for the full pre-merge gate: static analysis first
+# (cheap, catches drift), then the tier-1 test suite. Mirrors what CI
+# runs (.github/workflows/ci.yml); everything is offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo xtask check =="
+cargo xtask check
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== all checks passed =="

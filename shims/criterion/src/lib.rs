@@ -1,0 +1,333 @@
+//! Minimal, offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so this crate provides the (small) subset of the criterion 0.8 API the
+//! benches in `crates/bench` use: `Criterion::benchmark_group`, group
+//! configuration knobs, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark runs a warm-up phase, then `sample_size`
+//! timed samples; the median per-iteration time is reported together with
+//! element throughput when `Throughput::Elements` was declared. This is a
+//! functional harness (numbers are real), just without criterion's
+//! statistical machinery and HTML reports.
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-exported opaque-value helper, as in real criterion.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput declaration for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_owned(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Timing loop handed to the user's closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the median per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, and estimate the
+        // per-iteration cost so each sample can batch enough iterations.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let budget = self.measurement.as_secs_f64() / self.samples.max(1) as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples.max(1) {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / iters_per_sample as u32);
+        }
+        samples.sort_unstable();
+        self.result = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn noise_threshold(&mut self, _t: f64) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        self.report(&id, b.result);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut b, input);
+        self.report(&id, b.result);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &BenchmarkId, median: Option<Duration>) {
+        let Some(median) = median else {
+            println!("{}/{:<40} (no measurement)", self.name, id.id);
+            return;
+        };
+        let per_iter = median.as_secs_f64();
+        match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                let rate = n as f64 / per_iter;
+                println!(
+                    "{}/{:<40} {:>12} /iter  {:>14} elem/s",
+                    self.name,
+                    id.id,
+                    format_duration(median),
+                    format_rate(rate)
+                );
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                let rate = n as f64 / per_iter;
+                println!(
+                    "{}/{:<40} {:>12} /iter  {:>14} B/s",
+                    self.name,
+                    id.id,
+                    format_duration(median),
+                    format_rate(rate)
+                );
+            }
+            _ => {
+                println!(
+                    "{}/{:<40} {:>12} /iter",
+                    self.name,
+                    id.id,
+                    format_duration(median)
+                );
+            }
+        }
+        self.criterion.reported += 1;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn format_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2}G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2}k", r / 1e3)
+    } else {
+        format!("{r:.0}")
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    reported: usize,
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        // `cargo bench -- <filter>` arguments are accepted and ignored.
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name}");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1500),
+            throughput: None,
+        }
+    }
+
+    pub fn final_summary(&self) {
+        println!("== {} benchmarks measured", self.reported);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .throughput(Throughput::Elements(100));
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+        assert_eq!(c.reported, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("algo", "eps=0.01").into_benchmark_id();
+        assert_eq!(id.id, "algo/eps=0.01");
+    }
+}

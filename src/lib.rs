@@ -78,9 +78,11 @@ pub mod prelude {
     pub use sqs_core::sampled::ReservoirQuantiles;
     pub use sqs_core::sliding::SlidingWindowQuantiles;
     pub use sqs_core::QuantileSummary;
-    pub use sqs_turnstile::{new_dcm, new_dcs, new_rss, Dcm, Dcs, PostProcessed, Rss, TurnstileQuantiles};
+    pub use sqs_turnstile::{
+        new_dcm, new_dcs, new_rss, Dcm, Dcs, PostProcessed, Rss, TurnstileQuantiles,
+    };
     pub use sqs_util::exact::ExactQuantiles;
-    pub use sqs_util::SpaceUsage;
+    pub use sqs_util::{CheckInvariants, InvariantViolation, SpaceUsage};
 }
 
 pub use prelude::*;

@@ -29,7 +29,9 @@ fn adversaries() -> Vec<(&'static str, Vec<u64>)> {
         // Alternating extremes: new min, new max, new min, ...
         (
             "alternating_extremes",
-            (0..n).map(|i| if i % 2 == 0 { n + i } else { n - i }).collect(),
+            (0..n)
+                .map(|i| if i % 2 == 0 { n + i } else { n - i })
+                .collect(),
         ),
         // Two-value stream (maximally duplicated).
         ("two_values", (0..n).map(|i| (i % 2) * 1_000_000).collect()),
@@ -43,13 +45,27 @@ fn adversaries() -> Vec<(&'static str, Vec<u64>)> {
         // Middle-out: median first, then alternating outward.
         (
             "middle_out",
-            (0..n).map(|i| if i % 2 == 0 { n / 2 + i / 2 } else { n / 2 - i / 2 }).collect(),
+            (0..n)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        n / 2 + i / 2
+                    } else {
+                        n / 2 - i / 2
+                    }
+                })
+                .collect(),
         ),
         // Random with adversarial duplicates: 90% one value, 10% spread.
         (
             "heavy_hitter",
             (0..n)
-                .map(|_| if rng.next_f64() < 0.9 { 12_345 } else { rng.next_below(1 << 30) })
+                .map(|_| {
+                    if rng.next_f64() < 0.9 {
+                        12_345
+                    } else {
+                        rng.next_below(1 << 30)
+                    }
+                })
                 .collect(),
         ),
     ]
@@ -74,7 +90,10 @@ fn deterministic_summaries_survive_every_adversary() {
             ("GKTheory", max_err(&mut GkTheory::new(EPS), &data)),
             ("GKAdaptive", max_err(&mut GkAdaptive::new(EPS), &data)),
             ("GKArray", max_err(&mut GkArray::new(EPS), &data)),
-            ("MRL98", max_err(&mut Mrl98::new(EPS, data.len() as u64), &data)),
+            (
+                "MRL98",
+                max_err(&mut Mrl98::new(EPS, data.len() as u64), &data),
+            ),
         ];
         for (algo, err) in cells {
             assert!(err <= EPS, "{algo} on {name}: {err} > {EPS}");

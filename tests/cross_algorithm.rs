@@ -17,7 +17,11 @@ fn workloads() -> Vec<(&'static str, Vec<u64>, u32)> {
     vec![
         ("uniform", Uniform::new(24, 1).take(N).collect(), 24),
         ("uniform-sorted", sorted_uniform, 24),
-        ("normal-skewed", Normal::new(24, 0.05, 2).take(N).collect(), 24),
+        (
+            "normal-skewed",
+            Normal::new(24, 0.05, 2).take(N).collect(),
+            24,
+        ),
         ("mpcat", Mpcat::new(3).take(N).collect(), 24),
         ("lidar", Lidar::new(4).take(N).collect(), 14),
     ]
@@ -42,8 +46,14 @@ fn deterministic_summaries_never_exceed_eps() {
             ("GKTheory", max_err(&mut GkTheory::new(EPS), &data, EPS)),
             ("GKAdaptive", max_err(&mut GkAdaptive::new(EPS), &data, EPS)),
             ("GKArray", max_err(&mut GkArray::new(EPS), &data, EPS)),
-            ("FastQDigest", max_err(&mut QDigest::new(EPS, log_u), &data, EPS)),
-            ("MRL98", max_err(&mut Mrl98::new(EPS, data.len() as u64), &data, EPS)),
+            (
+                "FastQDigest",
+                max_err(&mut QDigest::new(EPS, log_u), &data, EPS),
+            ),
+            (
+                "MRL98",
+                max_err(&mut Mrl98::new(EPS, data.len() as u64), &data, EPS),
+            ),
         ];
         for (algo, err) in checks {
             assert!(err <= EPS, "{algo} on {name}: max err {err} > {EPS}");
@@ -64,7 +74,10 @@ fn randomized_summaries_stay_near_eps() {
                 })
                 .collect();
             let avg = errs.iter().sum::<f64>() / errs.len() as f64;
-            assert!(avg <= EPS, "{algo} on {name}: avg-of-max {avg} > {EPS} ({errs:?})");
+            assert!(
+                avg <= EPS,
+                "{algo} on {name}: avg-of-max {avg} > {EPS} ({errs:?})"
+            );
             assert!(
                 errs.iter().all(|&e| e <= 2.5 * EPS),
                 "{algo} on {name}: outlier run {errs:?}"

@@ -27,7 +27,12 @@ fn generators_are_pure_functions_of_seed() {
 #[test]
 fn cash_cells_reproduce_exactly() {
     let data: Vec<u64> = Mpcat::new(3).take(30_000).collect();
-    for algo in [CashAlgo::GkArray, CashAlgo::Random, CashAlgo::Mrl99, CashAlgo::FastQDigest] {
+    for algo in [
+        CashAlgo::GkArray,
+        CashAlgo::Random,
+        CashAlgo::Mrl99,
+        CashAlgo::FastQDigest,
+    ] {
         let a = run_cash_cell(algo, &data, 0.02, 24, 2, 99);
         let b = run_cash_cell(algo, &data, 0.02, 24, 2, 99);
         assert_eq!(a.max_err, b.max_err, "{}", algo.name());
@@ -39,7 +44,11 @@ fn cash_cells_reproduce_exactly() {
 #[test]
 fn turnstile_cells_reproduce_exactly() {
     let data: Vec<u64> = Uniform::new(16, 5).take(20_000).collect();
-    for algo in [TurnstileAlgo::Dcm, TurnstileAlgo::Dcs, TurnstileAlgo::Post(0.1)] {
+    for algo in [
+        TurnstileAlgo::Dcm,
+        TurnstileAlgo::Dcs,
+        TurnstileAlgo::Post(0.1),
+    ] {
         let a = run_turnstile_cell(algo, &data, 0.05, 16, 1, 13);
         let b = run_turnstile_cell(algo, &data, 0.05, 16, 1, 13);
         assert_eq!(a.max_err, b.max_err, "{}", algo.name());

@@ -54,7 +54,11 @@ fn balanced_binary_merge_tree() {
 fn skewed_chain_merge() {
     // Worst-case shape: fold shards one by one into an accumulator.
     let shards: Vec<Vec<u64>> = (0..12)
-        .map(|i| Normal::new(LOG_U, 0.1 + 0.02 * i as f64, 100 + i as u64).take(4_000).collect())
+        .map(|i| {
+            Normal::new(LOG_U, 0.1 + 0.02 * i as f64, 100 + i as u64)
+                .take(4_000)
+                .collect()
+        })
         .collect();
     let all: Vec<u64> = shards.iter().flatten().copied().collect();
     let mut acc = digest_of(&shards[0]);

@@ -24,7 +24,10 @@ fn gktheory_space_tracks_inv_eps_log_eps_n() {
         assert!(tuples <= bound, "eps={eps}: {tuples} > {bound}");
         // And it actually uses a decent fraction of the budget shape
         // (i.e. it's Θ, not accidentally O(1)).
-        assert!(tuples >= 0.2 / eps, "eps={eps}: {tuples} suspiciously small");
+        assert!(
+            tuples >= 0.2 / eps,
+            "eps={eps}: {tuples} suspiciously small"
+        );
     }
 }
 

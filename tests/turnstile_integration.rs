@@ -64,7 +64,10 @@ fn check_against_live(ops: &[Op], seed: u64) {
 
 #[test]
 fn sliding_window_churn() {
-    let data: Vec<u64> = Mpcat::new(1).take(60_000).map(|v| v % (1 << LOG_U)).collect();
+    let data: Vec<u64> = Mpcat::new(1)
+        .take(60_000)
+        .map(|v| v % (1 << LOG_U))
+        .collect();
     check_against_live(&sliding_window(&data, 20_000), 10);
 }
 
@@ -124,8 +127,14 @@ fn post_never_worse_than_twice_raw_under_churn() {
     apply(&ops, &mut dcs);
     let post = PostProcessed::new(&dcs, EPS, 0.1);
     let phis = probe_phis(EPS);
-    let raw: Vec<(f64, u64)> = phis.iter().map(|&p| (p, dcs.quantile(p).unwrap())).collect();
-    let cooked: Vec<(f64, u64)> = phis.iter().map(|&p| (p, post.quantile(p).unwrap())).collect();
+    let raw: Vec<(f64, u64)> = phis
+        .iter()
+        .map(|&p| (p, dcs.quantile(p).unwrap()))
+        .collect();
+    let cooked: Vec<(f64, u64)> = phis
+        .iter()
+        .map(|&p| (p, post.quantile(p).unwrap()))
+        .collect();
     let (_, raw_avg) = observed_errors(&oracle, &raw);
     let (_, post_avg) = observed_errors(&oracle, &cooked);
     assert!(
