@@ -1,0 +1,77 @@
+//! Concurrent ingestion throughput of the sharded engine
+//! (`sqs-engine`), swept over shard counts.
+//!
+//! Fixed total work (N elements split across `shards` producer
+//! threads) so numbers are directly comparable down a column. On a
+//! multi-core host throughput should scale near-linearly until shards
+//! exceed cores — striped locks mean producers on different shards
+//! never contend, and the 1024-element ingest buffers amortize what
+//! little locking remains. On a single hardware thread the sweep stays
+//! flat: it then measures sharding's *overhead* (routing + buffering +
+//! extra merges), which must stay small. `results/engine_baseline.json`
+//! (from `sqs-exp engine`) records the same grid with accuracy
+//! columns.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sqs_bench::bench_stream;
+use sqs_core::random::RandomSketch;
+use sqs_engine::ShardedEngine;
+
+const N: usize = 200_000;
+const EPS: f64 = 0.05;
+const BATCH: usize = 1024;
+
+fn bench(c: &mut Criterion) {
+    let data = bench_stream(N, 11);
+    let mut group = c.benchmark_group("engine_concurrent");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1500));
+    group.throughput(Throughput::Elements(N as u64));
+    for shards in [1usize, 2, 4, 8] {
+        let chunks: Vec<&[u64]> = data.chunks(N.div_ceil(shards)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("ingest", format!("shards={shards}")),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let engine = ShardedEngine::new_with(shards, BATCH, |i| {
+                        RandomSketch::new(EPS, i as u64)
+                    });
+                    std::thread::scope(|scope| {
+                        for (t, chunk) in chunks.iter().enumerate() {
+                            let engine = &engine;
+                            scope.spawn(move || {
+                                let mut h = engine.handle_for(t % shards);
+                                h.insert_slice(chunk);
+                            });
+                        }
+                    });
+                    engine.n()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("snapshot", format!("shards={shards}")),
+            &shards,
+            |b, &shards| {
+                let engine =
+                    ShardedEngine::new_with(shards, BATCH, |i| RandomSketch::new(EPS, i as u64));
+                for (t, chunk) in chunks.iter().enumerate() {
+                    let mut h = engine.handle_for(t % shards);
+                    h.insert_slice(chunk);
+                }
+                b.iter(|| {
+                    let mut snap = engine.snapshot();
+                    sqs_core::QuantileSummary::quantile(&mut snap, 0.5)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

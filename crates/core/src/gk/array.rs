@@ -213,6 +213,27 @@ impl<T: Ord + Copy> QuantileSummary<T> for GkArray<T> {
         }
     }
 
+    /// Bulk insert: copies whole slices into the element buffer and
+    /// flushes exactly at the itemwise flush boundaries (the flush
+    /// sorts, so pre-sorting here would be redundant work). The
+    /// resulting summary state is identical to element-wise insertion.
+    fn insert_batch(&mut self, xs: &[T]) {
+        let mut rest = xs;
+        while !rest.is_empty() {
+            let room = self.buffer_cap - self.buffer.len();
+            let take = room.min(rest.len()).max(1);
+            let (chunk, tail) = rest.split_at(take);
+            self.buffer.extend_from_slice(chunk);
+            self.n += take as u64;
+            rest = tail;
+            if self.buffer.len() >= self.buffer_cap {
+                self.flush();
+            }
+        }
+        #[cfg(any(test, feature = "audit"))]
+        sqs_util::audit::CheckInvariants::assert_invariants(self);
+    }
+
     fn n(&self) -> u64 {
         self.n
     }
@@ -256,6 +277,27 @@ mod tests {
     use crate::gk::check_invariants;
     use sqs_util::exact::{observed_errors, probe_phis, ExactQuantiles};
     use sqs_util::rng::Xoshiro256pp;
+
+    #[test]
+    fn insert_batch_is_rank_equivalent_to_itemwise() {
+        // Bulk insertion hits the same flush boundaries as itemwise
+        // insertion, so the tuple arrays are identical.
+        let mut rng = Xoshiro256pp::new(81);
+        let data: Vec<u64> = (0..60_000).map(|_| rng.next_below(1 << 20)).collect();
+        let mut itemwise = GkArray::new(0.01);
+        let mut batched = GkArray::new(0.01);
+        for &x in &data {
+            itemwise.insert(x);
+        }
+        for chunk in data.chunks(769) {
+            batched.insert_batch(chunk);
+        }
+        assert_eq!(itemwise.n(), batched.n());
+        assert_eq!(itemwise.tuples(), batched.tuples());
+        for phi in [0.1, 0.5, 0.9] {
+            assert_eq!(itemwise.quantile(phi), batched.quantile(phi));
+        }
+    }
 
     fn check_errors(eps: f64, data: Vec<u64>) {
         let mut s = GkArray::new(eps);

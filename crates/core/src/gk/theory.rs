@@ -244,6 +244,28 @@ impl<T: Ord + Copy> QuantileSummary<T> for GkTheory<T> {
         }
     }
 
+    /// Bulk insert: copies whole slices into the pending buffer and
+    /// runs the fold-in/COMPRESS cycle exactly at the itemwise period
+    /// boundaries, so the resulting summary state is identical to
+    /// element-wise insertion.
+    fn insert_batch(&mut self, xs: &[T]) {
+        let mut rest = xs;
+        while !rest.is_empty() {
+            let room = self.period - self.buffer.len();
+            let take = room.min(rest.len()).max(1);
+            let (chunk, tail) = rest.split_at(take);
+            self.buffer.extend_from_slice(chunk);
+            self.n += take as u64;
+            rest = tail;
+            if self.buffer.len() >= self.period {
+                self.fold_in();
+                self.compress();
+            }
+        }
+        #[cfg(any(test, feature = "audit"))]
+        sqs_util::audit::CheckInvariants::assert_invariants(self);
+    }
+
     fn n(&self) -> u64 {
         self.n
     }
@@ -294,6 +316,26 @@ mod tests {
             s.insert(x);
         }
         s
+    }
+
+    #[test]
+    fn insert_batch_is_rank_equivalent_to_itemwise() {
+        // Bulk insertion folds at the same period boundaries as
+        // itemwise insertion, so the summaries answer identically.
+        let mut rng = Xoshiro256pp::new(91);
+        let data: Vec<u64> = (0..40_000).map(|_| rng.next_below(1 << 20)).collect();
+        let mut itemwise = run_stream(0.02, &data);
+        let mut batched = GkTheory::new(0.02);
+        for chunk in data.chunks(611) {
+            batched.insert_batch(chunk);
+        }
+        assert_eq!(itemwise.n(), batched.n());
+        for phi in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            assert_eq!(itemwise.quantile(phi), batched.quantile(phi));
+        }
+        for x in [1u64 << 16, 1 << 18, 1 << 19] {
+            assert_eq!(itemwise.rank_estimate(x), batched.rank_estimate(x));
+        }
     }
 
     #[test]

@@ -39,4 +39,4 @@ pub mod sampled;
 pub mod sliding;
 mod traits;
 
-pub use traits::QuantileSummary;
+pub use traits::{MergeableSummary, QuantileSummary};

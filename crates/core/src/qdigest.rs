@@ -198,9 +198,37 @@ impl QDigest {
     /// Merges another q-digest into this one (the mergeable-summary
     /// operation of Agarwal et al. the paper highlights in §4.2.4).
     ///
+    /// Thin wrapper over [`merge_from`](QDigest::merge_from): takes
+    /// `other`'s state and leaves it an empty digest over the same
+    /// universe.
+    ///
     /// # Panics
     /// Panics if the universes differ.
     pub fn merge(&mut self, other: &mut QDigest) {
+        let empty = QDigest {
+            log_u: other.log_u,
+            sigma: other.sigma,
+            n: 0,
+            counts: HashMap::new(),
+            buffer: Vec::with_capacity(other.buffer_cap),
+            buffer_cap: other.buffer_cap,
+        };
+        self.merge_from(std::mem::replace(other, empty));
+    }
+
+    /// Consuming form of [`merge`](QDigest::merge): the primitive the
+    /// engine's balanced merge tree folds with
+    /// ([`MergeableSummary`](crate::MergeableSummary)).
+    ///
+    /// COMPRESS runs only when the combined node map actually exceeds
+    /// its `3σ` budget, not unconditionally — a k-way merge tree
+    /// folding k ε-digests therefore compresses O(k·|digest|/σ) times
+    /// total instead of once per internal node (no double-compression
+    /// of an already-compact digest).
+    ///
+    /// # Panics
+    /// Panics if the universes differ.
+    pub fn merge_from(&mut self, mut other: QDigest) {
         assert_eq!(self.log_u, other.log_u, "q-digest merge: universe mismatch");
         self.flush();
         other.flush();
@@ -211,7 +239,9 @@ impl QDigest {
             *self.counts.entry(id).or_insert(0) += c;
         }
         self.n += other.n;
-        self.compress();
+        if self.counts.len() as u64 > 3 * self.sigma {
+            self.compress();
+        }
     }
 
     /// Serializes the digest to a compact, portable byte form (the
@@ -313,6 +343,12 @@ impl QDigest {
     }
 }
 
+impl crate::MergeableSummary<u64> for QDigest {
+    fn merge_from(&mut self, other: Self) {
+        QDigest::merge_from(self, other);
+    }
+}
+
 impl sqs_util::audit::CheckInvariants for QDigest {
     /// q-digest invariants (Shrivastava et al. §3, study §1.2.1):
     /// every stored node id lies inside the dyadic tree over
@@ -403,6 +439,33 @@ impl QuantileSummary<u64> for QDigest {
         if sqs_util::audit::audit_point(self.n) {
             sqs_util::audit::CheckInvariants::assert_invariants(self);
         }
+    }
+
+    /// Bulk insert: extends the update buffer sliceful-at-a-time and
+    /// flushes exactly at the itemwise flush boundaries, so the
+    /// resulting digest state is identical to element-wise insertion.
+    ///
+    /// # Panics
+    /// Panics if any element lies outside `[0, 2^log_u)`.
+    fn insert_batch(&mut self, xs: &[u64]) {
+        let u = self.universe();
+        let mut rest = xs;
+        while !rest.is_empty() {
+            let room = self.buffer_cap - self.buffer.len();
+            let take = room.min(rest.len()).max(1);
+            let (chunk, tail) = rest.split_at(take);
+            for &x in chunk {
+                assert!(x < u, "value {x} outside universe 2^{}", self.log_u);
+            }
+            self.buffer.extend_from_slice(chunk);
+            self.n += take as u64;
+            rest = tail;
+            if self.buffer.len() >= self.buffer_cap {
+                self.flush();
+            }
+        }
+        #[cfg(any(test, feature = "audit"))]
+        sqs_util::audit::CheckInvariants::assert_invariants(self);
     }
 
     fn n(&self) -> u64 {
@@ -661,6 +724,93 @@ mod tests {
     fn rejects_out_of_universe() {
         let mut s = QDigest::new(0.1, 8);
         s.insert(256);
+    }
+
+    #[test]
+    fn insert_batch_is_rank_equivalent_to_itemwise() {
+        // Bulk insertion hits the same flush boundaries as itemwise
+        // insertion, so the digests are byte-for-byte identical.
+        let mut rng = Xoshiro256pp::new(60);
+        let data: Vec<u64> = (0..80_000).map(|_| rng.next_below(1 << 16)).collect();
+        let mut itemwise = QDigest::new(0.02, 16);
+        let mut batched = QDigest::new(0.02, 16);
+        for &x in &data {
+            itemwise.insert(x);
+        }
+        for chunk in data.chunks(1013) {
+            batched.insert_batch(chunk);
+        }
+        assert_eq!(itemwise.n(), batched.n());
+        assert_eq!(itemwise.to_bytes(), batched.to_bytes());
+        for x in [100u64, 30_000, 60_000] {
+            assert_eq!(itemwise.rank_estimate(x), batched.rank_estimate(x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn insert_batch_rejects_out_of_universe() {
+        let mut s = QDigest::new(0.1, 8);
+        s.insert_batch(&[1, 2, 300]);
+    }
+
+    #[test]
+    fn merge_from_consuming_matches_wrapper() {
+        let build = |step: u64| {
+            let mut s = QDigest::new(0.05, 14);
+            for x in 0..20_000u64 {
+                s.insert((x * step) % (1 << 14));
+            }
+            s
+        };
+        let mut via_wrapper = build(7);
+        let mut donor = build(13);
+        via_wrapper.merge(&mut donor);
+        let mut via_consume = build(7);
+        via_consume.merge_from(build(13));
+        assert_eq!(via_wrapper.n(), via_consume.n());
+        assert_eq!(via_wrapper.to_bytes(), via_consume.to_bytes());
+        // The drained donor is a usable empty digest over the universe.
+        assert_eq!(donor.n(), 0);
+        donor.insert(9);
+        assert_eq!(donor.quantile(0.5), Some(9));
+    }
+
+    #[test]
+    fn merge_tree_skips_redundant_compress() {
+        // Folding many already-compact digests keeps the node budget
+        // without compressing at every internal node: accuracy stays
+        // within the k-way merge bound and the capacity invariant holds.
+        let mut rng = Xoshiro256pp::new(61);
+        let eps = 0.05;
+        let mut shards: Vec<QDigest> = Vec::new();
+        let mut all = Vec::new();
+        for _ in 0..8 {
+            let data: Vec<u64> = (0..15_000).map(|_| rng.next_below(1 << 16)).collect();
+            let mut s = QDigest::new(eps, 16);
+            s.insert_batch(&data);
+            all.extend(data);
+            shards.push(s);
+        }
+        while shards.len() > 1 {
+            let mut next = Vec::new();
+            let mut it = shards.into_iter();
+            while let Some(mut a) = it.next() {
+                if let Some(b) = it.next() {
+                    a.merge_from(b);
+                }
+                next.push(a);
+            }
+            shards = next;
+        }
+        let mut root = shards.pop().expect("one digest remains");
+        assert_eq!(root.n(), 120_000);
+        sqs_util::audit::CheckInvariants::assert_invariants(&root);
+        let oracle = ExactQuantiles::new(all);
+        for phi in [0.1, 0.5, 0.9] {
+            let err = oracle.quantile_error(phi, root.quantile(phi).expect("nonempty"));
+            assert!(err <= 2.0 * eps, "phi={phi}: err {err}");
+        }
     }
 }
 

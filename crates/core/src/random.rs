@@ -176,14 +176,21 @@ impl<T: Ord + Copy> RandomSketch<T> {
             let wj = 1u64 << self.buffers[j].level;
             let total =
                 self.buffers[i].data.len() as u64 * wi + self.buffers[j].data.len() as u64 * wj;
-            let stride = (total / self.s as u64).max(1);
+            let lvl_out = self.buffers[j].level.max(self.buffers[i].level) + 1;
+            // Cap so |out|·2^lvl_out ≤ total (`random.mass_bound`);
+            // both buffers are full here, so the cap is ≥ s/2 ≥ 1.
+            let out_size = self
+                .s
+                .min(usize::try_from(total >> lvl_out).unwrap_or(usize::MAX))
+                .max(1);
+            let stride = (total / out_size as u64).max(1);
             let offset = self.rng.next_below(stride);
             let (merged, _) = weighted_collapse(
                 &[(&self.buffers[i].data, wi), (&self.buffers[j].data, wj)],
-                self.s,
+                out_size,
                 offset,
             );
-            let lvl = self.buffers[j].level.max(self.buffers[i].level) + 1;
+            let lvl = lvl_out;
             self.buffers[i].data = merged;
             self.buffers[i].level = lvl;
             self.buffers[i].full = true;
@@ -228,6 +235,24 @@ impl<T: Ord + Copy> RandomSketch<T> {
     /// # Panics
     /// Panics if the two summaries were built with different ε.
     pub fn merge(&mut self, other: &mut RandomSketch<T>) {
+        // Thin wrapper over the consuming form: take `other`'s state,
+        // leaving it a fresh empty summary with the same ε (the
+        // pre-merge contract — `other` ends up drained either way).
+        let eps = other.eps;
+        self.merge_from(std::mem::replace(other, RandomSketch::new(eps, 0)));
+    }
+
+    /// Consuming form of [`merge`](RandomSketch::merge): the primitive
+    /// the engine's balanced merge tree folds with
+    /// ([`MergeableSummary`](crate::MergeableSummary)). Taking `other`
+    /// by value lets the tree hand summaries down the fold without
+    /// leaving drained husks behind, and the pooled equal-level merge
+    /// below compacts once per call — no double-compression when the
+    /// result immediately feeds the next round.
+    ///
+    /// # Panics
+    /// Panics if the two summaries were built with different ε.
+    pub fn merge_from(&mut self, mut other: RandomSketch<T>) {
         assert!(
             (self.eps - other.eps).abs() < 1e-12,
             "RandomSketch merge: eps mismatch ({} vs {})",
@@ -247,8 +272,6 @@ impl<T: Ord + Copy> RandomSketch<T> {
             b.level = 0;
         }
         self.n += other.n;
-        other.n = 0;
-        other.fill = None;
         self.fill = None;
 
         // Repeatedly merge the lowest equal-level pair until we fit.
@@ -265,7 +288,16 @@ impl<T: Ord + Copy> RandomSketch<T> {
                     let (_, b) = pool.remove(i);
                     // Pad odd-sized partial buffers implicitly: the
                     // odd/even rule works on any sorted pair.
-                    let merged = merge_equal_level(&a, &b, self.rng.next_bool());
+                    let mut merged = merge_equal_level(&a, &b, self.rng.next_bool());
+                    // An odd combined size with the even rule keeps
+                    // ⌈m/2⌉ samples, which at weight 2^(l+1) would
+                    // represent one group more than actually arrived;
+                    // drop a uniform sample to preserve the
+                    // `random.mass_bound` invariant Σ 2^level·|data| ≤ n.
+                    if merged.len() * 2 > a.len() + b.len() {
+                        let drop = self.rng.next_below(merged.len() as u64) as usize;
+                        merged.remove(drop);
+                    }
                     pool.push((lvl + 1, merged));
                 }
                 None => {
@@ -275,13 +307,20 @@ impl<T: Ord + Copy> RandomSketch<T> {
                     let (l1, b) = pool.remove(0);
                     let (wa, wb) = (1u64 << l0, 1u64 << l1);
                     let total = a.len() as u64 * wa + b.len() as u64 * wb;
-                    let stride = (total / self.s as u64).max(1);
+                    // Cap the output so |out|·2^(l1+1) ≤ total: the
+                    // collapse must not represent more mass than its
+                    // inputs did (`random.mass_bound`). When the two
+                    // buffers hold less than one merged-level group,
+                    // drop them outright — a loss bounded by one
+                    // group, same as the in-progress groups above.
+                    let cap = usize::try_from(total >> (l1 + 1)).unwrap_or(usize::MAX);
+                    if cap == 0 {
+                        continue;
+                    }
+                    let out_size = self.s.min(cap);
+                    let stride = (total / out_size as u64).max(1);
                     let offset = self.rng.next_below(stride);
-                    let (merged, _) = weighted_collapse(
-                        &[(&a, wa), (&b, wb)],
-                        self.s.min(total as usize),
-                        offset,
-                    );
+                    let (merged, _) = weighted_collapse(&[(&a, wa), (&b, wb)], out_size, offset);
                     pool.push((l1 + 1, merged));
                 }
             }
@@ -291,6 +330,12 @@ impl<T: Ord + Copy> RandomSketch<T> {
             slot.full = data.len() >= self.s;
             slot.data = data;
         }
+    }
+}
+
+impl<T: Ord + Copy> crate::MergeableSummary<T> for RandomSketch<T> {
+    fn merge_from(&mut self, other: Self) {
+        RandomSketch::merge_from(self, other);
     }
 }
 
@@ -461,6 +506,65 @@ impl<T: Ord + Copy> QuantileSummary<T> for RandomSketch<T> {
         if sqs_util::audit::audit_point(self.n) {
             sqs_util::audit::CheckInvariants::assert_invariants(self);
         }
+    }
+
+    /// Bulk insert. While the active sampling level is 0 every group
+    /// has size one and every arrival is kept, so whole slices are
+    /// appended to the fill buffer directly — the same state itemwise
+    /// insertion would produce, without the per-element sampler
+    /// bookkeeping. Once the sampler is subsampling (level ≥ 1)
+    /// elements go through the itemwise path, which is already O(1)
+    /// amortized.
+    fn insert_batch(&mut self, xs: &[T]) {
+        let mut rest = xs;
+        while !rest.is_empty() {
+            if self.fill.is_none() {
+                let idx = self
+                    .buffers
+                    .iter()
+                    .position(|b| !b.full && b.data.is_empty())
+                    .expect("RandomSketch invariant: an empty buffer exists after merging");
+                let lvl = self.active_level();
+                self.buffers[idx].level = lvl;
+                self.fill = Some(idx);
+                self.start_group(lvl);
+            }
+            if self.group_size != 1 {
+                // Sampled regime: fall back to the itemwise sampler.
+                let (&x, tail) = rest
+                    .split_first()
+                    .expect("RandomSketch invariant: loop guard ensures a nonempty slice");
+                self.insert(x);
+                rest = tail;
+                continue;
+            }
+            let idx = self
+                .fill
+                .expect("RandomSketch invariant: fill buffer selected before append");
+            let room = self.s - self.buffers[idx].data.len();
+            let take = room.min(rest.len());
+            self.buffers[idx].data.extend_from_slice(
+                rest.get(..take)
+                    .expect("RandomSketch invariant: take is bounded by the slice length"),
+            );
+            self.n += take as u64;
+            rest = rest.get(take..).unwrap_or(&[]);
+            if self.buffers[idx].data.len() == self.s {
+                self.buffers[idx].data.sort_unstable();
+                self.buffers[idx].full = true;
+                self.fill = None;
+                if self.buffers.iter().all(|b| b.full) {
+                    self.merge_once();
+                }
+            } else {
+                // Leave the level-0 sampler exactly as itemwise
+                // insertion would: at the start of a fresh group.
+                let lvl = self.buffers[idx].level;
+                self.start_group(lvl);
+            }
+        }
+        #[cfg(any(test, feature = "audit"))]
+        sqs_util::audit::CheckInvariants::assert_invariants(self);
     }
 
     fn n(&self) -> u64 {
@@ -696,6 +800,55 @@ mod tests {
         let mut a = RandomSketch::<u64>::new(0.1, 1);
         let mut b = RandomSketch::<u64>::new(0.2, 2);
         a.merge(&mut b);
+    }
+
+    #[test]
+    fn insert_batch_is_rank_equivalent_to_itemwise() {
+        // The bulk path replays the itemwise sampler exactly (level-0
+        // appends keep every element; higher levels fall back), so the
+        // two states answer every probe identically.
+        let mut rng = sqs_util::rng::Xoshiro256pp::new(31);
+        let data: Vec<u64> = (0..120_000).map(|_| rng.next_below(1 << 24)).collect();
+        let mut itemwise = RandomSketch::new(0.02, 9);
+        let mut batched = RandomSketch::new(0.02, 9);
+        for &x in &data {
+            itemwise.insert(x);
+        }
+        for chunk in data.chunks(997) {
+            batched.insert_batch(chunk);
+        }
+        assert_eq!(itemwise.n(), batched.n());
+        for phi in [0.05, 0.25, 0.5, 0.75, 0.95] {
+            assert_eq!(itemwise.quantile(phi), batched.quantile(phi), "phi={phi}");
+        }
+        for x in [1u64 << 20, 1 << 22, 1 << 23] {
+            assert_eq!(itemwise.rank_estimate(x), batched.rank_estimate(x));
+        }
+    }
+
+    #[test]
+    fn merge_from_consuming_matches_wrapper() {
+        let eps = 0.05;
+        let build = |seed: u64, lo: u64| {
+            let mut s = RandomSketch::new(eps, seed);
+            for x in 0..40_000u64 {
+                s.insert(lo + (x * 2654435761) % 100_000);
+            }
+            s
+        };
+        let mut via_wrapper = build(1, 0);
+        let mut donor = build(2, 50_000);
+        via_wrapper.merge(&mut donor);
+        let mut via_consume = build(1, 0);
+        via_consume.merge_from(build(2, 50_000));
+        assert_eq!(via_wrapper.n(), via_consume.n());
+        for phi in [0.1, 0.5, 0.9] {
+            assert_eq!(via_wrapper.quantile(phi), via_consume.quantile(phi));
+        }
+        // The drained donor is a usable empty summary.
+        assert_eq!(donor.n(), 0);
+        donor.insert(7);
+        assert_eq!(donor.quantile(0.5), Some(7));
     }
 }
 

@@ -74,6 +74,76 @@ impl<T: Ord + Copy> ReservoirQuantiles<T> {
             self.sorted = true;
         }
     }
+
+    /// Merges `other` into `self`, consuming it — the sampled fallback
+    /// the engine uses where the paper's GK summaries (which are not
+    /// mergeable without weakening ε) would otherwise be the backend.
+    ///
+    /// While both sides still hold every element they have seen, the
+    /// union is kept exactly (still a uniform sample). Once either
+    /// side is subsampled, the merged reservoir draws each slot from
+    /// one of the two parents with probability proportional to the
+    /// stream mass its remaining sample represents, without
+    /// replacement — the merged sample is uniform over the combined
+    /// stream up to the parents' own sampling variance, so the VC
+    /// bound behind [`new`](ReservoirQuantiles::new) carries over.
+    ///
+    /// # Panics
+    /// Panics if the two reservoirs were built with different
+    /// capacities (i.e. different ε).
+    pub fn merge_from(&mut self, mut other: ReservoirQuantiles<T>) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "Reservoir merge: capacity mismatch"
+        );
+        if other.n == 0 {
+            return;
+        }
+        let n_total = self.n + other.n;
+        if self.n as usize == self.reservoir.len()
+            && other.n as usize == other.reservoir.len()
+            && self.reservoir.len() + other.reservoir.len() <= self.capacity
+        {
+            // Both sides exact and the union fits: keep everything.
+            self.reservoir.append(&mut other.reservoir);
+            self.sorted = false;
+            self.n = n_total;
+            return;
+        }
+        // Per-element represented stream mass on each side.
+        let wa = self.n as f64 / self.reservoir.len().max(1) as f64;
+        let wb = other.n as f64 / other.reservoir.len().max(1) as f64;
+        let k = self
+            .capacity
+            .min(self.reservoir.len() + other.reservoir.len());
+        let mut merged = Vec::with_capacity(k);
+        let mut a = std::mem::take(&mut self.reservoir);
+        let mut b = std::mem::take(&mut other.reservoir);
+        for _ in 0..k {
+            let (ra, rb) = (a.len() as f64 * wa, b.len() as f64 * wb);
+            // A 53-bit uniform draw decides the side by remaining mass.
+            let u = (self.rng.next_below(1u64 << 53) as f64) / (1u64 << 53) as f64;
+            let side = if b.is_empty() || (!a.is_empty() && u < ra / (ra + rb)) {
+                &mut a
+            } else {
+                &mut b
+            };
+            if side.is_empty() {
+                break;
+            }
+            let at = self.rng.next_below(side.len() as u64) as usize;
+            merged.push(side.swap_remove(at));
+        }
+        self.reservoir = merged;
+        self.sorted = false;
+        self.n = n_total;
+    }
+}
+
+impl<T: Ord + Copy> crate::MergeableSummary<T> for ReservoirQuantiles<T> {
+    fn merge_from(&mut self, other: Self) {
+        ReservoirQuantiles::merge_from(self, other);
+    }
 }
 
 impl<T: Ord + Copy> sqs_util::audit::CheckInvariants for ReservoirQuantiles<T> {
@@ -244,6 +314,65 @@ mod tests {
         let mut s = ReservoirQuantiles::<u64>::with_capacity(10, 7);
         assert_eq!(s.quantile(0.5), None);
         assert_eq!(s.rank_estimate(5), 0);
+    }
+
+    #[test]
+    fn merge_of_exact_reservoirs_keeps_everything() {
+        let mut a = ReservoirQuantiles::with_capacity(1_000, 11);
+        let mut b = ReservoirQuantiles::with_capacity(1_000, 12);
+        for x in 0..300u64 {
+            a.insert(x);
+            b.insert(1_000 + x);
+        }
+        a.merge_from(b);
+        assert_eq!(a.n(), 600);
+        assert_eq!(a.sample_len(), 600);
+        sqs_util::audit::CheckInvariants::assert_invariants(&a);
+        assert_eq!(
+            ExactQuantiles::new((0..300u64).chain(1_000..1_300).collect())
+                .quantile_error(0.5, a.quantile(0.5).unwrap()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn merge_of_subsampled_reservoirs_stays_accurate() {
+        // Two heavily-subsampled streams over disjoint ranges: the
+        // merged sample must weight each side by its stream mass, so
+        // the median of the (2:1-sized) union lands in the bigger
+        // side's range.
+        let mut rng = Xoshiro256pp::new(13);
+        let mut a = ReservoirQuantiles::with_capacity(4_000, 14);
+        let mut b = ReservoirQuantiles::with_capacity(4_000, 15);
+        let mut all: Vec<u64> = Vec::new();
+        for _ in 0..200_000 {
+            let x = rng.next_below(1 << 20);
+            a.insert(x);
+            all.push(x);
+        }
+        for _ in 0..100_000 {
+            let x = (1 << 20) + rng.next_below(1 << 20);
+            b.insert(x);
+            all.push(x);
+        }
+        a.merge_from(b);
+        assert_eq!(a.n(), 300_000);
+        assert_eq!(a.sample_len(), 4_000);
+        sqs_util::audit::CheckInvariants::assert_invariants(&a);
+        let oracle = ExactQuantiles::new(all);
+        for phi in [0.25, 0.5, 0.75] {
+            let err = oracle.quantile_error(phi, a.quantile(phi).unwrap());
+            assert!(err <= 0.05, "phi={phi}: err {err}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn merge_rejects_mismatched_capacity() {
+        let mut a = ReservoirQuantiles::<u64>::with_capacity(10, 1);
+        let mut b = ReservoirQuantiles::<u64>::with_capacity(20, 2);
+        b.insert(1);
+        a.merge_from(b);
     }
 }
 

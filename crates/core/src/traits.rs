@@ -42,6 +42,24 @@ pub trait QuantileSummary<T: Ord + Copy>: SpaceUsage {
         }
     }
 
+    /// Observes a batch of elements through the summary's fastest bulk
+    /// path.
+    ///
+    /// The default is element-wise [`insert`]; summaries with a
+    /// cheaper bulk route (buffered fold-in, sort-then-insert)
+    /// override it. Overrides must summarize the same multiset as
+    /// itemwise insertion under the same ε guarantee — rank answers
+    /// after a batch stay within `ε·n` of the itemwise answers (the
+    /// engine's shard-flush path relies on this; see
+    /// `docs/ENGINE.md`).
+    ///
+    /// [`insert`]: QuantileSummary::insert
+    fn insert_batch(&mut self, xs: &[T]) {
+        for &x in xs {
+            self.insert(x);
+        }
+    }
+
     /// Answers the standard probe grid φ = ε, 2ε, …, 1−ε in one call,
     /// returning `(φ, answer)` pairs (empty if the stream is empty).
     fn quantile_grid(&mut self, eps: f64) -> Vec<(f64, T)> {
@@ -75,6 +93,36 @@ pub trait QuantileSummary<T: Ord + Copy>: SpaceUsage {
             .filter_map(|i| self.quantile(i as f64 / buckets as f64))
             .collect()
     }
+}
+
+/// A quantile summary supporting the *mergeable-summary* operation of
+/// Agarwal et al.: two ε-summaries combine into one ε-summary of the
+/// union of their streams.
+///
+/// This is the primitive that makes sharded ingestion sound: N shards
+/// each maintain their own summary, and a query folds them with a
+/// balanced merge tree (`sqs-engine`). The consuming signature lets a
+/// merge tree thread ownership down the fold without re-compressing a
+/// summary that was already compacted by a previous round — the
+/// borrowed [`merge`]-style APIs on the concrete types are thin
+/// wrappers over [`merge_from`].
+///
+/// Implementors in this crate: [`RandomSketch`](crate::random::RandomSketch)
+/// (randomized, comparison model), [`QDigest`](crate::qdigest::QDigest)
+/// (deterministic, fixed universe), and
+/// [`ReservoirQuantiles`](crate::sampled::ReservoirQuantiles) — the
+/// sampled fallback for the GK family, whose tuple summaries are not
+/// mergeable without weakening ε.
+///
+/// [`merge_from`]: MergeableSummary::merge_from
+/// [`merge`]: crate::qdigest::QDigest::merge
+pub trait MergeableSummary<T: Ord + Copy>: QuantileSummary<T> + Sized {
+    /// Merges `other` into `self`, consuming it.
+    ///
+    /// Both summaries must have been built with the same accuracy
+    /// configuration (same ε, and same universe where applicable);
+    /// implementations panic on a mismatch.
+    fn merge_from(&mut self, other: Self);
 }
 
 /// Validates a φ argument; shared by all implementations.

@@ -1,0 +1,551 @@
+//! A sharded, concurrent ingestion engine over the mergeable quantile
+//! summaries of `sqs-core`.
+//!
+//! The paper studies single-threaded summaries; production collectors
+//! ingest from many threads at once. The mergeable-summary property
+//! (Agarwal et al., PODS'12 — see `PAPERS.md`) makes the standard
+//! scale-out construction sound: run `k` independent ε-summaries, one
+//! per *shard*, route each producer thread at a shard, and answer
+//! queries by folding the shards with a merge tree. Because merging two
+//! ε-summaries yields an ε-summary of the union (for
+//! [`RandomSketch`](sqs_core::random::RandomSketch) and
+//! [`QDigest`](sqs_core::qdigest::QDigest) this holds at any merge-tree
+//! depth),
+//! the engine's answers carry the *same* ε guarantee as a single
+//! summary over the whole stream — sharding buys concurrency without
+//! spending accuracy. See `docs/ENGINE.md` for the error analysis.
+//!
+//! Three layers keep the hot path cheap:
+//!
+//! 1. **Striped locks** — each shard is its own `Mutex<S>`; writers on
+//!    different shards never contend.
+//! 2. **Bounded ingest buffers** — producers write through an
+//!    [`IngestHandle`], which batches `batch_capacity` elements in a
+//!    plain `Vec` and takes the shard lock once per batch, feeding the
+//!    summary through its [`insert_batch`] bulk path. Lock traffic
+//!    drops by the batch factor.
+//! 3. **Merge-on-query snapshots** — [`ShardedEngine::snapshot`]
+//!    clones the shard summaries (holding each lock only for the
+//!    clone) and folds the clones with a balanced merge tree off the
+//!    ingest path, using the consuming
+//!    [`merge_from`](sqs_core::MergeableSummary::merge_from) so no
+//!    intermediate is re-compressed needlessly.
+//!
+//! [`insert_batch`]: sqs_core::QuantileSummary::insert_batch
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+use sqs_core::MergeableSummary;
+use sqs_util::audit::{ensure, CheckInvariants, InvariantViolation};
+
+/// Default ingest-buffer capacity (elements per [`IngestHandle`]
+/// between shard-lock acquisitions). 1024 amortizes the lock and the
+/// summary's per-batch bookkeeping well below a nanosecond per element
+/// while keeping at most a few KiB of in-flight data per producer.
+pub const DEFAULT_BATCH_CAPACITY: usize = 1024;
+
+/// A point-in-time copy of the engine's operational counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Elements flushed into shard summaries so far (excludes elements
+    /// still buffered in live [`IngestHandle`]s).
+    pub items: u64,
+    /// Number of shard-lock acquisitions taken by buffer flushes.
+    pub flushes: u64,
+    /// Number of snapshots folded so far.
+    pub snapshots: u64,
+    /// Merge-tree depth of the most recent snapshot
+    /// (`⌈log₂ shards⌉`; 0 before the first snapshot).
+    pub last_merge_depth: u32,
+    /// Wall-clock nanoseconds spent building the most recent snapshot
+    /// (clone + merge tree; 0 before the first snapshot).
+    pub last_snapshot_nanos: u64,
+}
+
+/// A concurrent quantile-ingestion engine: `k` striped shards, each a
+/// mergeable ε-summary, folded on demand into a queryable snapshot.
+///
+/// Shared by reference across producer threads; all methods take
+/// `&self`. Producers obtain an [`IngestHandle`] (one shard each,
+/// assigned round-robin) and push elements through it; readers call
+/// [`snapshot`](Self::snapshot) / [`quantile`](Self::quantile) at any
+/// time.
+///
+/// ```
+/// use sqs_core::random::RandomSketch;
+/// use sqs_engine::ShardedEngine;
+///
+/// let engine = ShardedEngine::new_with(4, 256, |i| RandomSketch::new(0.05, i as u64));
+/// std::thread::scope(|scope| {
+///     for t in 0..4u64 {
+///         let engine = &engine;
+///         scope.spawn(move || {
+///             let mut h = engine.handle();
+///             for x in 0..10_000u64 {
+///                 h.insert(t * 10_000 + x);
+///             }
+///         });
+///     }
+/// });
+/// let q = engine.quantile(0.5).unwrap();
+/// assert!((q as f64 - 20_000.0).abs() <= 0.05 * 40_000.0);
+/// ```
+pub struct ShardedEngine<T, S> {
+    shards: Vec<Mutex<S>>,
+    router: AtomicUsize,
+    batch_capacity: usize,
+    items: AtomicU64,
+    flushes: AtomicU64,
+    snapshots: AtomicU64,
+    last_merge_depth: AtomicU64,
+    last_snapshot_nanos: AtomicU64,
+    _elem: PhantomData<fn(T)>,
+}
+
+impl<T: Ord + Copy, S: MergeableSummary<T>> ShardedEngine<T, S> {
+    /// Builds an engine with `shard_count` shards, constructing each
+    /// shard's summary via `make(shard_index)` — the closure is where
+    /// per-shard seeds diverge for randomized summaries.
+    ///
+    /// # Panics
+    /// Panics if `shard_count == 0` or `batch_capacity == 0`.
+    pub fn new_with(
+        shard_count: usize,
+        batch_capacity: usize,
+        mut make: impl FnMut(usize) -> S,
+    ) -> Self {
+        assert!(shard_count > 0, "ShardedEngine needs at least one shard");
+        assert!(batch_capacity > 0, "batch_capacity must be positive");
+        Self {
+            shards: (0..shard_count).map(|i| Mutex::new(make(i))).collect(),
+            router: AtomicUsize::new(0),
+            batch_capacity,
+            items: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+            last_merge_depth: AtomicU64::new(0),
+            last_snapshot_nanos: AtomicU64::new(0),
+            _elem: PhantomData,
+        }
+    }
+
+    /// Number of shards (fixed at construction).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Elements each [`IngestHandle`] buffers between flushes.
+    pub fn batch_capacity(&self) -> usize {
+        self.batch_capacity
+    }
+
+    /// Creates a producer handle bound to the next shard in round-robin
+    /// order. One `fetch_add` — producers on different shards never
+    /// touch shared state again until their buffers flush. Spawning one
+    /// handle per thread gives thread-affine shards whenever the thread
+    /// count divides the shard count.
+    pub fn handle(&self) -> IngestHandle<'_, T, S> {
+        let shard = self.router.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.handle_for(shard)
+    }
+
+    /// Creates a producer handle pinned to a specific shard — the
+    /// deterministic-assignment variant used by the stress tests (and
+    /// by callers that partition producers themselves).
+    ///
+    /// # Panics
+    /// Panics if `shard >= self.shard_count()`.
+    pub fn handle_for(&self, shard: usize) -> IngestHandle<'_, T, S> {
+        assert!(
+            shard < self.shards.len(),
+            "shard index {shard} out of range (have {})",
+            self.shards.len()
+        );
+        IngestHandle {
+            engine: self,
+            shard,
+            buf: Vec::with_capacity(self.batch_capacity),
+        }
+    }
+
+    /// Elements flushed into shard summaries so far. Elements still
+    /// buffered in live handles are *not* counted until their flush —
+    /// callers wanting an exact count drop (or [`flush`]) their handles
+    /// first.
+    ///
+    /// [`flush`]: IngestHandle::flush
+    pub fn n(&self) -> u64 {
+        self.items.load(Ordering::Acquire)
+    }
+
+    /// A copy of the engine's operational counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            items: self.items.load(Ordering::Acquire),
+            flushes: self.flushes.load(Ordering::Acquire),
+            snapshots: self.snapshots.load(Ordering::Acquire),
+            last_merge_depth: u32::try_from(self.last_merge_depth.load(Ordering::Acquire))
+                .unwrap_or(u32::MAX),
+            last_snapshot_nanos: self.last_snapshot_nanos.load(Ordering::Acquire),
+        }
+    }
+
+    fn lock_shard(&self, shard: usize) -> MutexGuard<'_, S> {
+        self.shards
+            .get(shard)
+            .and_then(|m| m.lock().ok())
+            .expect("Engine invariant: shard lock held without panic")
+    }
+
+    /// Flushes one producer batch into its shard (called by
+    /// [`IngestHandle`]); one lock acquisition per call.
+    fn flush_batch(&self, shard: usize, batch: &[T]) {
+        if batch.is_empty() {
+            return;
+        }
+        self.lock_shard(shard).insert_batch(batch);
+        self.items.fetch_add(batch.len() as u64, Ordering::AcqRel);
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl<T: Ord + Copy, S: MergeableSummary<T> + Clone> ShardedEngine<T, S> {
+    /// Folds the current shard summaries into one queryable summary.
+    ///
+    /// Each shard lock is held only long enough to clone that shard;
+    /// the balanced merge tree then runs entirely off the ingest path.
+    /// The result is an ε-summary of every element flushed so far
+    /// (elements still buffered in live handles are invisible until
+    /// they flush).
+    pub fn snapshot(&self) -> S {
+        let start = Instant::now();
+        let clones: Vec<S> = (0..self.shards.len())
+            .map(|i| self.lock_shard(i).clone())
+            .collect();
+        let (merged, depth) = merge_tree(clones);
+        self.snapshots.fetch_add(1, Ordering::Relaxed);
+        self.last_merge_depth
+            .store(u64::from(depth), Ordering::Release);
+        self.last_snapshot_nanos.store(
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Release,
+        );
+        merged
+    }
+
+    /// An ε-approximate φ-quantile of everything flushed so far, via a
+    /// fresh [`snapshot`](Self::snapshot). `None` while empty.
+    pub fn quantile(&self, phi: f64) -> Option<T> {
+        self.snapshot().quantile(phi)
+    }
+
+    /// Estimated rank of `x` over everything flushed so far, via a
+    /// fresh [`snapshot`](Self::snapshot).
+    pub fn rank_estimate(&self, x: T) -> u64 {
+        self.snapshot().rank_estimate(x)
+    }
+}
+
+/// Folds summaries pairwise, level by level — the balanced merge tree.
+/// Returns the fold and its depth (`⌈log₂ k⌉`). Balance keeps every
+/// leaf at the same depth, which matters for summaries whose merge
+/// guarantee degrades with *tree depth* rather than merge count; for
+/// the fully-mergeable summaries in `sqs-core` it simply bounds
+/// intermediate sizes.
+///
+/// # Panics
+/// Panics if `layer` is empty.
+pub fn merge_tree<T: Ord + Copy, S: MergeableSummary<T>>(mut layer: Vec<S>) -> (S, u32) {
+    assert!(!layer.is_empty(), "merge_tree needs at least one summary");
+    let mut depth = 0u32;
+    while layer.len() > 1 {
+        depth += 1;
+        let prev = std::mem::take(&mut layer);
+        layer.reserve(prev.len().div_ceil(2));
+        let mut it = prev.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                a.merge_from(b);
+            }
+            layer.push(a);
+        }
+    }
+    let root = layer
+        .pop()
+        .expect("Engine invariant: merge tree reduces to one root");
+    (root, depth)
+}
+
+/// A producer-side ingest buffer bound to one shard of a
+/// [`ShardedEngine`].
+///
+/// `insert` appends to a plain `Vec`; when the buffer reaches the
+/// engine's `batch_capacity` it flushes — one shard-lock acquisition
+/// feeding the summary's [`insert_batch`] bulk path. Dropping the
+/// handle flushes the remainder, so no element is ever lost; call
+/// [`flush`](Self::flush) explicitly to publish early.
+///
+/// Handles are cheap; create one per producer thread.
+///
+/// [`insert_batch`]: sqs_core::QuantileSummary::insert_batch
+pub struct IngestHandle<'a, T: Ord + Copy, S: MergeableSummary<T>> {
+    engine: &'a ShardedEngine<T, S>,
+    shard: usize,
+    buf: Vec<T>,
+}
+
+impl<T: Ord + Copy, S: MergeableSummary<T>> IngestHandle<'_, T, S> {
+    /// Buffers one element, flushing to the shard when the buffer
+    /// fills.
+    #[inline]
+    pub fn insert(&mut self, x: T) {
+        self.buf.push(x);
+        if self.buf.len() >= self.engine.batch_capacity {
+            self.flush();
+        }
+    }
+
+    /// Buffers a slice, flushing at each capacity boundary.
+    pub fn insert_slice(&mut self, xs: &[T]) {
+        for &x in xs {
+            self.insert(x);
+        }
+    }
+
+    /// Publishes everything buffered so far to the shard (one lock
+    /// acquisition) and empties the buffer. A no-op when empty.
+    pub fn flush(&mut self) {
+        self.engine.flush_batch(self.shard, &self.buf);
+        self.buf.clear();
+    }
+
+    /// Index of the shard this handle feeds.
+    pub fn shard_index(&self) -> usize {
+        self.shard
+    }
+
+    /// Elements buffered but not yet visible to snapshots.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+impl<T: Ord + Copy, S: MergeableSummary<T>> Drop for IngestHandle<'_, T, S> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl<T, S> CheckInvariants for ShardedEngine<T, S>
+where
+    T: Ord + Copy,
+    S: MergeableSummary<T> + CheckInvariants,
+{
+    /// Engine-level invariants on top of each shard's own:
+    ///
+    /// * `engine.shard_structure` — at least one shard exists and the
+    ///   batch capacity is positive (construction-time guarantees that
+    ///   must survive);
+    /// * every shard's `CheckInvariants` (first violation wins);
+    /// * `engine.mass_conservation` — the shards' element counts sum
+    ///   exactly to the engine's flushed-items counter: no flush lost
+    ///   or double-counted an element.
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        ensure(
+            !self.shards.is_empty() && self.batch_capacity > 0,
+            "ShardedEngine",
+            "engine.shard_structure",
+            || {
+                format!(
+                    "shards = {}, batch_capacity = {}",
+                    self.shards.len(),
+                    self.batch_capacity
+                )
+            },
+        )?;
+        let mut shard_mass = 0u64;
+        for (i, m) in self.shards.iter().enumerate() {
+            let guard = m.lock().map_err(|_| {
+                InvariantViolation::new(
+                    "ShardedEngine",
+                    "engine.shard_lock",
+                    format!("shard {i} lock poisoned by a panicking writer"),
+                )
+            })?;
+            guard.check_invariants()?;
+            shard_mass = shard_mass.saturating_add(guard.n());
+        }
+        let counted = self.items.load(Ordering::Acquire);
+        ensure(
+            shard_mass == counted,
+            "ShardedEngine",
+            "engine.mass_conservation",
+            || format!("Σ shard.n() = {shard_mass} but items counter = {counted}"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqs_core::qdigest::QDigest;
+    use sqs_core::random::RandomSketch;
+    use sqs_core::sampled::ReservoirQuantiles;
+    use sqs_core::QuantileSummary;
+
+    fn random_engine(shards: usize, cap: usize) -> ShardedEngine<u64, RandomSketch<u64>> {
+        ShardedEngine::new_with(shards, cap, |i| RandomSketch::new(0.05, 100 + i as u64))
+    }
+
+    #[test]
+    fn round_robin_assigns_all_shards() {
+        let e = random_engine(4, 8);
+        let seen: Vec<usize> = (0..8).map(|_| e.handle().shard_index()).collect();
+        assert_eq!(seen, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn drop_flushes_partial_buffer() {
+        let e = random_engine(2, 1000);
+        {
+            let mut h = e.handle();
+            for x in 0..7u64 {
+                h.insert(x);
+            }
+            assert_eq!(h.buffered(), 7);
+            assert_eq!(e.n(), 0, "nothing visible before flush");
+        }
+        assert_eq!(e.n(), 7, "drop publishes the remainder");
+        assert_eq!(e.stats().flushes, 1);
+        e.assert_invariants();
+    }
+
+    #[test]
+    fn flush_cadence_matches_batch_capacity() {
+        let e = random_engine(1, 64);
+        let mut h = e.handle_for(0);
+        for x in 0..256u64 {
+            h.insert(x);
+        }
+        assert_eq!(h.buffered(), 0);
+        drop(h);
+        let stats = e.stats();
+        assert_eq!(stats.items, 256);
+        assert_eq!(stats.flushes, 4, "256 elements / 64 per batch");
+    }
+
+    #[test]
+    fn snapshot_records_depth_and_latency() {
+        for (shards, want_depth) in [(1usize, 0u32), (2, 1), (4, 2), (5, 3), (8, 3)] {
+            let e = random_engine(shards, 32);
+            let mut h = e.handle();
+            for x in 0..100u64 {
+                h.insert(x);
+            }
+            drop(h);
+            let _ = e.snapshot();
+            let stats = e.stats();
+            assert_eq!(stats.snapshots, 1);
+            assert_eq!(stats.last_merge_depth, want_depth, "shards = {shards}");
+            assert!(stats.last_snapshot_nanos > 0);
+        }
+    }
+
+    #[test]
+    fn snapshot_sees_all_flushed_mass() {
+        let e = random_engine(4, 16);
+        for t in 0..4 {
+            let mut h = e.handle_for(t);
+            for x in 0..1_000u64 {
+                h.insert(u64::try_from(t).expect("test invariant: t fits u64") * 1_000 + x);
+            }
+        }
+        let mut snap = e.snapshot();
+        assert_eq!(snap.n(), 4_000);
+        assert_eq!(snap.n(), e.n());
+        let q = snap.quantile(0.5).expect("test invariant: nonempty");
+        assert!(q.abs_diff(2_000) <= 200, "median {q}");
+        e.assert_invariants();
+    }
+
+    #[test]
+    fn quantile_and_rank_work_through_the_engine() {
+        let e = ShardedEngine::new_with(3, 128, |_| QDigest::new(0.01, 20));
+        let mut h = e.handle();
+        for x in 0..10_000u64 {
+            h.insert(x);
+        }
+        drop(h);
+        let q = e.quantile(0.25).expect("test invariant: nonempty");
+        assert!(q.abs_diff(2_500) <= 100, "q1 {q}");
+        let r = e.rank_estimate(5_000);
+        assert!(r.abs_diff(5_000) <= 100, "rank {r}");
+        assert!(e.quantile(0.5).is_some());
+        e.assert_invariants();
+    }
+
+    #[test]
+    fn reservoir_backend_engine_is_sound() {
+        let e = ShardedEngine::new_with(4, 64, |i| {
+            ReservoirQuantiles::with_capacity(2_000, 40 + i as u64)
+        });
+        for t in 0..4 {
+            let mut h = e.handle_for(t);
+            for x in 0..5_000u64 {
+                h.insert(x);
+            }
+        }
+        let mut snap = e.snapshot();
+        assert_eq!(snap.n(), 20_000);
+        let q = snap.quantile(0.5).expect("test invariant: nonempty");
+        assert!(q.abs_diff(2_500) <= 500, "median {q}");
+        e.assert_invariants();
+    }
+
+    #[test]
+    fn merge_tree_of_one_is_identity() {
+        let mut s = RandomSketch::new(0.1, 1);
+        for x in 0..100u64 {
+            s.insert(x);
+        }
+        let (merged, depth) = merge_tree(vec![s]);
+        assert_eq!(depth, 0);
+        assert_eq!(merged.n(), 100);
+    }
+
+    #[test]
+    fn mass_conservation_violation_is_named() {
+        let e = random_engine(2, 16);
+        let mut h = e.handle_for(0);
+        for x in 0..64u64 {
+            h.insert(x);
+        }
+        drop(h);
+        e.assert_invariants();
+        // Corrupt the flushed-items counter behind the shards' backs.
+        e.items.fetch_add(5, Ordering::AcqRel);
+        let err = e.check_invariants().expect_err("corruption must be caught");
+        assert_eq!(err.invariant, "engine.mass_conservation");
+        assert_eq!(err.algorithm, "ShardedEngine");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedEngine::<u64, RandomSketch<u64>>::new_with(0, 8, |i| {
+            RandomSketch::new(0.1, i as u64)
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn handle_for_checks_bounds() {
+        let e = random_engine(2, 8);
+        let _ = e.handle_for(2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Deterministic multi-thread stress tests for the sharded engine.
+//!
+//! Each configuration runs `threads == shards` producers, every thread
+//! feeding a seeded, reproducible stream into its own pinned shard
+//! (`handle_for`), so the merged multiset — and for randomized
+//! summaries even each shard's rng consumption — is independent of
+//! thread scheduling. After the threads join, the test rebuilds the
+//! exact same streams single-threaded, computes true ranks with
+//! `ExactQuantiles`, and asserts the engine's merged snapshot answers
+//! every probe quantile within the *single-summary* ε bound — the
+//! mergeability property the engine's soundness rests on (see
+//! `docs/ENGINE.md`). Every post-merge snapshot is also run through the
+//! invariant auditor.
+
+use sqs_core::qdigest::QDigest;
+use sqs_core::random::RandomSketch;
+use sqs_core::sampled::ReservoirQuantiles;
+use sqs_core::{MergeableSummary, QuantileSummary};
+use sqs_engine::ShardedEngine;
+use sqs_util::audit::CheckInvariants;
+use sqs_util::exact::{probe_phis, ExactQuantiles};
+use sqs_util::rng::Xoshiro256pp;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const PER_THREAD: usize = 50_000;
+const BATCH: usize = 512;
+
+/// The seeded stream thread `t` of a `shards`-way run produces.
+/// Skewed on purpose: each thread draws from a different-width range so
+/// shard summaries are *not* exchangeable and a broken merge (lost
+/// shard, double-counted mass) shifts ranks detectably.
+fn stream(shards: usize, t: usize) -> Vec<u64> {
+    let mut rng = Xoshiro256pp::new(0xE46_1000 + (shards * 100 + t) as u64);
+    let width = 1u64 << (20 + (t % 4));
+    (0..PER_THREAD).map(|_| rng.next_below(width)).collect()
+}
+
+/// Runs the engine concurrently, then checks the merged snapshot
+/// against the exact oracle at the probe grid φ = ε, 2ε, …, 1−ε.
+fn drive<S, F>(eps: f64, label: &str, make: F)
+where
+    S: MergeableSummary<u64> + CheckInvariants + Clone + Send,
+    F: Fn(usize) -> S,
+{
+    for &shards in &SHARD_COUNTS {
+        let engine = ShardedEngine::new_with(shards, BATCH, &make);
+        std::thread::scope(|scope| {
+            for t in 0..shards {
+                let engine = &engine;
+                scope.spawn(move || {
+                    let mut h = engine.handle_for(t);
+                    h.insert_slice(&stream(shards, t));
+                });
+            }
+        });
+        let expected_n = (shards * PER_THREAD) as u64;
+        assert_eq!(engine.n(), expected_n, "{label}/{shards}: flushed mass");
+        engine.assert_invariants();
+
+        let mut snap = engine.snapshot();
+        snap.assert_invariants();
+        assert_eq!(snap.n(), expected_n, "{label}/{shards}: snapshot mass");
+
+        let all: Vec<u64> = (0..shards).flat_map(|t| stream(shards, t)).collect();
+        let oracle = ExactQuantiles::new(all);
+        let mut max_err = 0.0f64;
+        for phi in probe_phis(eps) {
+            let ans = snap
+                .quantile(phi)
+                .expect("stress invariant: nonempty snapshot answers");
+            max_err = max_err.max(oracle.quantile_error(phi, ans));
+        }
+        assert!(
+            max_err <= eps,
+            "{label}/{shards} shards: observed max rank error {max_err} > eps {eps}"
+        );
+
+        let stats = engine.stats();
+        assert_eq!(stats.items, expected_n);
+        assert_eq!(
+            stats.flushes,
+            (shards * PER_THREAD.div_ceil(BATCH)) as u64,
+            "{label}/{shards}: each thread flushes ⌈{PER_THREAD}/{BATCH}⌉ times"
+        );
+        assert!(stats.snapshots >= 1);
+        assert_eq!(
+            stats.last_merge_depth,
+            shards.ilog2() + u32::from(!shards.is_power_of_two())
+        );
+    }
+}
+
+#[test]
+fn random_sketch_engine_holds_eps_across_shard_counts() {
+    drive(0.05, "Random", |i| {
+        RandomSketch::new(0.05, 0xA11CE + i as u64)
+    });
+}
+
+#[test]
+fn qdigest_engine_holds_eps_across_shard_counts() {
+    // Universe 2^24 covers the widest per-thread range (2^23).
+    drive(0.01, "QDigest", |_| QDigest::new(0.01, 24));
+}
+
+#[test]
+fn reservoir_engine_stays_near_eps_across_shard_counts() {
+    // Reservoir sampling is probabilistic (VC bound, not worst-case):
+    // capacity 16/ε² gives failure probability well under 1% per
+    // configuration, and the seeds are fixed.
+    let eps = 0.05;
+    drive(eps, "Reservoir", |i| {
+        ReservoirQuantiles::with_capacity(6_400, 0xB0B + i as u64)
+    });
+}
+
+/// Concurrent producers hammering the *same* shard via round-robin
+/// handles: exercises lock contention and drop-flush under racing, and
+/// checks mass conservation exactly (accuracy is covered above).
+#[test]
+fn contended_round_robin_conserves_mass() {
+    let threads = 8usize;
+    let engine = ShardedEngine::new_with(2, 64, |i| RandomSketch::new(0.05, 7 + i as u64));
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let engine = &engine;
+            scope.spawn(move || {
+                let mut h = engine.handle();
+                let mut rng = Xoshiro256pp::new(t as u64);
+                for _ in 0..10_000 {
+                    h.insert(rng.next_below(1 << 16));
+                }
+            });
+        }
+    });
+    assert_eq!(engine.n(), (threads * 10_000) as u64);
+    engine.assert_invariants();
+    let snap = engine.snapshot();
+    snap.assert_invariants();
+    assert_eq!(snap.n(), engine.n());
+}

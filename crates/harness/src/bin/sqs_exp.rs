@@ -7,9 +7,10 @@
 //! ```
 //!
 //! Experiments: fig4 fig5 fig6 fig7 fig8 tab34 fig9 fig10 fig11 fig12
-//! xcompare ablation claims (see DESIGN.md §2 for what each
-//! reproduces). `sqs-exp plot <figure>` renders a previously-written
-//! CSV as an ASCII chart.
+//! xcompare ablation claims engine (see DESIGN.md §2 for what each
+//! reproduces; `engine` is the sharded-ingestion baseline, not a paper
+//! figure). `sqs-exp plot <figure>` renders a previously-written CSV
+//! as an ASCII chart.
 //! Defaults are laptop-scale; raise `--n`/`--trials` toward paper
 //! scale (n = 10⁷–10¹⁰, 100 trials) as time permits.
 

@@ -1,0 +1,231 @@
+//! Concurrent-ingestion baseline for the sharded engine (`sqs-engine`).
+//!
+//! Not a paper figure: the paper's study is single-threaded, and this
+//! experiment documents what the mergeable-summary property buys when
+//! the same summaries are run behind the engine's sharded front end.
+//! For each backend (Random, q-digest) and shard count ∈ {1, 2, 4, 8}
+//! it drives `shards` producer threads through buffered
+//! [`IngestHandle`](sqs_engine::IngestHandle)s and records:
+//!
+//! * ingestion throughput (million elements/s, wall clock across all
+//!   threads — on a multi-core host this scales with shards, on a
+//!   single hardware thread it stays flat);
+//! * snapshot latency and merge-tree depth;
+//! * the observed max rank error of the merged snapshot against an
+//!   exact oracle — the accuracy column is the point: it must stay
+//!   within the single-summary ε at *every* shard count.
+//!
+//! Besides the usual CSV, `run` writes `engine_baseline.json` so later
+//! optimization PRs can diff against a machine-readable baseline.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use super::ExpConfig;
+use crate::report::{fnum, Table};
+use sqs_core::qdigest::QDigest;
+use sqs_core::random::RandomSketch;
+use sqs_core::MergeableSummary;
+use sqs_engine::ShardedEngine;
+use sqs_util::audit::CheckInvariants;
+use sqs_util::exact::{probe_phis, ExactQuantiles};
+use sqs_util::rng::Xoshiro256pp;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const BATCH: usize = 1024;
+
+/// One measured cell of the baseline grid.
+struct Cell {
+    backend: &'static str,
+    shards: usize,
+    n: u64,
+    ingest_melems_per_s: f64,
+    snapshot_ms: f64,
+    merge_depth: u32,
+    flushes: u64,
+    max_rank_err: f64,
+    eps: f64,
+}
+
+/// The seeded stream thread `t` produces (deterministic per config).
+fn stream(seed: u64, t: usize, len: usize) -> Vec<u64> {
+    let mut rng = Xoshiro256pp::new(seed ^ (0xE46 + t as u64));
+    let width = 1u64 << (20 + (t % 4));
+    (0..len).map(|_| rng.next_below(width)).collect()
+}
+
+/// Drives one backend across the shard sweep.
+fn measure<S, F>(backend: &'static str, eps: f64, cfg: &ExpConfig, make: F, out: &mut Vec<Cell>)
+where
+    S: MergeableSummary<u64> + CheckInvariants + Clone + Send,
+    F: Fn(usize) -> S,
+{
+    // Per-thread share so total work (and the oracle) stays ~cfg.n
+    // regardless of shard count: throughput numbers are comparable.
+    for &shards in &SHARD_COUNTS {
+        let per_thread = cfg.n / shards;
+        let engine = ShardedEngine::new_with(shards, BATCH, &make);
+        let streams: Vec<Vec<u64>> = (0..shards)
+            .map(|t| stream(cfg.seed, shards * 100 + t, per_thread))
+            .collect();
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for (t, data) in streams.iter().enumerate() {
+                let engine = &engine;
+                scope.spawn(move || {
+                    let mut h = engine.handle_for(t);
+                    h.insert_slice(data);
+                });
+            }
+        });
+        let ingest_s = start.elapsed().as_secs_f64();
+        engine.assert_invariants();
+
+        let snap_start = Instant::now();
+        let mut snap = engine.snapshot();
+        let snapshot_ms = snap_start.elapsed().as_secs_f64() * 1e3;
+        snap.assert_invariants();
+
+        let all: Vec<u64> = streams.into_iter().flatten().collect();
+        let oracle = ExactQuantiles::new(all);
+        let mut max_err = 0.0f64;
+        for phi in probe_phis(eps) {
+            if let Some(ans) = snap.quantile(phi) {
+                max_err = max_err.max(oracle.quantile_error(phi, ans));
+            }
+        }
+
+        let stats = engine.stats();
+        out.push(Cell {
+            backend,
+            shards,
+            n: stats.items,
+            ingest_melems_per_s: stats.items as f64 / ingest_s / 1e6,
+            snapshot_ms,
+            merge_depth: stats.last_merge_depth,
+            flushes: stats.flushes,
+            max_rank_err: max_err,
+            eps,
+        });
+    }
+}
+
+/// Renders the grid as JSON by hand (the workspace builds offline — no
+/// serde), stable key order, one object per cell.
+fn to_json(cells: &[Cell], cfg: &ExpConfig) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"experiment\": \"engine_scaling\",");
+    let _ = writeln!(s, "  \"n\": {},", cfg.n);
+    let _ = writeln!(s, "  \"batch_capacity\": {BATCH},");
+    let _ = writeln!(s, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(s, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"backend\": \"{}\", \"shards\": {}, \"eps\": {}, \"n\": {}, \
+             \"ingest_melems_per_s\": {:.4}, \"snapshot_ms\": {:.4}, \
+             \"merge_depth\": {}, \"flushes\": {}, \"max_rank_err\": {:.6}}}{}",
+            c.backend,
+            c.shards,
+            c.eps,
+            c.n,
+            c.ingest_melems_per_s,
+            c.snapshot_ms,
+            c.merge_depth,
+            c.flushes,
+            c.max_rank_err,
+            comma
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Runs the engine-scaling baseline: one table plus
+/// `engine_baseline.json` in the output directory.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut cells = Vec::new();
+    measure(
+        "Random",
+        0.05,
+        cfg,
+        |i| RandomSketch::new(0.05, cfg.seed ^ i as u64),
+        &mut cells,
+    );
+    measure("QDigest", 0.01, cfg, |_| QDigest::new(0.01, 24), &mut cells);
+
+    let mut t = Table::new(
+        "engine_scaling",
+        "Sharded engine: throughput, snapshot cost and accuracy vs shard count",
+        &[
+            "backend",
+            "shards",
+            "eps",
+            "n",
+            "ingest_Melem_s",
+            "snapshot_ms",
+            "merge_depth",
+            "flushes",
+            "max_rank_err",
+        ],
+    );
+    for c in &cells {
+        t.push_row(vec![
+            c.backend.to_string(),
+            c.shards.to_string(),
+            fnum(c.eps),
+            c.n.to_string(),
+            fnum(c.ingest_melems_per_s),
+            fnum(c.snapshot_ms),
+            c.merge_depth.to_string(),
+            c.flushes.to_string(),
+            fnum(c.max_rank_err),
+        ]);
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&cfg.out_dir) {
+        eprintln!(
+            "engine_scaling: cannot create {}: {e}",
+            cfg.out_dir.display()
+        );
+    } else if let Err(e) = std::fs::write(
+        cfg.out_dir.join("engine_baseline.json"),
+        to_json(&cells, cfg),
+    ) {
+        eprintln!("engine_scaling: cannot write engine_baseline.json: {e}");
+    }
+
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_grid_is_accurate_and_complete() {
+        let cfg = ExpConfig {
+            n: 40_000,
+            trials: 1,
+            out_dir: std::env::temp_dir().join("sqs_engine_scaling_test"),
+            seed: 5,
+            max_stream_len: 40_000,
+        };
+        let tables = run(&cfg);
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.rows.len(), 2 * SHARD_COUNTS.len());
+        for row in &t.rows {
+            let eps: f64 = row[2].parse().expect("eps cell parses");
+            let err: f64 = row[8].parse().expect("err cell parses");
+            assert!(err <= eps, "row {row:?}: err {err} > eps {eps}");
+        }
+        let json = std::fs::read_to_string(cfg.out_dir.join("engine_baseline.json"))
+            .expect("baseline json written");
+        assert!(json.contains("\"experiment\": \"engine_scaling\""));
+        assert!(json.contains("\"backend\": \"QDigest\""));
+    }
+}

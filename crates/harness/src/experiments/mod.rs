@@ -14,6 +14,7 @@ use crate::report::Table;
 
 pub mod ablation;
 pub mod claims;
+pub mod engine_scaling;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
@@ -76,9 +77,9 @@ impl ExpConfig {
 }
 
 /// Every experiment id, in DESIGN.md order.
-pub const ALL_EXPERIMENTS: [&str; 13] = [
+pub const ALL_EXPERIMENTS: [&str; 14] = [
     "fig4", "fig5", "fig6", "fig7", "fig8", "tab34", "fig9", "fig10", "fig11", "fig12", "xcompare",
-    "ablation", "claims",
+    "ablation", "claims", "engine",
 ];
 
 /// Runs one experiment by id.
@@ -100,6 +101,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Vec<Table> {
         "xcompare" => xcompare::run(cfg),
         "ablation" => ablation::run(cfg),
         "claims" => claims::run(cfg),
+        "engine" => engine_scaling::run(cfg),
         other => panic!("unknown experiment id: {other}"),
     }
 }

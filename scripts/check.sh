@@ -11,4 +11,13 @@ cargo xtask check
 echo "== cargo test -q =="
 cargo test -q
 
+# The engine's stress tests spawn up to 8 producer threads per test;
+# a single-threaded test runner keeps them from oversubscribing the
+# host and keeps shard/thread interleavings closer to the documented
+# deterministic schedule. RUSTFLAGS promotes warnings so the new crate
+# stays warning-clean even where clippy's --lib/--bins gate can't see
+# (integration tests).
+echo "== engine stress (cargo test -p sqs-engine, single-threaded runner) =="
+RUSTFLAGS="${RUSTFLAGS:--D warnings}" cargo test -q -p sqs-engine -- --test-threads=1
+
 echo "== all checks passed =="

@@ -55,13 +55,23 @@
 //! | [`sqs_sketch`] | Count-Min, Count-Sketch, random subset sum, exact counter levels |
 //! | [`sqs_turnstile`] | the dyadic structure, DCM, DCS, RSS, OLS post-processing |
 //! | [`sqs_data`] | uniform/normal generators, MPCAT-OBS & LIDAR surrogates, turnstile workloads |
+//! | [`sqs_engine`] | sharded concurrent ingestion engine with merge-on-query snapshots |
 //! | [`sqs_harness`] | the §4 measurement harness and the `sqs-exp` experiment runner |
+//!
+//! ## Concurrent ingestion
+//!
+//! The study's summaries are single-threaded; [`ShardedEngine`] runs
+//! N of them behind striped locks with buffered batch flushes and
+//! folds them on query via the mergeable-summary property
+//! ([`MergeableSummary`]) — same ε guarantee, multi-producer
+//! throughput. See `docs/ENGINE.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use sqs_core;
 pub use sqs_data;
+pub use sqs_engine;
 pub use sqs_harness;
 pub use sqs_sketch;
 pub use sqs_turnstile;
@@ -77,7 +87,8 @@ pub mod prelude {
     pub use sqs_core::random::RandomSketch;
     pub use sqs_core::sampled::ReservoirQuantiles;
     pub use sqs_core::sliding::SlidingWindowQuantiles;
-    pub use sqs_core::QuantileSummary;
+    pub use sqs_core::{MergeableSummary, QuantileSummary};
+    pub use sqs_engine::{EngineStats, IngestHandle, ShardedEngine};
     pub use sqs_turnstile::{
         new_dcm, new_dcs, new_rss, Dcm, Dcs, PostProcessed, Rss, TurnstileQuantiles,
     };

@@ -116,6 +116,60 @@ fn extension_summaries_hold_invariants_on_all_streams() {
     }
 }
 
+/// The engine pass: every stream of the matrix, fed through a sharded
+/// engine round-robin across producers' handles; the engine's own
+/// invariants (shard structure + mass conservation) are audited at
+/// prime-strided checkpoints, and each post-merge snapshot is audited
+/// too — a merge tree must hand back a structurally sound summary, not
+/// just an accurate one.
+fn drive_engine<S, F>(label: &str, make: F)
+where
+    S: MergeableSummary<u64> + CheckInvariants + Clone,
+    F: Fn(usize) -> S,
+{
+    for (name, data) in streams() {
+        let engine = ShardedEngine::new_with(4, 257, &make);
+        let mut handles: Vec<_> = (0..4).map(|t| engine.handle_for(t)).collect();
+        for (i, &x) in data.iter().enumerate() {
+            if let Some(h) = handles.get_mut(i % 4) {
+                h.insert(x);
+            }
+            if (i + 1) % CHECK_EVERY == 0 {
+                for h in &mut handles {
+                    h.flush();
+                }
+                if let Err(v) = engine.check_invariants() {
+                    panic!("{label}/{name} after {} inserts: {v}", i + 1);
+                }
+                let snap = engine.snapshot();
+                if let Err(v) = snap.check_invariants() {
+                    panic!("{label}/{name} post-merge snapshot at {}: {v}", i + 1);
+                }
+            }
+        }
+        drop(handles);
+        assert_eq!(engine.n(), data.len() as u64, "{label}/{name}: lost mass");
+        let mut snap = engine.snapshot();
+        if let Err(v) = snap.check_invariants() {
+            panic!("{label}/{name} final post-merge snapshot: {v}");
+        }
+        let _ = snap.quantile(0.5);
+        let _ = snap.rank_estimate(data[0]);
+        if let Err(v) = snap.check_invariants() {
+            panic!("{label}/{name} snapshot after queries: {v}");
+        }
+    }
+}
+
+#[test]
+fn engine_holds_invariants_on_all_streams() {
+    drive_engine("Engine-Random", |i| RandomSketch::new(EPS, 90 + i as u64));
+    drive_engine("Engine-QDigest", |_| QDigest::new(EPS, 20));
+    drive_engine("Engine-Reservoir", |i| {
+        ReservoirQuantiles::new(EPS, 91 + i as u64)
+    });
+}
+
 /// Turnstile workloads: random churn plus the §1.2.2 adversary
 /// (insert everything, delete all but a few survivors).
 fn turnstile_workloads(log_u: u32) -> Vec<(&'static str, Vec<Op>)> {

@@ -35,6 +35,7 @@ const FIRST_PARTY: &[&str] = &[
     "sqs-data",
     "sqs-sketch",
     "sqs-core",
+    "sqs-engine",
     "sqs-turnstile",
     "sqs-harness",
     "sqs-bench",
