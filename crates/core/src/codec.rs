@@ -1,0 +1,362 @@
+//! The portable wire codec for mergeable summaries.
+//!
+//! The mergeable-summary property (Agarwal et al., PODS'12) is only
+//! useful across process boundaries if a summary can be shipped as
+//! bytes and reconstructed remotely — the deployment model of both the
+//! sensor-network q-digest (Shrivastava et al.) and DataSketches-style
+//! serving systems. This module defines that byte form once, for every
+//! mergeable summary in the crate:
+//!
+//! * a common **frame**: magic, version, a summary-kind tag, a
+//!   little-endian length-prefixed body, and a trailing FNV-1a-64
+//!   checksum over everything before it;
+//! * the [`WireCodec`] trait: each summary contributes only its
+//!   `encode_body`/`decode_body`, and inherits framed
+//!   [`to_bytes`](WireCodec::to_bytes) /
+//!   [`from_bytes`](WireCodec::from_bytes);
+//! * a **validating decode path**: `from_bytes` verifies the checksum,
+//!   bounds every length it reads against the actual byte count, and
+//!   finally runs the summary's own
+//!   [`CheckInvariants`](sqs_util::audit::CheckInvariants) audit — a
+//!   corrupt or adversarial frame yields a [`CodecError`], never a
+//!   panic and never a structurally-invalid summary.
+//!
+//! Implementors: [`RandomSketch<u64>`](crate::random::RandomSketch),
+//! [`QDigest`](crate::qdigest::QDigest) (the frame body is its
+//! pre-existing compact byte form), and
+//! [`ReservoirQuantiles<u64>`](crate::sampled::ReservoirQuantiles).
+//! Randomized summaries serialize their PRNG state
+//! ([`Xoshiro256pp::state`](sqs_util::rng::Xoshiro256pp::state)), so a
+//! decoded summary continues the sender's random choices exactly —
+//! encode→decode→insert behaves identically to never serializing.
+//!
+//! Byte-layout tables for the frame and each body live in
+//! `docs/SERVICE.md`.
+
+use std::fmt;
+
+use sqs_util::audit::{CheckInvariants, InvariantViolation};
+
+/// Frame magic: the four bytes `SQSC` (Streaming Quantile Summary
+/// Codec).
+pub const WIRE_MAGIC: [u8; 4] = *b"SQSC";
+
+/// Current frame version. Bumped on any layout change; decoders reject
+/// other versions rather than guessing.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Kind tag of [`RandomSketch<u64>`](crate::random::RandomSketch).
+pub const KIND_RANDOM: u8 = 1;
+/// Kind tag of [`QDigest`](crate::qdigest::QDigest).
+pub const KIND_QDIGEST: u8 = 2;
+/// Kind tag of
+/// [`ReservoirQuantiles<u64>`](crate::sampled::ReservoirQuantiles).
+pub const KIND_RESERVOIR: u8 = 3;
+
+/// Fixed frame header length: magic(4) + version(1) + kind(1) +
+/// reserved(2) + body length(8).
+pub const FRAME_HEADER_LEN: usize = 16;
+
+/// FNV-1a 64-bit hash — the frame checksum. Not cryptographic; it
+/// exists to catch truncation, bit rot and framing bugs, while staying
+/// dependency-free and branch-free per byte.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_concat(&[bytes])
+}
+
+/// [`fnv1a64`] over the concatenation of `parts`, without building the
+/// concatenation. FNV-1a is byte-serial, so hashing the spans in order
+/// is identical to hashing one contiguous buffer — this is how the
+/// service protocol checksums a frame header and its payload in place.
+#[must_use]
+pub fn fnv1a64_concat(parts: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for &b in *part {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Why a byte frame failed to decode into a summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The byte stream ends before a declared field or length.
+    Truncated,
+    /// The frame does not start with [`WIRE_MAGIC`].
+    BadMagic,
+    /// The frame declares an unsupported version.
+    BadVersion(u8),
+    /// The frame carries a different summary kind than requested.
+    BadKind {
+        /// The kind tag the decoder was asked to produce.
+        expected: u8,
+        /// The kind tag found in the frame.
+        got: u8,
+    },
+    /// The trailing FNV-1a-64 checksum does not match the frame bytes.
+    ChecksumMismatch,
+    /// Bytes remain after the declared body — a framing bug or splice.
+    TrailingBytes,
+    /// A field value is structurally impossible (described by the
+    /// static message).
+    Malformed(&'static str),
+    /// The decoded summary failed its own structural-invariant audit
+    /// (`CheckInvariants`) — bytes that parse but describe an invalid
+    /// state are rejected the same way corrupt ones are.
+    Invariant(InvariantViolation),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "byte stream truncated"),
+            CodecError::BadMagic => write!(f, "bad frame magic"),
+            CodecError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            CodecError::BadKind { expected, got } => {
+                write!(f, "summary kind mismatch: expected {expected}, got {got}")
+            }
+            CodecError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after frame body"),
+            CodecError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+            CodecError::Invariant(v) => write!(f, "decoded summary fails audit: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<InvariantViolation> for CodecError {
+    fn from(v: InvariantViolation) -> Self {
+        CodecError::Invariant(v)
+    }
+}
+
+/// A bounds-checked little-endian cursor over a byte slice. Every read
+/// returns [`CodecError::Truncated`] instead of panicking, which keeps
+/// the whole decode path index-free.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Starts a cursor at the beginning of `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { rest: bytes }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.rest.len()
+    }
+
+    /// Takes the next `n` bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let (head, tail) = self.rest.split_at_checked(n).ok_or(CodecError::Truncated)?;
+        self.rest = tail;
+        Ok(head)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        self.bytes(1)?.first().copied().ok_or(CodecError::Truncated)
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b: [u8; 4] = self
+            .bytes(4)?
+            .try_into()
+            .map_err(|_| CodecError::Truncated)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b: [u8; 8] = self
+            .bytes(8)?
+            .try_into()
+            .map_err(|_| CodecError::Truncated)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u64` and converts it to `usize`, failing
+    /// with `Malformed` if it does not fit the platform.
+    pub fn read_len(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.u64()?)
+            .map_err(|_| CodecError::Malformed("length field exceeds the address space"))
+    }
+
+    /// Reads a length-prefixed `u64` vector: count, then that many
+    /// little-endian words. The count is validated against the bytes
+    /// actually present *before* any allocation, so a forged length
+    /// cannot request an absurd buffer.
+    pub fn u64_vec(&mut self) -> Result<Vec<u64>, CodecError> {
+        let count = self.read_len()?;
+        let byte_len = count.checked_mul(8).ok_or(CodecError::Truncated)?;
+        let raw = self.bytes(byte_len)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| {
+                u64::from_le_bytes(
+                    c.try_into()
+                        .expect("Reader invariant: chunks_exact(8) yields 8-byte slices"),
+                )
+            })
+            .collect())
+    }
+
+    /// Asserts the cursor consumed everything.
+    pub fn done(&self) -> Result<(), CodecError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes)
+        }
+    }
+}
+
+/// Appends a length-prefixed `u64` vector (count, then the words) —
+/// the encoder dual of [`Reader::u64_vec`].
+pub fn put_u64_slice(out: &mut Vec<u8>, xs: &[u64]) {
+    out.extend_from_slice(&(xs.len() as u64).to_le_bytes());
+    for &x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// A summary with a portable, versioned byte form.
+///
+/// Implementors provide only the body codec; the framing (magic,
+/// version, kind tag, length prefix, checksum) and the post-decode
+/// invariant audit are shared. `encode_body` takes `&mut self` because
+/// several summaries flush internal buffers so that equal summaries
+/// serialize equally.
+pub trait WireCodec: CheckInvariants + Sized {
+    /// This summary's kind tag in the frame header (one of the
+    /// `KIND_*` constants).
+    const WIRE_KIND: u8;
+
+    /// Appends the summary's body bytes (everything inside the frame).
+    fn encode_body(&mut self, out: &mut Vec<u8>);
+
+    /// Parses a body produced by
+    /// [`encode_body`](WireCodec::encode_body). Implementations must
+    /// bounds-check every read (use [`Reader`]) and reject values that
+    /// would make later operations panic; structural soundness of the
+    /// result is additionally audited by
+    /// [`from_bytes`](WireCodec::from_bytes).
+    fn decode_body(body: &[u8]) -> Result<Self, CodecError>;
+
+    /// Serializes the summary as one framed, checksummed byte string.
+    fn to_bytes(&mut self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + 64);
+        out.extend_from_slice(&WIRE_MAGIC);
+        out.push(WIRE_VERSION);
+        out.push(Self::WIRE_KIND);
+        out.extend_from_slice(&[0u8; 2]); // reserved
+        out.extend_from_slice(&0u64.to_le_bytes()); // body length placeholder
+        self.encode_body(&mut out);
+        let body_len = (out.len() - FRAME_HEADER_LEN) as u64;
+        if let Some(slot) = out.get_mut(8..FRAME_HEADER_LEN) {
+            slot.copy_from_slice(&body_len.to_le_bytes());
+        }
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Reconstructs a summary from [`to_bytes`](WireCodec::to_bytes)
+    /// output, rejecting corrupt, truncated, mis-typed or
+    /// invariant-violating frames with an error — this path never
+    /// panics on untrusted input.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let framed_len = bytes.len().checked_sub(8).ok_or(CodecError::Truncated)?;
+        let (framed, sum_bytes) = bytes
+            .split_at_checked(framed_len)
+            .ok_or(CodecError::Truncated)?;
+        let declared: [u8; 8] = sum_bytes.try_into().map_err(|_| CodecError::Truncated)?;
+        if fnv1a64(framed) != u64::from_le_bytes(declared) {
+            return Err(CodecError::ChecksumMismatch);
+        }
+        let mut r = Reader::new(framed);
+        if r.bytes(4)? != WIRE_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = r.u8()?;
+        if version != WIRE_VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let kind = r.u8()?;
+        if kind != Self::WIRE_KIND {
+            return Err(CodecError::BadKind {
+                expected: Self::WIRE_KIND,
+                got: kind,
+            });
+        }
+        let _reserved = r.bytes(2)?;
+        let body_len = r.read_len()?;
+        if body_len != r.remaining() {
+            // The length prefix must account for exactly the rest of
+            // the frame; anything else is a splice or truncation.
+            return Err(if body_len > r.remaining() {
+                CodecError::Truncated
+            } else {
+                CodecError::TrailingBytes
+            });
+        }
+        let body = r.bytes(body_len)?;
+        let decoded = Self::decode_body(body)?;
+        decoded.check_invariants()?;
+        Ok(decoded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_reference_values() {
+        // Public FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn reader_is_bounds_checked() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.u8(), Ok(1));
+        assert_eq!(r.u32(), Err(CodecError::Truncated));
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.bytes(2), Ok(&[2u8, 3][..]));
+        assert!(r.done().is_ok());
+        assert_eq!(r.u64(), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn u64_vec_rejects_forged_count_before_allocating() {
+        // Declares u64::MAX elements with only 4 bytes behind it.
+        let mut bytes = u64::MAX.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        let mut r = Reader::new(&bytes);
+        assert!(r.u64_vec().is_err());
+    }
+
+    #[test]
+    fn u64_slice_roundtrip() {
+        let xs = [7u64, 0, u64::MAX, 42];
+        let mut out = Vec::new();
+        put_u64_slice(&mut out, &xs);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u64_vec().expect("roundtrip"), xs.to_vec());
+        assert!(r.done().is_ok());
+    }
+}

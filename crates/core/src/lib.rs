@@ -23,13 +23,18 @@
 //!
 //! Every summary implements [`QuantileSummary`] (streaming insert +
 //! rank/quantile queries) and [`sqs_util::SpaceUsage`] (the paper's
-//! 4-bytes-per-word accounting).
+//! 4-bytes-per-word accounting). The mergeable summaries (`Random`,
+//! `FastQDigest`, the reservoir baseline) additionally implement
+//! [`codec::WireCodec`] — a versioned, checksummed byte form so they
+//! can be shipped across process boundaries and merged remotely
+//! (`sqs-service`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod biased;
 pub mod buffers;
+pub mod codec;
 pub mod gk;
 pub mod mrl98;
 pub mod mrl99;

@@ -310,7 +310,12 @@ impl QDigest {
             if id == 0 || id >= max_id {
                 return Err(DecodeError::BadNodeId(id));
             }
-            total_at_some_level += c;
+            // Adversarial counts could overflow the running sum; an
+            // overflow can never equal an honest n, so report it as the
+            // count mismatch it is instead of panicking.
+            total_at_some_level = total_at_some_level
+                .checked_add(c)
+                .ok_or(DecodeError::CountMismatch)?;
             counts.insert(id, c);
         }
         if total_at_some_level != n {
@@ -346,6 +351,33 @@ impl QDigest {
 impl crate::MergeableSummary<u64> for QDigest {
     fn merge_from(&mut self, other: Self) {
         QDigest::merge_from(self, other);
+    }
+
+    fn merge_compatible(&self, other: &Self) -> bool {
+        self.log_u == other.log_u
+    }
+}
+
+impl crate::codec::WireCodec for QDigest {
+    const WIRE_KIND: u8 = crate::codec::KIND_QDIGEST;
+
+    /// The frame body is exactly the digest's pre-existing compact
+    /// byte form ([`QDigest::to_bytes`]); the shared frame adds the
+    /// version/kind header and checksum on top.
+    fn encode_body(&mut self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bytes());
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Self, crate::codec::CodecError> {
+        use crate::codec::CodecError;
+        QDigest::from_bytes(body).map_err(|e| match e {
+            DecodeError::Truncated => CodecError::Truncated,
+            DecodeError::BadHeader => CodecError::Malformed("q-digest: bad magic/version header"),
+            DecodeError::BadNodeId(_) => CodecError::Malformed("q-digest: node id outside tree"),
+            DecodeError::CountMismatch => {
+                CodecError::Malformed("q-digest: node counts do not sum to n")
+            }
+        })
     }
 }
 

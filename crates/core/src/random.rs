@@ -337,6 +337,128 @@ impl<T: Ord + Copy> crate::MergeableSummary<T> for RandomSketch<T> {
     fn merge_from(&mut self, other: Self) {
         RandomSketch::merge_from(self, other);
     }
+
+    fn merge_compatible(&self, other: &Self) -> bool {
+        (self.eps - other.eps).abs() < 1e-12
+    }
+}
+
+impl crate::codec::WireCodec for RandomSketch<u64> {
+    const WIRE_KIND: u8 = crate::codec::KIND_RANDOM;
+
+    /// Body layout (little-endian): ε bits `u64`, `h u32`, `s u64`,
+    /// `n u64`, fill index `u64` (`u64::MAX` = none), sampler
+    /// `group_size`/`group_pos`/`group_target` `u64`×3, group-choice
+    /// flag `u8` + value `u64`, RNG state `u64`×4, buffer count `u64`,
+    /// then per buffer: `level u32`, full flag `u8`, length-prefixed
+    /// samples. Serializing the sampler and RNG state makes the decoded
+    /// summary *stream-identical* to the original: further inserts make
+    /// exactly the random choices the sender would have made.
+    fn encode_body(&mut self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.eps.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.h.to_le_bytes());
+        out.extend_from_slice(&(self.s as u64).to_le_bytes());
+        out.extend_from_slice(&self.n.to_le_bytes());
+        let fill = self.fill.map_or(u64::MAX, |i| i as u64);
+        out.extend_from_slice(&fill.to_le_bytes());
+        out.extend_from_slice(&self.group_size.to_le_bytes());
+        out.extend_from_slice(&self.group_pos.to_le_bytes());
+        out.extend_from_slice(&self.group_target.to_le_bytes());
+        out.push(u8::from(self.group_choice.is_some()));
+        out.extend_from_slice(&self.group_choice.unwrap_or(0).to_le_bytes());
+        for w in self.rng.state() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.buffers.len() as u64).to_le_bytes());
+        for b in &self.buffers {
+            out.extend_from_slice(&b.level.to_le_bytes());
+            out.push(u8::from(b.full));
+            crate::codec::put_u64_slice(out, &b.data);
+        }
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Self, crate::codec::CodecError> {
+        use crate::codec::{CodecError, Reader};
+        let mut r = Reader::new(body);
+        let eps = f64::from_bits(r.u64()?);
+        let h = r.u32()?;
+        // h bounds the `1 << (h-1)` in `active_level`; the per-buffer
+        // levels bound the `<< level` mass shifts. Anything past 63
+        // would overflow, so it is rejected here rather than audited.
+        if !(1..=63).contains(&h) {
+            return Err(CodecError::Malformed("Random: h outside 1..=63"));
+        }
+        let s = usize::try_from(r.u64()?)
+            .map_err(|_| CodecError::Malformed("Random: buffer size exceeds address space"))?;
+        let n = r.u64()?;
+        let fill_raw = r.u64()?;
+        let group_size = r.u64()?;
+        let group_pos = r.u64()?;
+        let group_target = r.u64()?;
+        let has_choice = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(CodecError::Malformed("Random: group-choice flag not 0/1")),
+        };
+        let choice_val = r.u64()?;
+        let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        let buf_count = r.read_len()?;
+        // Each buffer costs at least 13 header bytes, so an honest
+        // count never exceeds the room the body actually has.
+        if buf_count > r.remaining() / 13 {
+            return Err(CodecError::Truncated);
+        }
+        let mut buffers = Vec::with_capacity(buf_count);
+        for _ in 0..buf_count {
+            let level = r.u32()?;
+            if level > 63 {
+                return Err(CodecError::Malformed("Random: buffer level exceeds 63"));
+            }
+            let full = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(CodecError::Malformed("Random: full flag not 0/1")),
+            };
+            let data = r.u64_vec()?;
+            buffers.push(Buffer { level, data, full });
+        }
+        r.done()?;
+        let fill =
+            if fill_raw == u64::MAX {
+                None
+            } else {
+                Some(usize::try_from(fill_raw).map_err(|_| {
+                    CodecError::Malformed("Random: fill index exceeds address space")
+                })?)
+            };
+        // The itemwise sampler assumes a choice is pending exactly when
+        // the position has passed the target, and that the position
+        // stays inside the group between inserts; frames violating
+        // either would make a later insert panic.
+        if has_choice != (group_pos > group_target) {
+            return Err(CodecError::Malformed(
+                "Random: sampler choice/position disagree",
+            ));
+        }
+        if group_size == 0 || group_pos >= group_size {
+            return Err(CodecError::Malformed(
+                "Random: sampler position outside group",
+            ));
+        }
+        Ok(Self {
+            eps,
+            h,
+            s,
+            buffers,
+            fill,
+            group_size,
+            group_pos,
+            group_target,
+            group_choice: has_choice.then_some(choice_val),
+            n,
+            rng: Xoshiro256pp::from_state(rng_state),
+        })
+    }
 }
 
 impl<T: Ord + Copy> sqs_util::audit::CheckInvariants for RandomSketch<T> {

@@ -144,6 +144,54 @@ impl<T: Ord + Copy> crate::MergeableSummary<T> for ReservoirQuantiles<T> {
     fn merge_from(&mut self, other: Self) {
         ReservoirQuantiles::merge_from(self, other);
     }
+
+    fn merge_compatible(&self, other: &Self) -> bool {
+        self.capacity == other.capacity
+    }
+}
+
+impl crate::codec::WireCodec for ReservoirQuantiles<u64> {
+    const WIRE_KIND: u8 = crate::codec::KIND_RESERVOIR;
+
+    /// Body layout (little-endian): `capacity u64`, `n u64`, sorted
+    /// flag `u8`, RNG state `u64`×4, length-prefixed samples. The RNG
+    /// state travels with the sample so Algorithm R's replacement draws
+    /// resume exactly where the sender stopped.
+    fn encode_body(&mut self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.capacity as u64).to_le_bytes());
+        out.extend_from_slice(&self.n.to_le_bytes());
+        out.push(u8::from(self.sorted));
+        for w in self.rng.state() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        crate::codec::put_u64_slice(out, &self.reservoir);
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Self, crate::codec::CodecError> {
+        use crate::codec::{CodecError, Reader};
+        let mut r = Reader::new(body);
+        let capacity = usize::try_from(r.u64()?)
+            .map_err(|_| CodecError::Malformed("Reservoir: capacity exceeds address space"))?;
+        let n = r.u64()?;
+        let sorted = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(CodecError::Malformed("Reservoir: sorted flag not 0/1")),
+        };
+        let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        let reservoir = r.u64_vec()?;
+        r.done()?;
+        // `capacity > 0`, the fill level `|reservoir| = min(n, cap)`,
+        // and the sorted-flag/order agreement are all enforced by the
+        // `CheckInvariants` audit the framed decode runs afterwards.
+        Ok(Self {
+            capacity,
+            reservoir,
+            sorted,
+            n,
+            rng: Xoshiro256pp::from_state(rng_state),
+        })
+    }
 }
 
 impl<T: Ord + Copy> sqs_util::audit::CheckInvariants for ReservoirQuantiles<T> {

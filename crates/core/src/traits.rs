@@ -123,6 +123,18 @@ pub trait MergeableSummary<T: Ord + Copy>: QuantileSummary<T> + Sized {
     /// configuration (same ε, and same universe where applicable);
     /// implementations panic on a mismatch.
     fn merge_from(&mut self, other: Self);
+
+    /// Whether [`merge_from`](MergeableSummary::merge_from) would
+    /// accept `other`: the two summaries share the accuracy
+    /// configuration (ε, universe, capacity — whatever the concrete
+    /// type's merge asserts).
+    ///
+    /// `merge_from` panics on incompatible inputs because a local
+    /// mismatch is a programming error; a *remote* summary decoded off
+    /// the wire (`sqs-service` `MERGE_SNAPSHOT`) is untrusted input,
+    /// and the server uses this check to turn the mismatch into an
+    /// error reply instead of a worker panic.
+    fn merge_compatible(&self, other: &Self) -> bool;
 }
 
 /// Validates a φ argument; shared by all implementations.

@@ -212,6 +212,47 @@ impl<T: Ord + Copy, S: MergeableSummary<T>> ShardedEngine<T, S> {
         self.items.fetch_add(batch.len() as u64, Ordering::AcqRel);
         self.flushes.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Ingests one caller-assembled batch directly: picks the next
+    /// shard round-robin and feeds the whole slice through the shard's
+    /// [`insert_batch`] under a single lock acquisition.
+    ///
+    /// This is the *request-scoped* ingest path: unlike an
+    /// [`IngestHandle`], nothing stays buffered engine-side afterwards
+    /// — every element is visible to the next snapshot the moment the
+    /// call returns. `sqs-service` uses it so a server never holds
+    /// client data in limbo (its `INSERT_BATCH` reply means "merged"),
+    /// and so graceful shutdown has nothing left to flush.
+    ///
+    /// [`insert_batch`]: sqs_core::QuantileSummary::insert_batch
+    pub fn ingest_batch(&self, xs: &[T]) {
+        if xs.is_empty() {
+            return;
+        }
+        let shard = self.router.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.flush_batch(shard, xs);
+    }
+
+    /// Merges an externally-built summary (e.g. one decoded off the
+    /// wire) into shard 0, adding its mass to the engine's totals.
+    /// Returns the summary back as `Err` without touching anything if
+    /// its accuracy configuration is incompatible with this engine's
+    /// shards — the panic-free gate remote `MERGE_SNAPSHOT` traffic
+    /// goes through.
+    pub fn try_absorb(&self, other: S) -> Result<(), S> {
+        let mass = other.n();
+        {
+            let mut shard = self.lock_shard(0);
+            if !shard.merge_compatible(&other) {
+                return Err(other);
+            }
+            shard.merge_from(other);
+        }
+        // Count the absorbed mass so `engine.mass_conservation`
+        // (Σ shard.n() == items) keeps holding.
+        self.items.fetch_add(mass, Ordering::AcqRel);
+        Ok(())
+    }
 }
 
 impl<T: Ord + Copy, S: MergeableSummary<T> + Clone> ShardedEngine<T, S> {
@@ -240,8 +281,31 @@ impl<T: Ord + Copy, S: MergeableSummary<T> + Clone> ShardedEngine<T, S> {
 
     /// An ε-approximate φ-quantile of everything flushed so far, via a
     /// fresh [`snapshot`](Self::snapshot). `None` while empty.
+    ///
+    /// Answering *many* ranks? Use [`quantiles`](Self::quantiles),
+    /// which folds the merge tree once instead of once per rank.
     pub fn quantile(&self, phi: f64) -> Option<T> {
         self.snapshot().quantile(phi)
+    }
+
+    /// Answers a whole rank sweep from **one** merged snapshot.
+    ///
+    /// [`quantile`](Self::quantile) rebuilds the merge tree per call,
+    /// so a 100-point sweep pays 100 clone-and-fold rounds; this
+    /// materializes the snapshot once and reads every φ from it. The
+    /// answers are also mutually consistent — they all describe the
+    /// same instant of a live stream, which per-call snapshots cannot
+    /// guarantee.
+    ///
+    /// # Panics
+    /// Panics if any `φ ∉ (0, 1)`, matching
+    /// [`QuantileSummary::quantile`](sqs_core::QuantileSummary::quantile).
+    pub fn quantiles(&self, phis: &[f64]) -> Vec<Option<T>> {
+        if phis.is_empty() {
+            return Vec::new();
+        }
+        let mut snap = self.snapshot();
+        phis.iter().map(|&phi| snap.quantile(phi)).collect()
     }
 
     /// Estimated rank of `x` over everything flushed so far, via a
@@ -532,6 +596,69 @@ mod tests {
         let err = e.check_invariants().expect_err("corruption must be caught");
         assert_eq!(err.invariant, "engine.mass_conservation");
         assert_eq!(err.algorithm, "ShardedEngine");
+    }
+
+    #[test]
+    fn quantiles_sweep_matches_single_snapshot() {
+        let e = random_engine(4, 64);
+        for t in 0..4 {
+            let mut h = e.handle_for(t);
+            for x in 0..5_000u64 {
+                h.insert(u64::try_from(t).expect("test invariant: t fits u64") * 5_000 + x);
+            }
+        }
+        let phis = [0.1, 0.25, 0.5, 0.75, 0.9];
+        let swept = e.quantiles(&phis);
+        // One snapshot answers all ranks; the per-φ answers must agree
+        // with reading the same snapshot directly.
+        let mut snap = e.snapshot();
+        let direct: Vec<Option<u64>> = phis.iter().map(|&p| snap.quantile(p)).collect();
+        assert_eq!(swept, direct);
+        // And it costs exactly one snapshot, not one per φ.
+        let before = e.stats().snapshots;
+        let _ = e.quantiles(&phis);
+        assert_eq!(e.stats().snapshots, before + 1);
+        assert_eq!(e.quantiles(&[]), Vec::<Option<u64>>::new());
+    }
+
+    #[test]
+    fn ingest_batch_is_immediately_visible() {
+        let e = random_engine(3, 16);
+        let batch: Vec<u64> = (0..1_000).collect();
+        e.ingest_batch(&batch);
+        assert_eq!(e.n(), 1_000, "no engine-side buffering");
+        e.ingest_batch(&[]);
+        assert_eq!(e.stats().flushes, 1, "empty batches don't count");
+        e.ingest_batch(&batch);
+        assert_eq!(e.n(), 2_000);
+        e.assert_invariants();
+    }
+
+    #[test]
+    fn try_absorb_merges_and_conserves_mass() {
+        let e = random_engine(2, 16);
+        e.ingest_batch(&(0..4_000u64).collect::<Vec<_>>());
+        let mut donor = RandomSketch::new(0.05, 999);
+        for x in 4_000..8_000u64 {
+            donor.insert(x);
+        }
+        e.try_absorb(donor).expect("same eps must merge");
+        assert_eq!(e.n(), 8_000);
+        e.assert_invariants(); // engine.mass_conservation holds
+        let q = e.quantile(0.5).expect("test invariant: nonempty");
+        assert!(q.abs_diff(4_000) <= 400, "median {q}");
+    }
+
+    #[test]
+    fn try_absorb_rejects_incompatible_config() {
+        let e = random_engine(2, 16);
+        e.ingest_batch(&[1, 2, 3]);
+        let mut donor = RandomSketch::new(0.2, 7); // different eps
+        donor.insert(9);
+        let back = e.try_absorb(donor).expect_err("eps mismatch must bounce");
+        assert_eq!(back.n(), 1, "donor returned untouched");
+        assert_eq!(e.n(), 3, "engine untouched");
+        e.assert_invariants();
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! `sqs-serve` — stand up one quantile server from the command line.
+//!
+//! ```text
+//! sqs-serve --addr 127.0.0.1:7171 --backend random --eps 0.01
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--addr HOST:PORT` — bind address (default `127.0.0.1:7171`,
+//!   port 0 for ephemeral).
+//! * `--backend random|qdigest|reservoir` — shard summary type
+//!   (default `random`).
+//! * `--eps F` — accuracy parameter ε (default `0.01`).
+//! * `--log-u N` — q-digest universe is `[0, 2^N)` (default `32`;
+//!   qdigest only — the server refuses out-of-universe inserts).
+//! * `--shards N` — engine shards per tenant (default `4`).
+//! * `--workers N` — connection worker threads (default `4`).
+//! * `--queue N` — backpressure queue depth (default `64`).
+//! * `--batch N` — engine batch capacity (default `1024`).
+//! * `--seed N` — base RNG seed; per-tenant/per-shard seeds are
+//!   derived from it (default `42`).
+//!
+//! The process prints `listening on ADDR` once bound and runs until a
+//! client sends `SHUTDOWN` (or the process is killed).
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use sqs_core::qdigest::QDigest;
+use sqs_core::random::RandomSketch;
+use sqs_core::sampled::ReservoirQuantiles;
+use sqs_service::server::{spawn, ServerConfig};
+use sqs_util::rng::SplitMix64;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Random,
+    QDigest,
+    Reservoir,
+}
+
+struct Args {
+    cfg: ServerConfig,
+    backend: Backend,
+    eps: f64,
+    log_u: u32,
+    seed: u64,
+}
+
+fn usage() -> &'static str {
+    "usage: sqs-serve [--addr HOST:PORT] [--backend random|qdigest|reservoir] \
+     [--eps F] [--log-u N] [--shards N] [--workers N] [--queue N] [--batch N] [--seed N]"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        cfg: ServerConfig {
+            addr: "127.0.0.1:7171".to_owned(),
+            ..ServerConfig::default()
+        },
+        backend: Backend::Random,
+        eps: 0.01,
+        log_u: 32,
+        seed: 42,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        fn value<'a>(
+            it: &mut std::slice::Iter<'a, String>,
+            flag: &str,
+        ) -> Result<&'a String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        }
+        match flag.as_str() {
+            "--addr" => args.cfg.addr = value(&mut it, flag)?.clone(),
+            "--backend" => {
+                args.backend = match value(&mut it, flag)?.as_str() {
+                    "random" => Backend::Random,
+                    "qdigest" => Backend::QDigest,
+                    "reservoir" => Backend::Reservoir,
+                    other => return Err(format!("unknown backend {other:?}")),
+                }
+            }
+            "--eps" => {
+                args.eps = value(&mut it, flag)?
+                    .parse()
+                    .map_err(|e| format!("--eps: {e}"))?;
+                if !(args.eps.is_finite() && args.eps > 0.0 && args.eps < 0.5) {
+                    return Err(format!("--eps must be in (0, 0.5), got {}", args.eps));
+                }
+            }
+            "--log-u" => {
+                args.log_u = value(&mut it, flag)?
+                    .parse()
+                    .map_err(|e| format!("--log-u: {e}"))?;
+                if args.log_u == 0 || args.log_u > 63 {
+                    return Err(format!("--log-u must be in 1..=63, got {}", args.log_u));
+                }
+            }
+            "--shards" => {
+                args.cfg.shards = parse_nonzero(value(&mut it, flag)?, "--shards")?;
+            }
+            "--workers" => {
+                args.cfg.workers = parse_nonzero(value(&mut it, flag)?, "--workers")?;
+            }
+            "--queue" => {
+                args.cfg.queue_depth = parse_nonzero(value(&mut it, flag)?, "--queue")?;
+            }
+            "--batch" => {
+                args.cfg.batch_capacity = parse_nonzero(value(&mut it, flag)?, "--batch")?;
+            }
+            "--seed" => {
+                args.seed = value(&mut it, flag)?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_nonzero(s: &str, flag: &str) -> Result<usize, String> {
+    let n: usize = s.parse().map_err(|e| format!("{flag}: {e}"))?;
+    if n == 0 {
+        return Err(format!("{flag} must be positive"));
+    }
+    Ok(n)
+}
+
+/// Derives an independent seed for one (tenant, shard) pair so that
+/// randomized summaries on different shards draw unrelated streams.
+fn derive_seed(base: u64, tenant: u64, shard: usize) -> u64 {
+    let mut sm = SplitMix64::new(
+        base ^ tenant.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (shard as u64).wrapping_mul(0xff51_afd7_ed55_8ccd),
+    );
+    sm.next_u64()
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let Args {
+        mut cfg,
+        backend,
+        eps,
+        log_u,
+        seed,
+    } = args;
+    let spawned = match backend {
+        Backend::Random => spawn(cfg, move |tenant, shard| {
+            RandomSketch::new(eps, derive_seed(seed, tenant, shard))
+        })
+        .map(|h| run(h.addr(), h)),
+        Backend::QDigest => {
+            // q-digest summarises the bounded universe [0, 2^log_u);
+            // the server gates inserts so out-of-range values get an
+            // error reply instead of panicking a worker.
+            cfg.value_bound = Some(1u64 << log_u);
+            spawn(cfg, move |_tenant, _shard| QDigest::new(eps, log_u)).map(|h| run(h.addr(), h))
+        }
+        Backend::Reservoir => spawn(cfg, move |tenant, shard| {
+            ReservoirQuantiles::new(eps, derive_seed(seed, tenant, shard))
+        })
+        .map(|h| run(h.addr(), h)),
+    };
+    match spawned {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run<S>(addr: std::net::SocketAddr, handle: sqs_service::ServerHandle<S>) -> ExitCode
+where
+    S: sqs_core::MergeableSummary<u64> + sqs_core::codec::WireCodec + Clone + Send + 'static,
+{
+    println!("listening on {addr}");
+    // Park until a client's SHUTDOWN op stops the server; the handle's
+    // join returns once every worker drained.
+    handle.join();
+    // Give lingering client sockets a beat to observe the close.
+    std::thread::sleep(Duration::from_millis(10));
+    ExitCode::SUCCESS
+}

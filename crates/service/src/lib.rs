@@ -1,0 +1,33 @@
+//! `sqs-service`: a multi-tenant TCP quantile service over
+//! [`sqs_engine`].
+//!
+//! The crate turns the in-process sharded quantile engine into a
+//! network service, std-only (no async runtime, no serde):
+//!
+//! * [`proto`] — the framed little-endian wire protocol: versioned
+//!   headers, FNV-1a-64 checksums, a hard payload cap, and panic-free
+//!   decoding of untrusted bytes.
+//! * [`server`] — `TcpListener` accept loop feeding a bounded
+//!   connection queue drained by a fixed worker pool; per-tenant
+//!   [`sqs_engine::ShardedEngine`] registry; explicit `BUSY` shedding
+//!   under overload; graceful shutdown with nothing acknowledged lost.
+//! * [`client`] — a small blocking client with typed methods per op.
+//! * [`metrics`] — lock-free counters and log₂-bucketed per-op latency
+//!   histograms behind the `STATS` op.
+//!
+//! Summaries travel between servers via the [`sqs_core::codec`]
+//! frames: `SNAPSHOT` on one server, `MERGE_SNAPSHOT` on another, and
+//! mergeability (Agarwal et al., PODS '12) guarantees the combined
+//! summary keeps its ε-rank error.
+
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use metrics::{LatencyHistogram, Metrics};
+pub use proto::{Op, ProtoError, Request, Response, Status};
+pub use server::{spawn, ServerConfig, ServerHandle};

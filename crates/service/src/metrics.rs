@@ -1,0 +1,248 @@
+//! In-process service metrics: ingest throughput, shed-load counters,
+//! and lock-free per-op latency histograms.
+//!
+//! Latencies land in power-of-two nanosecond buckets (`AtomicU64`
+//! each), so the hot path is one `leading_zeros` and one relaxed
+//! `fetch_add` — no lock, no allocation, no coordination with the
+//! `STATS` reader. Quantiles read from the bucket boundaries, which
+//! bounds their relative error by 2× — plenty for p50/p99/p999
+//! operational telemetry (exact latencies belong to the load
+//! generator, which keeps raw samples).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::proto::Op;
+
+/// Number of power-of-two latency buckets: bucket `i` holds samples
+/// with `floor(log2(nanos)) == i`, which spans every representable
+/// `u64` nanosecond value.
+const BUCKETS: usize = 64;
+
+/// A lock-free log₂-bucketed latency histogram.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one sample (relaxed atomics; safe from any thread).
+    pub fn record(&self, nanos: u64) {
+        // floor(log2(nanos)), with 0 mapped to bucket 0.
+        let idx = (63 - (nanos | 1).leading_zeros()) as usize;
+        if let Some(b) = self.buckets.get(idx) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The per-mille quantile (e.g. 500 = p50, 999 = p999) as the
+    /// upper bound of the bucket holding that rank, in nanoseconds.
+    /// Returns 0 while empty.
+    #[must_use]
+    pub fn quantile_nanos(&self, permille: u64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target =
+            u64::try_from((u128::from(total) * u128::from(permille.clamp(1, 1000))).div_ceil(1000))
+                .unwrap_or(u64::MAX)
+                .max(1);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum = cum.saturating_add(b.load(Ordering::Relaxed));
+            if cum >= target {
+                // Upper bound of bucket i: 2^(i+1) - 1 nanoseconds.
+                return u64::try_from((1u128 << (i + 1)) - 1).unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Counters and histograms for one running server.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    ingest_rows: AtomicU64,
+    busy_shed: AtomicU64,
+    proto_errors: AtomicU64,
+    per_op: [LatencyHistogram; Op::ALL.len()],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh metrics; the rows/s denominator starts now.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            ingest_rows: AtomicU64::new(0),
+            busy_shed: AtomicU64::new(0),
+            proto_errors: AtomicU64::new(0),
+            per_op: std::array::from_fn(|_| LatencyHistogram::new()),
+        }
+    }
+
+    /// Adds ingested rows to the throughput counter.
+    pub fn add_rows(&self, rows: u64) {
+        self.ingest_rows.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Rows ingested since start.
+    #[must_use]
+    pub fn rows(&self) -> u64 {
+        self.ingest_rows.load(Ordering::Relaxed)
+    }
+
+    /// Counts one connection shed with a `BUSY` reply.
+    pub fn note_busy(&self) {
+        self.busy_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections shed so far.
+    #[must_use]
+    pub fn busy_count(&self) -> u64 {
+        self.busy_shed.load(Ordering::Relaxed)
+    }
+
+    /// Counts one malformed/corrupt frame.
+    pub fn note_proto_error(&self) {
+        self.proto_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed request's service time.
+    pub fn record_op(&self, op: Op, nanos: u64) {
+        if let Some(h) = self.per_op.get(op.index()) {
+            h.record(nanos);
+        }
+    }
+
+    /// The histogram for one op (for tests and direct inspection).
+    #[must_use]
+    pub fn op_histogram(&self, op: Op) -> Option<&LatencyHistogram> {
+        self.per_op.get(op.index())
+    }
+
+    /// Renders everything as one JSON object (hand-rolled — the build
+    /// is offline, no serde), the `STATS` reply body.
+    #[must_use]
+    pub fn to_json(&self, tenants: usize) -> String {
+        use std::fmt::Write as _;
+        let uptime = self.started.elapsed().as_secs_f64().max(1e-9);
+        let rows = self.rows();
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"uptime_secs\": {uptime:.3},");
+        let _ = writeln!(out, "  \"tenants\": {tenants},");
+        let _ = writeln!(out, "  \"ingest_rows\": {rows},");
+        let _ = writeln!(
+            out,
+            "  \"ingest_rows_per_sec\": {:.1},",
+            rows as f64 / uptime
+        );
+        let _ = writeln!(out, "  \"busy_shed\": {},", self.busy_count());
+        let _ = writeln!(
+            out,
+            "  \"proto_errors\": {},",
+            self.proto_errors.load(Ordering::Relaxed)
+        );
+        out.push_str("  \"ops\": {\n");
+        for (i, op) in Op::ALL.iter().enumerate() {
+            let Some(h) = self.per_op.get(op.index()) else {
+                continue;
+            };
+            let _ = write!(
+                out,
+                "    \"{}\": {{\"count\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}}}",
+                op.name(),
+                h.count(),
+                h.quantile_nanos(500) as f64 / 1e3,
+                h.quantile_nanos(990) as f64 / 1e3,
+                h.quantile_nanos(999) as f64 / 1e3,
+            );
+            out.push_str(if i + 1 < Op::ALL.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_samples() {
+        let h = LatencyHistogram::new();
+        for _ in 0..900 {
+            h.record(1_000); // ~2^10
+        }
+        for _ in 0..100 {
+            h.record(1_000_000); // ~2^20
+        }
+        assert_eq!(h.count(), 1_000);
+        let p50 = h.quantile_nanos(500);
+        assert!((1_000..=2_048).contains(&p50), "p50 = {p50}");
+        let p999 = h.quantile_nanos(999);
+        assert!((1_000_000..=2_097_152).contains(&p999), "p999 = {p999}");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_nanos(500), 0);
+    }
+
+    #[test]
+    fn zero_nanos_sample_is_representable() {
+        let h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile_nanos(500) >= 1);
+    }
+
+    #[test]
+    fn json_snapshot_contains_every_op() {
+        let m = Metrics::new();
+        m.add_rows(5_000);
+        m.record_op(Op::InsertBatch, 2_000);
+        m.record_op(Op::QueryQuantiles, 40_000);
+        m.note_busy();
+        let json = m.to_json(3);
+        for op in Op::ALL {
+            assert!(json.contains(op.name()), "missing {}", op.name());
+        }
+        assert!(json.contains("\"ingest_rows\": 5000"));
+        assert!(json.contains("\"busy_shed\": 1"));
+        assert!(json.contains("\"tenants\": 3"));
+        // Balanced braces (cheap well-formedness check, no serde here).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -1,0 +1,587 @@
+//! The request/response wire protocol of the quantile service.
+//!
+//! One request frame, one response frame per round trip, both
+//! little-endian, length-prefixed and FNV-1a-64 checksummed (the same
+//! checksum the summary codec uses). Byte-layout tables live in
+//! `docs/SERVICE.md`.
+//!
+//! ```text
+//! request:  "SQSW" | ver u8 | op u8     | rsvd u16 | tenant u64 | len u32 | payload | fnv64
+//! response: "SQSW" | ver u8 | status u8 | rsvd u16 |              len u32 | payload | fnv64
+//! ```
+//!
+//! The checksum covers every byte before it. Payload size is capped at
+//! [`MAX_PAYLOAD`]; the cap is validated *before* the payload is
+//! allocated, so a forged length field cannot balloon server memory —
+//! it bounds both what a reader will accept and what a writer will
+//! send (an over-cap snapshot must be rejected by the sender, not
+//! truncated on the wire).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use sqs_core::codec::{fnv1a64_concat, CodecError, Reader};
+
+/// Protocol magic: the four bytes `SQSW` (Streaming Quantile Service
+/// Wire).
+pub const MAGIC: [u8; 4] = *b"SQSW";
+
+/// Current protocol version; both sides reject anything else.
+pub const VERSION: u8 = 1;
+
+/// Upper bound on a frame payload (16 MiB) — comfortably above any
+/// honest snapshot or batch, far below anything that could pressure
+/// server memory.
+pub const MAX_PAYLOAD: u32 = 1 << 24;
+
+/// Request header length: magic(4) + version(1) + op(1) + reserved(2)
+/// + tenant(8) + payload length(4).
+pub const REQ_HEADER_LEN: usize = 20;
+
+/// Response header length: magic(4) + version(1) + status(1) +
+/// reserved(2) + payload length(4).
+pub const RESP_HEADER_LEN: usize = 12;
+
+/// A request operation code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Ingest a batch of values into the tenant's engine.
+    InsertBatch,
+    /// Answer a φ-sweep from one merged snapshot.
+    QueryQuantiles,
+    /// Estimate the rank of one value.
+    QueryRank,
+    /// Return the tenant's merged summary as a codec frame.
+    Snapshot,
+    /// Merge a codec frame (from this or another server) into the
+    /// tenant's engine.
+    MergeSnapshot,
+    /// Return server metrics as JSON.
+    Stats,
+    /// Gracefully stop the server.
+    Shutdown,
+}
+
+impl Op {
+    /// All operations, in wire-code order.
+    pub const ALL: [Op; 7] = [
+        Op::InsertBatch,
+        Op::QueryQuantiles,
+        Op::QueryRank,
+        Op::Snapshot,
+        Op::MergeSnapshot,
+        Op::Stats,
+        Op::Shutdown,
+    ];
+
+    /// The wire byte for this op.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            Op::InsertBatch => 1,
+            Op::QueryQuantiles => 2,
+            Op::QueryRank => 3,
+            Op::Snapshot => 4,
+            Op::MergeSnapshot => 5,
+            Op::Stats => 6,
+            Op::Shutdown => 7,
+        }
+    }
+
+    /// Parses a wire byte.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Op> {
+        Op::ALL.iter().copied().find(|op| op.code() == code)
+    }
+
+    /// Dense index for per-op tables (0-based, follows wire order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.code() as usize - 1
+    }
+
+    /// The op's name as it appears in metrics JSON.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::InsertBatch => "insert_batch",
+            Op::QueryQuantiles => "query_quantiles",
+            Op::QueryRank => "query_rank",
+            Op::Snapshot => "snapshot",
+            Op::MergeSnapshot => "merge_snapshot",
+            Op::Stats => "stats",
+            Op::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A response status code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The operation succeeded; the payload is its result.
+    Ok,
+    /// The server shed this connection (backpressure queue full); the
+    /// client should back off and retry.
+    Busy,
+    /// The operation failed; the payload is a UTF-8 error message.
+    Err,
+}
+
+impl Status {
+    /// The wire byte for this status.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::Busy => 1,
+            Status::Err => 2,
+        }
+    }
+
+    /// Parses a wire byte.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Status> {
+        match code {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Busy),
+            2 => Some(Status::Err),
+            _ => None,
+        }
+    }
+}
+
+/// Why a frame could not be read or written.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying socket failed (including timeouts).
+    Io(io::Error),
+    /// The frame does not start with [`MAGIC`].
+    BadMagic,
+    /// The frame declares an unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown op code.
+    BadOp(u8),
+    /// Unknown status code.
+    BadStatus(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(u64),
+    /// The trailing checksum does not match the frame bytes.
+    ChecksumMismatch,
+    /// A payload failed structural decoding.
+    Codec(CodecError),
+    /// A payload field is semantically impossible.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "socket error: {e}"),
+            ProtoError::BadMagic => write!(f, "bad frame magic"),
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::BadOp(c) => write!(f, "unknown op code {c}"),
+            ProtoError::BadStatus(c) => write!(f, "unknown status code {c}"),
+            ProtoError::Oversized(len) => {
+                write!(
+                    f,
+                    "payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte cap"
+                )
+            }
+            ProtoError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            ProtoError::Codec(e) => write!(f, "payload decode failed: {e}"),
+            ProtoError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+impl From<CodecError> for ProtoError {
+    fn from(e: CodecError) -> Self {
+        ProtoError::Codec(e)
+    }
+}
+
+impl ProtoError {
+    /// Whether this error is a socket read/write timing out — the
+    /// server treats a timed-out idle connection as a normal close,
+    /// not a protocol violation.
+    #[must_use]
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            ProtoError::Io(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut
+        )
+    }
+}
+
+/// One client request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The operation to perform.
+    pub op: Op,
+    /// The tenant whose engine the op targets (ignored by
+    /// [`Op::Stats`] / [`Op::Shutdown`]).
+    pub tenant: u64,
+    /// Op-specific payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// One server response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Outcome of the request.
+    pub status: Status,
+    /// Status-specific payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Writes one request frame (a single `write_all`, so the frame hits
+/// the socket in one piece).
+pub fn write_request(w: &mut impl Write, req: &Request) -> Result<(), ProtoError> {
+    if req.payload.len() > MAX_PAYLOAD as usize {
+        return Err(ProtoError::Oversized(req.payload.len() as u64));
+    }
+    let mut frame = Vec::with_capacity(REQ_HEADER_LEN + req.payload.len() + 8);
+    frame.extend_from_slice(&MAGIC);
+    frame.push(VERSION);
+    frame.push(req.op.code());
+    frame.extend_from_slice(&[0u8; 2]);
+    frame.extend_from_slice(&req.tenant.to_le_bytes());
+    let len = u32::try_from(req.payload.len()).map_err(|_| ProtoError::Oversized(u64::MAX))?;
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&req.payload);
+    let sum = fnv1a64_concat(&[&frame]);
+    frame.extend_from_slice(&sum.to_le_bytes());
+    w.write_all(&frame)?;
+    Ok(())
+}
+
+/// Reads one request frame. Returns `Ok(None)` on a clean end of
+/// stream *before* the first header byte (the client hung up between
+/// requests); any mid-frame end of stream is an error.
+pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, ProtoError> {
+    let mut head = [0u8; REQ_HEADER_LEN];
+    if !read_exact_or_eof(r, &mut head)? {
+        return Ok(None);
+    }
+    let mut cur = Reader::new(&head);
+    check_magic_version(&mut cur)?;
+    let op_code = cur.u8()?;
+    let op = Op::from_code(op_code).ok_or(ProtoError::BadOp(op_code))?;
+    let _reserved = cur.bytes(2)?;
+    let tenant = cur.u64()?;
+    let len = cur.u32()?;
+    let payload = read_payload_and_verify(r, &head, len)?;
+    Ok(Some(Request {
+        op,
+        tenant,
+        payload,
+    }))
+}
+
+/// Writes one response frame (a single `write_all`).
+pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<(), ProtoError> {
+    if resp.payload.len() > MAX_PAYLOAD as usize {
+        return Err(ProtoError::Oversized(resp.payload.len() as u64));
+    }
+    let mut frame = Vec::with_capacity(RESP_HEADER_LEN + resp.payload.len() + 8);
+    frame.extend_from_slice(&MAGIC);
+    frame.push(VERSION);
+    frame.push(resp.status.code());
+    frame.extend_from_slice(&[0u8; 2]);
+    let len = u32::try_from(resp.payload.len()).map_err(|_| ProtoError::Oversized(u64::MAX))?;
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&resp.payload);
+    let sum = fnv1a64_concat(&[&frame]);
+    frame.extend_from_slice(&sum.to_le_bytes());
+    w.write_all(&frame)?;
+    Ok(())
+}
+
+/// Reads one response frame.
+pub fn read_response(r: &mut impl Read) -> Result<Response, ProtoError> {
+    let mut head = [0u8; RESP_HEADER_LEN];
+    r.read_exact(&mut head)?;
+    let mut cur = Reader::new(&head);
+    check_magic_version(&mut cur)?;
+    let status_code = cur.u8()?;
+    let status = Status::from_code(status_code).ok_or(ProtoError::BadStatus(status_code))?;
+    let _reserved = cur.bytes(2)?;
+    let len = cur.u32()?;
+    let payload = read_payload_and_verify(r, &head, len)?;
+    Ok(Response { status, payload })
+}
+
+fn check_magic_version(cur: &mut Reader<'_>) -> Result<(), ProtoError> {
+    if cur.bytes(4)? != MAGIC {
+        return Err(ProtoError::BadMagic);
+    }
+    let version = cur.u8()?;
+    if version != VERSION {
+        return Err(ProtoError::BadVersion(version));
+    }
+    Ok(())
+}
+
+/// Reads `len` payload bytes plus the trailing checksum and verifies
+/// the checksum over `head + payload`. The length cap is enforced
+/// before the allocation.
+fn read_payload_and_verify(
+    r: &mut impl Read,
+    head: &[u8],
+    len: u32,
+) -> Result<Vec<u8>, ProtoError> {
+    if len > MAX_PAYLOAD {
+        return Err(ProtoError::Oversized(u64::from(len)));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let mut sum_bytes = [0u8; 8];
+    r.read_exact(&mut sum_bytes)?;
+    if fnv1a64_concat(&[head, &payload]) != u64::from_le_bytes(sum_bytes) {
+        return Err(ProtoError::ChecksumMismatch);
+    }
+    Ok(payload)
+}
+
+/// `read_exact` that distinguishes "stream cleanly ended before byte
+/// one" (`Ok(false)`) from "stream ended mid-buffer" (error).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, ProtoError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        let Some(slot) = buf.get_mut(filled..) else {
+            break;
+        };
+        match r.read(slot) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(ProtoError::Io(io::ErrorKind::UnexpectedEof.into()));
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+// ---- payload helpers (shared by server, client, loadgen, tests) ----
+
+/// Encodes a `u64` slice as a length-prefixed vector.
+#[must_use]
+pub fn encode_u64s(xs: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + xs.len() * 8);
+    sqs_core::codec::put_u64_slice(&mut out, xs);
+    out
+}
+
+/// Decodes a length-prefixed `u64` vector, rejecting trailing bytes.
+pub fn decode_u64s(payload: &[u8]) -> Result<Vec<u64>, ProtoError> {
+    let mut r = Reader::new(payload);
+    let xs = r.u64_vec()?;
+    r.done()?;
+    Ok(xs)
+}
+
+/// Encodes an `f64` slice as a length-prefixed vector of IEEE-754
+/// bits.
+#[must_use]
+pub fn encode_f64s(xs: &[f64]) -> Vec<u8> {
+    let bits: Vec<u64> = xs.iter().map(|x| x.to_bits()).collect();
+    encode_u64s(&bits)
+}
+
+/// Decodes a length-prefixed `f64` vector.
+pub fn decode_f64s(payload: &[u8]) -> Result<Vec<f64>, ProtoError> {
+    Ok(decode_u64s(payload)?
+        .into_iter()
+        .map(f64::from_bits)
+        .collect())
+}
+
+/// Encodes one `u64`.
+#[must_use]
+pub fn encode_u64(x: u64) -> Vec<u8> {
+    x.to_le_bytes().to_vec()
+}
+
+/// Decodes exactly one `u64`.
+pub fn decode_u64(payload: &[u8]) -> Result<u64, ProtoError> {
+    let mut r = Reader::new(payload);
+    let x = r.u64()?;
+    r.done()?;
+    Ok(x)
+}
+
+/// Encodes quantile answers: count, then a presence flag byte and a
+/// value word per answer (`None` answers an empty tenant).
+#[must_use]
+pub fn encode_answers(answers: &[Option<u64>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + answers.len() * 9);
+    out.extend_from_slice(&(answers.len() as u64).to_le_bytes());
+    for a in answers {
+        out.push(u8::from(a.is_some()));
+        out.extend_from_slice(&a.unwrap_or(0).to_le_bytes());
+    }
+    out
+}
+
+/// Decodes [`encode_answers`] output.
+pub fn decode_answers(payload: &[u8]) -> Result<Vec<Option<u64>>, ProtoError> {
+    let mut r = Reader::new(payload);
+    let count = r.read_len().map_err(ProtoError::Codec)?;
+    if count > payload.len() / 9 {
+        return Err(ProtoError::Codec(CodecError::Truncated));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let present = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(ProtoError::Malformed("answer flag not 0/1")),
+        };
+        let value = r.u64()?;
+        out.push(present.then_some(value));
+    }
+    r.done()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip_request(req: &Request) -> Request {
+        let mut buf = Vec::new();
+        write_request(&mut buf, req).expect("write");
+        read_request(&mut Cursor::new(buf))
+            .expect("read")
+            .expect("not eof")
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request {
+            op: Op::InsertBatch,
+            tenant: 42,
+            payload: encode_u64s(&[1, 2, 3]),
+        };
+        let back = roundtrip_request(&req);
+        assert_eq!(back.op, Op::InsertBatch);
+        assert_eq!(back.tenant, 42);
+        assert_eq!(decode_u64s(&back.payload).expect("payload"), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut buf = Vec::new();
+        write_response(
+            &mut buf,
+            &Response {
+                status: Status::Busy,
+                payload: b"queue full".to_vec(),
+            },
+        )
+        .expect("write");
+        let back = read_response(&mut Cursor::new(buf)).expect("read");
+        assert_eq!(back.status, Status::Busy);
+        assert_eq!(back.payload, b"queue full");
+    }
+
+    #[test]
+    fn clean_eof_is_none_mid_frame_is_error() {
+        assert!(read_request(&mut Cursor::new(Vec::new()))
+            .expect("clean eof")
+            .is_none());
+        let mut buf = Vec::new();
+        write_request(
+            &mut buf,
+            &Request {
+                op: Op::Stats,
+                tenant: 0,
+                payload: Vec::new(),
+            },
+        )
+        .expect("write");
+        buf.truncate(buf.len() - 3);
+        assert!(read_request(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn bit_flips_fail_the_checksum() {
+        let mut buf = Vec::new();
+        write_request(
+            &mut buf,
+            &Request {
+                op: Op::QueryRank,
+                tenant: 7,
+                payload: encode_u64(12345),
+            },
+        )
+        .expect("write");
+        // Flip one bit somewhere past the header fields that have their
+        // own structural checks (magic/version/op).
+        for at in [8usize, 14, 21, buf.len() - 1] {
+            let mut bad = buf.clone();
+            if let Some(b) = bad.get_mut(at) {
+                *b ^= 0x10;
+            }
+            assert!(
+                read_request(&mut Cursor::new(bad)).is_err(),
+                "flip at {at} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut head = Vec::new();
+        head.extend_from_slice(&MAGIC);
+        head.push(VERSION);
+        head.push(Op::InsertBatch.code());
+        head.extend_from_slice(&[0u8; 2]);
+        head.extend_from_slice(&0u64.to_le_bytes());
+        head.extend_from_slice(&u32::MAX.to_le_bytes()); // forged length
+        let err = read_request(&mut Cursor::new(head)).expect_err("must reject");
+        assert!(matches!(err, ProtoError::Oversized(_)), "{err}");
+    }
+
+    #[test]
+    fn op_and_status_codes_are_stable() {
+        for op in Op::ALL {
+            assert_eq!(Op::from_code(op.code()), Some(op));
+        }
+        assert_eq!(Op::from_code(0), None);
+        assert_eq!(Op::from_code(8), None);
+        for s in [Status::Ok, Status::Busy, Status::Err] {
+            assert_eq!(Status::from_code(s.code()), Some(s));
+        }
+        assert_eq!(Status::from_code(3), None);
+    }
+
+    #[test]
+    fn answer_payload_roundtrip() {
+        let answers = vec![Some(5u64), None, Some(u64::MAX)];
+        let bytes = encode_answers(&answers);
+        assert_eq!(decode_answers(&bytes).expect("roundtrip"), answers);
+        assert!(decode_answers(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn f64_payload_roundtrip_is_bit_exact() {
+        let phis = [0.001, 0.5, 0.999];
+        let back = decode_f64s(&encode_f64s(&phis)).expect("roundtrip");
+        assert_eq!(back, phis.to_vec());
+    }
+}

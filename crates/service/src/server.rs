@@ -1,0 +1,487 @@
+//! The multi-tenant TCP quantile server.
+//!
+//! One accept thread feeds a **bounded** connection queue drained by a
+//! fixed worker pool — the server's entire backpressure story:
+//!
+//! * the queue holds at most `queue_depth` waiting connections;
+//! * when it is full, the accept thread *sheds* the connection with an
+//!   explicit [`Status::Busy`] reply and closes it — nothing is ever
+//!   buffered without bound, and clients get a signal they can back
+//!   off on rather than a mysterious stall;
+//! * workers own one connection at a time and serve its requests
+//!   synchronously; ingest goes through the engine's request-scoped
+//!   [`ingest_batch`](sqs_engine::ShardedEngine::ingest_batch), so an
+//!   `INSERT_BATCH` reply means the data is already merged — there are
+//!   no server-side ingest buffers for shutdown to lose.
+//!
+//! Tenants are lazily materialized [`ShardedEngine`]s keyed by the
+//! request's tenant id; a caller-supplied factory builds each shard
+//! summary (per-tenant, per-shard seeds for randomized backends).
+//!
+//! Graceful shutdown (the `SHUTDOWN` op or
+//! [`ServerHandle::shutdown`]): set the stop flag, close the queue
+//! (workers finish their in-flight request, then exit), and wake the
+//! blocked `accept` with a loopback self-connect. Because ingest is
+//! request-scoped, everything acknowledged before shutdown is already
+//! in the shard summaries.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sqs_core::codec::WireCodec;
+use sqs_core::MergeableSummary;
+use sqs_engine::ShardedEngine;
+
+use crate::metrics::Metrics;
+use crate::proto::{self, Op, Request, Response, Status};
+
+/// Tuning knobs for [`spawn`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port (tests).
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Bounded backpressure queue: connections waiting for a worker
+    /// beyond this are shed with [`Status::Busy`].
+    pub queue_depth: usize,
+    /// Per-connection socket read timeout (idle cut-off).
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Shards per tenant engine.
+    pub shards: usize,
+    /// Engine batch capacity (sizing hint for its ingest paths).
+    pub batch_capacity: usize,
+    /// Upper bound (exclusive) on ingestable values, for backends with
+    /// a bounded universe (q-digest): out-of-range values are refused
+    /// with an error reply instead of reaching the summary's panic.
+    /// `None` admits any `u64`.
+    pub value_bound: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            shards: 4,
+            batch_capacity: 1024,
+            value_bound: None,
+        }
+    }
+}
+
+/// A bounded MPMC queue of accepted connections: `try_push` from the
+/// accept thread (never blocks — full means shed), blocking `pop` from
+/// the workers, `close` to drain-and-stop.
+struct BoundedQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    ready: Condvar,
+}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::with_capacity(capacity),
+                capacity,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueInner<T>> {
+        // A worker that panicked mid-request poisons nothing of the
+        // queue's own state; recover the guard and keep serving.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Enqueues unless full or closed; hands the item back on refusal
+    /// so the caller can shed it explicitly.
+    fn try_push(&self, item: T) -> Result<(), T> {
+        let mut q = self.lock();
+        if q.closed || q.items.len() >= q.capacity {
+            return Err(item);
+        }
+        q.items.push_back(item);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next item; `None` once closed *and* drained
+    /// (pending connections still get served during shutdown).
+    fn pop(&self) -> Option<T> {
+        let mut q = self.lock();
+        loop {
+            if let Some(item) = q.items.pop_front() {
+                return Some(item);
+            }
+            if q.closed {
+                return None;
+            }
+            q = match self.ready.wait(q) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// State shared by the accept thread and every worker.
+struct Shared<S> {
+    cfg: ServerConfig,
+    addr: SocketAddr,
+    tenants: Mutex<HashMap<u64, Arc<ShardedEngine<u64, S>>>>,
+    factory: Box<dyn Fn(u64, usize) -> S + Send + Sync>,
+    queue: BoundedQueue<TcpStream>,
+    stop: AtomicBool,
+    metrics: Metrics,
+}
+
+impl<S> Shared<S>
+where
+    S: MergeableSummary<u64> + WireCodec + Clone + Send + 'static,
+{
+    /// The tenant's engine, created on first touch.
+    fn tenant(&self, id: u64) -> Arc<ShardedEngine<u64, S>> {
+        let mut map = match self.tenants.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        Arc::clone(map.entry(id).or_insert_with(|| {
+            Arc::new(ShardedEngine::new_with(
+                self.cfg.shards,
+                self.cfg.batch_capacity,
+                |shard| (self.factory)(id, shard),
+            ))
+        }))
+    }
+
+    fn tenant_count(&self) -> usize {
+        match self.tenants.lock() {
+            Ok(g) => g.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// Flips the stop flag, closes the queue, and nudges the blocked
+    /// `accept` with a throwaway self-connect.
+    fn initiate_shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.queue.close();
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+    }
+}
+
+/// A running server: its bound address plus the thread handles.
+///
+/// Dropping the handle shuts the server down and joins every thread;
+/// call [`shutdown`](Self::shutdown) + [`join`](Self::join) to do it
+/// explicitly (or send the `SHUTDOWN` op from any client and `join`).
+pub struct ServerHandle<S> {
+    shared: Arc<Shared<S>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl<S> ServerHandle<S>
+where
+    S: MergeableSummary<u64> + WireCodec + Clone + Send + 'static,
+{
+    /// The address the server actually bound (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Requests a graceful stop: in-flight requests finish, queued
+    /// connections drain, nothing acknowledged is lost.
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Blocks until every server thread has exited (after a local
+    /// [`shutdown`](Self::shutdown) or a remote `SHUTDOWN` op).
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl<S> Drop for ServerHandle<S> {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.queue.close();
+        let _ = TcpStream::connect_timeout(&self.shared.addr, Duration::from_millis(200));
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `cfg.addr` and starts the accept thread plus `cfg.workers`
+/// worker threads. `factory(tenant, shard)` builds each shard summary
+/// of each lazily-created tenant engine — the place where per-tenant,
+/// per-shard seeds diverge for randomized backends.
+///
+/// # Errors
+/// Returns the bind error if the address is unavailable.
+pub fn spawn<S, F>(cfg: ServerConfig, factory: F) -> io::Result<ServerHandle<S>>
+where
+    S: MergeableSummary<u64> + WireCodec + Clone + Send + 'static,
+    F: Fn(u64, usize) -> S + Send + Sync + 'static,
+{
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = cfg.workers.max(1);
+    let queue_depth = cfg.queue_depth.max(1);
+    let shared = Arc::new(Shared {
+        cfg,
+        addr,
+        tenants: Mutex::new(HashMap::new()),
+        factory: Box::new(factory),
+        queue: BoundedQueue::new(queue_depth),
+        stop: AtomicBool::new(false),
+        metrics: Metrics::new(),
+    });
+    let mut threads = Vec::with_capacity(workers + 1);
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || accept_loop(&shared, &listener)));
+    }
+    for _ in 0..workers {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || worker_loop(&shared)));
+    }
+    Ok(ServerHandle { shared, threads })
+}
+
+fn accept_loop<S>(shared: &Shared<S>, listener: &TcpListener)
+where
+    S: MergeableSummary<u64> + WireCodec + Clone + Send + 'static,
+{
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+        let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+        if let Err(mut shed) = shared.queue.try_push(stream) {
+            // Backpressure: explicit BUSY beats unbounded buffering.
+            shared.metrics.note_busy();
+            let _ = proto::write_response(
+                &mut shed,
+                &Response {
+                    status: Status::Busy,
+                    payload: b"connection queue full, retry with backoff".to_vec(),
+                },
+            );
+        }
+    }
+}
+
+fn worker_loop<S>(shared: &Shared<S>)
+where
+    S: MergeableSummary<u64> + WireCodec + Clone + Send + 'static,
+{
+    while let Some(stream) = shared.queue.pop() {
+        serve_connection(shared, stream);
+    }
+}
+
+/// Serves one connection's request stream until EOF, idle timeout,
+/// protocol violation, or server stop.
+fn serve_connection<S>(shared: &Shared<S>, mut stream: TcpStream)
+where
+    S: MergeableSummary<u64> + WireCodec + Clone + Send + 'static,
+{
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        match proto::read_request(&mut stream) {
+            Ok(Some(req)) => {
+                let started = Instant::now();
+                let resp = dispatch(shared, &req);
+                shared.metrics.record_op(
+                    req.op,
+                    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                );
+                if proto::write_response(&mut stream, &resp).is_err() {
+                    return;
+                }
+                if req.op == Op::Shutdown {
+                    shared.initiate_shutdown();
+                    return;
+                }
+            }
+            Ok(None) => return,                 // client hung up cleanly
+            Err(e) if e.is_timeout() => return, // idle connection
+            Err(e) => {
+                shared.metrics.note_proto_error();
+                let _ = proto::write_response(
+                    &mut stream,
+                    &Response {
+                        status: Status::Err,
+                        payload: e.to_string().into_bytes(),
+                    },
+                );
+                return;
+            }
+        }
+    }
+}
+
+fn ok(payload: Vec<u8>) -> Response {
+    Response {
+        status: Status::Ok,
+        payload,
+    }
+}
+
+fn err(msg: String) -> Response {
+    Response {
+        status: Status::Err,
+        payload: msg.into_bytes(),
+    }
+}
+
+/// Executes one request against the tenant registry. Every failure is
+/// an error *reply* — malformed payloads, out-of-universe values, and
+/// incompatible snapshots must never panic a worker.
+fn dispatch<S>(shared: &Shared<S>, req: &Request) -> Response
+where
+    S: MergeableSummary<u64> + WireCodec + Clone + Send + 'static,
+{
+    match req.op {
+        Op::InsertBatch => {
+            let xs = match proto::decode_u64s(&req.payload) {
+                Ok(xs) => xs,
+                Err(e) => return err(format!("insert batch: {e}")),
+            };
+            if let Some(bound) = shared.cfg.value_bound {
+                if let Some(&bad) = xs.iter().find(|&&x| x >= bound) {
+                    return err(format!(
+                        "insert batch: value {bad} outside the backend universe [0, {bound})"
+                    ));
+                }
+            }
+            let engine = shared.tenant(req.tenant);
+            engine.ingest_batch(&xs);
+            shared.metrics.add_rows(xs.len() as u64);
+            ok(proto::encode_u64(engine.n()))
+        }
+        Op::QueryQuantiles => {
+            let phis = match proto::decode_f64s(&req.payload) {
+                Ok(phis) => phis,
+                Err(e) => return err(format!("query quantiles: {e}")),
+            };
+            if let Some(&bad) = phis
+                .iter()
+                .find(|p| !(p.is_finite() && **p > 0.0 && **p < 1.0))
+            {
+                return err(format!("query quantiles: phi {bad} outside (0, 1)"));
+            }
+            let answers = shared.tenant(req.tenant).quantiles(&phis);
+            ok(proto::encode_answers(&answers))
+        }
+        Op::QueryRank => match proto::decode_u64(&req.payload) {
+            Ok(x) => ok(proto::encode_u64(
+                shared.tenant(req.tenant).rank_estimate(x),
+            )),
+            Err(e) => err(format!("query rank: {e}")),
+        },
+        Op::Snapshot => {
+            let mut snap = shared.tenant(req.tenant).snapshot();
+            let bytes = WireCodec::to_bytes(&mut snap);
+            if bytes.len() > proto::MAX_PAYLOAD as usize {
+                return err(format!(
+                    "snapshot of {} bytes exceeds the {}-byte frame cap",
+                    bytes.len(),
+                    proto::MAX_PAYLOAD
+                ));
+            }
+            ok(bytes)
+        }
+        Op::MergeSnapshot => match S::from_bytes(&req.payload) {
+            Ok(summary) => {
+                let engine = shared.tenant(req.tenant);
+                match engine.try_absorb(summary) {
+                    Ok(()) => ok(proto::encode_u64(engine.n())),
+                    Err(_) => err(
+                        "merge snapshot: accuracy configuration incompatible with this tenant"
+                            .to_owned(),
+                    ),
+                }
+            }
+            Err(e) => err(format!("merge snapshot rejected: {e}")),
+        },
+        Op::Stats => ok(shared.metrics.to_json(shared.tenant_count()).into_bytes()),
+        Op::Shutdown => ok(Vec::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_queue_sheds_when_full_and_drains_on_close() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "third item refused");
+        q.close();
+        assert_eq!(q.try_push(4), Err(4), "closed queue refuses");
+        assert_eq!(q.pop(), Some(1), "pending items drain after close");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(q.try_push(7).is_ok());
+        assert_eq!(popper.join().expect("no panic"), Some(7));
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = ServerConfig::default();
+        assert!(cfg.workers >= 1);
+        assert!(cfg.queue_depth >= 1);
+        assert!(cfg.shards >= 1);
+        assert!(cfg.value_bound.is_none());
+        assert!(cfg.addr.ends_with(":0"), "tests want an ephemeral port");
+    }
+}

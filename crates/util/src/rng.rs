@@ -90,6 +90,30 @@ impl Xoshiro256pp {
         result
     }
 
+    /// The raw 256-bit generator state, for serialization: a summary
+    /// shipped over the wire (`sqs-core::codec`) must resume its random
+    /// choices exactly where the sender left off, or re-encoding after
+    /// further inserts would diverge from a never-serialized twin.
+    #[inline]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a [`state`](Self::state) snapshot.
+    ///
+    /// An all-zero state is the one fixed point of xoshiro256++ (the
+    /// generator would emit zeros forever), so it is replaced by the
+    /// seed-0 expansion — the same defense the constructor's SplitMix64
+    /// expansion provides.
+    #[inline]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            Self::new(0)
+        } else {
+            Self { s }
+        }
+    }
+
     /// Returns a uniform value in `[0, bound)`.
     ///
     /// Uses Lemire's multiply-shift rejection method, which is unbiased
@@ -257,6 +281,24 @@ mod tests {
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
         // And it actually moved something.
         assert_ne!(xs, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut g = Xoshiro256pp::new(123);
+        for _ in 0..17 {
+            g.next_u64();
+        }
+        let mut resumed = Xoshiro256pp::from_state(g.state());
+        for _ in 0..100 {
+            assert_eq!(g.next_u64(), resumed.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_state_is_replaced() {
+        let mut g = Xoshiro256pp::from_state([0; 4]);
+        assert_ne!(g.next_u64(), 0);
     }
 
     #[test]

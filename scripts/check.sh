@@ -20,4 +20,15 @@ cargo test -q
 echo "== engine stress (cargo test -p sqs-engine, single-threaded runner) =="
 RUSTFLAGS="${RUSTFLAGS:--D warnings}" cargo test -q -p sqs-engine -- --test-threads=1
 
+# Service layer: loopback smoke test (real TCP server, concurrent
+# clients, cross-server snapshot merge), then a short load-generator
+# run as an end-to-end sanity pass — it fails the gate if throughput
+# collapses or the cross-server merge stops being rank-identical.
+echo "== service smoke (cargo test --test service_smoke) =="
+cargo test -q --test service_smoke
+
+echo "== loadgen sanity (2s, throwaway output) =="
+cargo run --release -q -p sqs-harness --bin sqs-loadgen -- --secs 2 \
+    --out "$(mktemp -d)/service_sanity.json" >/dev/null
+
 echo "== all checks passed =="

@@ -56,6 +56,7 @@
 //! | [`sqs_turnstile`] | the dyadic structure, DCM, DCS, RSS, OLS post-processing |
 //! | [`sqs_data`] | uniform/normal generators, MPCAT-OBS & LIDAR surrogates, turnstile workloads |
 //! | [`sqs_engine`] | sharded concurrent ingestion engine with merge-on-query snapshots |
+//! | [`sqs_service`] | multi-tenant TCP quantile service: wire codec, backpressure, metrics |
 //! | [`sqs_harness`] | the §4 measurement harness and the `sqs-exp` experiment runner |
 //!
 //! ## Concurrent ingestion
@@ -65,6 +66,14 @@
 //! folds them on query via the mergeable-summary property
 //! ([`MergeableSummary`]) — same ε guarantee, multi-producer
 //! throughput. See `docs/ENGINE.md`.
+//!
+//! ## Serving over the network
+//!
+//! [`sqs_service`] puts the engine behind a TCP front end: a versioned,
+//! checksummed wire codec ([`sqs_core::codec::WireCodec`]) carries
+//! summary snapshots between servers, and mergeability makes the
+//! remote `SNAPSHOT` → `MERGE_SNAPSHOT` round-trip exact. See
+//! `docs/SERVICE.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -73,6 +82,7 @@ pub use sqs_core;
 pub use sqs_data;
 pub use sqs_engine;
 pub use sqs_harness;
+pub use sqs_service;
 pub use sqs_sketch;
 pub use sqs_turnstile;
 pub use sqs_util;

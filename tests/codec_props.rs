@@ -1,0 +1,172 @@
+//! Property tests for the wire codec (`sqs_core::codec`): every
+//! summary that travels over the service's `SNAPSHOT` /
+//! `MERGE_SNAPSHOT` ops must
+//!
+//! * round-trip **rank-identically** — the decoded summary answers
+//!   every probe quantile exactly like the original, and keeps doing
+//!   so after both sides ingest the same suffix (RNG state travels
+//!   with the frame);
+//! * reject every truncated prefix and every single-bit flip with an
+//!   `Err` — never a panic, never a silently-wrong summary.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use streaming_quantiles::prelude::*;
+use streaming_quantiles::sqs_core::codec::WireCodec;
+use streaming_quantiles::sqs_util::exact::probe_phis;
+
+/// Ranks agree at every probe φ (and at a fixed grid for good measure).
+fn rank_identical<S: MergeableSummary<u64>>(a: &mut S, b: &mut S, eps: f64) {
+    assert_eq!(a.n(), b.n(), "decoded summary lost mass");
+    for phi in probe_phis(eps) {
+        assert_eq!(
+            a.quantile(phi),
+            b.quantile(phi),
+            "decoded summary diverges at phi={phi}"
+        );
+    }
+    for x in [0u64, 1, 1 << 10, 1 << 20, u64::from(u32::MAX)] {
+        assert_eq!(
+            a.rank_estimate(x),
+            b.rank_estimate(x),
+            "decoded summary diverges at rank({x})"
+        );
+    }
+}
+
+/// Round-trips `s`, checks rank-identity, then feeds `suffix` to both
+/// copies and checks again — decoded randomized summaries must resume
+/// the *same* random stream.
+fn roundtrip_then_extend<S>(mut s: S, suffix: &[u64], eps: f64)
+where
+    S: MergeableSummary<u64> + WireCodec + Clone,
+{
+    let frame = s.to_bytes();
+    let mut decoded = S::from_bytes(&frame).expect("self-produced frame decodes");
+    rank_identical(&mut s, &mut decoded, eps);
+    for &x in suffix {
+        s.insert(x);
+        decoded.insert(x);
+    }
+    rank_identical(&mut s, &mut decoded, eps);
+}
+
+/// Every strict prefix must fail to decode (never panic); every
+/// single-bit flip must fail the checksum or a structural check.
+fn corruption_rejected<S>(mut s: S)
+where
+    S: MergeableSummary<u64> + WireCodec,
+{
+    let frame = s.to_bytes();
+    for cut in 0..frame.len() {
+        let truncated = frame.get(..cut).unwrap_or_default();
+        assert!(
+            S::from_bytes(truncated).is_err(),
+            "truncation at {cut}/{} accepted",
+            frame.len()
+        );
+    }
+    // Flip one bit in a spread of positions (every byte would be slow
+    // on big frames; stride keeps it a few hundred flips).
+    let stride = (frame.len() / 97).max(1);
+    for pos in (0..frame.len()).step_by(stride) {
+        for bit in [0u8, 3, 7] {
+            let mut evil = frame.clone();
+            if let Some(b) = evil.get_mut(pos) {
+                *b ^= 1 << bit;
+            }
+            assert!(
+                S::from_bytes(&evil).is_err(),
+                "bit flip at byte {pos} bit {bit} accepted"
+            );
+        }
+    }
+}
+
+fn filled_random(eps: f64, seed: u64, data: &[u64]) -> RandomSketch<u64> {
+    let mut s = RandomSketch::new(eps, seed);
+    s.extend_from_slice(data);
+    s
+}
+
+fn filled_qdigest(eps: f64, data: &[u64]) -> QDigest {
+    let mut s = QDigest::new(eps, 20);
+    for &x in data {
+        s.insert(x % (1 << 20));
+    }
+    s
+}
+
+fn filled_reservoir(eps: f64, seed: u64, data: &[u64]) -> ReservoirQuantiles<u64> {
+    let mut s = ReservoirQuantiles::new(eps, seed);
+    s.extend_from_slice(data);
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_sketch_roundtrips_rank_identical(
+        data in vec(0u64..(1 << 24), 1..8_000),
+        suffix in vec(0u64..(1 << 24), 0..2_000),
+        seed in 0u64..1_000,
+    ) {
+        roundtrip_then_extend(filled_random(0.05, seed, &data), &suffix, 0.05);
+    }
+
+    #[test]
+    fn qdigest_roundtrips_rank_identical(
+        data in vec(0u64..(1 << 20), 1..8_000),
+        suffix in vec(0u64..(1 << 20), 0..2_000),
+    ) {
+        roundtrip_then_extend(filled_qdigest(0.05, &data), &suffix, 0.05);
+    }
+
+    #[test]
+    fn reservoir_roundtrips_rank_identical(
+        data in vec(0u64..(1 << 24), 1..8_000),
+        suffix in vec(0u64..(1 << 24), 0..2_000),
+        seed in 0u64..1_000,
+    ) {
+        roundtrip_then_extend(filled_reservoir(0.05, seed, &data), &suffix, 0.05);
+    }
+
+    #[test]
+    fn random_sketch_rejects_corruption(data in vec(0u64..(1 << 24), 1..4_000)) {
+        corruption_rejected(filled_random(0.05, 7, &data));
+    }
+
+    #[test]
+    fn qdigest_rejects_corruption(data in vec(0u64..(1 << 20), 1..4_000)) {
+        corruption_rejected(filled_qdigest(0.05, &data));
+    }
+
+    #[test]
+    fn reservoir_rejects_corruption(data in vec(0u64..(1 << 24), 1..4_000)) {
+        corruption_rejected(filled_reservoir(0.05, 7, &data));
+    }
+}
+
+#[test]
+fn empty_summaries_roundtrip() {
+    roundtrip_then_extend(RandomSketch::<u64>::new(0.05, 1), &[1, 2, 3], 0.05);
+    roundtrip_then_extend(QDigest::new(0.05, 16), &[1, 2, 3], 0.05);
+    roundtrip_then_extend(ReservoirQuantiles::<u64>::new(0.05, 1), &[1, 2, 3], 0.05);
+}
+
+#[test]
+fn wrong_kind_is_rejected_not_misparsed() {
+    let mut q = QDigest::new(0.05, 16);
+    q.insert(5);
+    // Qualified call: QDigest also has an inherent (unframed) to_bytes.
+    let frame = WireCodec::to_bytes(&mut q);
+    assert!(
+        RandomSketch::<u64>::from_bytes(&frame).is_err(),
+        "q-digest frame must not decode as a Random sketch"
+    );
+    assert!(
+        ReservoirQuantiles::<u64>::from_bytes(&frame).is_err(),
+        "q-digest frame must not decode as a reservoir"
+    );
+}

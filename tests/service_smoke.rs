@@ -1,0 +1,191 @@
+//! Loopback integration test for `sqs-service`: a real TCP server on
+//! an ephemeral port, four concurrent clients across two tenants,
+//! cross-server snapshot/merge, and a final accuracy check against the
+//! exact oracle — the end-to-end version of the mergeability story
+//! (summaries merged over the socket keep their ε-rank guarantee).
+
+use std::time::Duration;
+
+use streaming_quantiles::prelude::*;
+use streaming_quantiles::sqs_service::server::{spawn, ServerConfig, ServerHandle};
+use streaming_quantiles::sqs_service::{Client, ClientError, Op};
+use streaming_quantiles::sqs_util::exact::probe_phis;
+use streaming_quantiles::sqs_util::rng::Xoshiro256pp;
+
+const EPS: f64 = 0.05;
+const PER_CLIENT: usize = 20_000;
+const BATCH: usize = 1_000;
+
+fn test_server(seed: u64) -> ServerHandle<RandomSketch<u64>> {
+    spawn(ServerConfig::default(), move |tenant, shard| {
+        RandomSketch::new(EPS, seed ^ (tenant << 8) ^ shard as u64)
+    })
+    .expect("ephemeral loopback bind")
+}
+
+fn connect(addr: std::net::SocketAddr) -> Client {
+    Client::connect(addr, Duration::from_secs(10)).expect("loopback connect")
+}
+
+/// Client `t`'s deterministic stream (tenant baked into the seed).
+fn stream(tenant: u64, t: usize) -> Vec<u64> {
+    let mut rng = Xoshiro256pp::new(0x5E55 ^ (tenant << 16) ^ t as u64);
+    (0..PER_CLIENT).map(|_| rng.next_below(1 << 22)).collect()
+}
+
+#[test]
+fn concurrent_clients_two_tenants_accurate_quantiles() {
+    let server = test_server(11);
+    let addr = server.addr();
+
+    // Four concurrent clients, two per tenant; each streams batched
+    // inserts and issues interleaved queries along the way.
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            scope.spawn(move || {
+                let tenant = (t % 2) as u64 + 1;
+                let mut client = connect(addr);
+                let data = stream(tenant, t);
+                for chunk in data.chunks(BATCH) {
+                    client.insert_batch(tenant, chunk).expect("insert batch");
+                }
+                // Mid-stream queries must come back well-formed.
+                let answers = client
+                    .query_quantiles(tenant, &[0.25, 0.5, 0.75])
+                    .expect("mid-stream query");
+                assert_eq!(answers.len(), 3);
+                assert!(answers.iter().all(Option::is_some));
+            });
+        }
+    });
+
+    // Per-tenant accuracy against the exact oracle: each tenant saw
+    // exactly the streams of its two clients, and the merged answer
+    // must stay within ε of exact at every probe φ.
+    let mut client = connect(addr);
+    for tenant in [1u64, 2] {
+        let mut all: Vec<u64> = Vec::with_capacity(2 * PER_CLIENT);
+        for t in 0..4 {
+            if (t % 2) as u64 + 1 == tenant {
+                all.extend(stream(tenant, t));
+            }
+        }
+        let oracle = ExactQuantiles::new(all);
+        assert_eq!(
+            client.query_rank(tenant, 0).expect("rank query at 0"),
+            0,
+            "nothing is below the universe minimum"
+        );
+        let phis = probe_phis(EPS);
+        let answers = client.query_quantiles(tenant, &phis).expect("final sweep");
+        for (phi, ans) in phis.iter().zip(answers) {
+            let ans = ans.expect("tenant stream is non-empty");
+            let err = oracle.quantile_error(*phi, ans);
+            assert!(
+                err <= EPS,
+                "tenant {tenant} phi {phi}: rank error {err} > eps {EPS}"
+            );
+        }
+    }
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn snapshot_merges_into_second_server_rank_identical() {
+    let a = test_server(21);
+    let b = test_server(22);
+    let tenant = 7u64;
+
+    let mut ca = connect(a.addr());
+    let data = stream(tenant, 9);
+    for chunk in data.chunks(BATCH) {
+        ca.insert_batch(tenant, chunk).expect("insert batch");
+    }
+
+    // SNAPSHOT on server A, MERGE_SNAPSHOT into fresh server B.
+    let frame = ca.snapshot(tenant).expect("snapshot frame");
+    let mut cb = connect(b.addr());
+    let merged_n = cb.merge_snapshot(tenant, frame).expect("merge snapshot");
+    assert_eq!(merged_n, data.len() as u64, "merge conserves mass");
+
+    // Both servers must now answer every probe identically end-to-end
+    // over the socket (B holds exactly A's summary).
+    let phis: Vec<f64> = (1..200).map(|i| f64::from(i) / 200.0).collect();
+    let from_a = ca.query_quantiles(tenant, &phis).expect("query A");
+    let from_b = cb.query_quantiles(tenant, &phis).expect("query B");
+    assert_eq!(from_a, from_b, "merged server diverges from source");
+
+    // Corrupt frames must come back as error replies, not hangs/panics.
+    let mut evil = ca.snapshot(tenant).expect("second snapshot");
+    if let Some(byte) = evil.get_mut(20) {
+        *byte ^= 0x40;
+    }
+    match cb.merge_snapshot(tenant, evil) {
+        Err(ClientError::Server(msg)) => {
+            assert!(msg.contains("rejected"), "unexpected message: {msg}")
+        }
+        other => panic!("corrupt frame not refused: {other:?}"),
+    }
+
+    a.shutdown();
+    a.join();
+    b.shutdown();
+    b.join();
+}
+
+#[test]
+fn server_replies_with_errors_not_panics() {
+    let server = test_server(31);
+    let mut client = connect(server.addr());
+
+    // φ outside (0, 1) → error reply, connection stays usable…
+    let err = client
+        .query_quantiles(1, &[1.5])
+        .expect_err("phi out of range must be refused");
+    assert!(matches!(err, ClientError::Server(_)), "got {err:?}");
+
+    // …as proven by a well-formed follow-up on the same connection.
+    assert_eq!(client.insert_batch(1, &[1, 2, 3]).expect("insert"), 3);
+
+    // Raw call with a malformed payload (not a multiple of 8).
+    let err = client
+        .call(Op::InsertBatch, 1, vec![0u8; 5])
+        .expect_err("ragged payload must be refused");
+    assert!(matches!(err, ClientError::Server(_)), "got {err:?}");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn stats_reports_ingest_and_tenants() {
+    let server = test_server(41);
+    let mut client = connect(server.addr());
+    client.insert_batch(3, &[5; 100]).expect("insert");
+    client.insert_batch(4, &[6; 50]).expect("insert");
+    let json = client.stats().expect("stats");
+    assert!(json.contains("\"ingest_rows\": 150"), "stats: {json}");
+    assert!(json.contains("\"tenants\": 2"), "stats: {json}");
+    assert!(json.contains("\"insert_batch\""), "stats: {json}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn shutdown_op_stops_the_server() {
+    let server = test_server(51);
+    let addr = server.addr();
+    let mut client = connect(addr);
+    client.insert_batch(1, &[1, 2, 3]).expect("insert");
+    client.shutdown().expect("shutdown acknowledged");
+    // join() returning proves every thread exited.
+    server.join();
+    // New connections must not be served any more.
+    let refused = match Client::connect(addr, Duration::from_millis(500)) {
+        Err(_) => true,
+        Ok(mut c) => c.insert_batch(1, &[4]).is_err(),
+    };
+    assert!(refused, "server still serving after SHUTDOWN");
+}

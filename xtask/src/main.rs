@@ -36,6 +36,7 @@ const FIRST_PARTY: &[&str] = &[
     "sqs-sketch",
     "sqs-core",
     "sqs-engine",
+    "sqs-service",
     "sqs-turnstile",
     "sqs-harness",
     "sqs-bench",
