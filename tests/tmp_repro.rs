@@ -1,0 +1,14 @@
+use streaming_quantiles::prelude::*;
+use streaming_quantiles::sqs_core::codec::WireCodec;
+
+#[test]
+fn roundtrip_at_buffer_fill_boundary() {
+    let mut s = RandomSketch::<u64>::new(0.05, 42);
+    let sz = s.buffer_size();
+    for x in 0..sz as u64 {
+        s.insert(x);
+    }
+    let frame = s.to_bytes();
+    let decoded = RandomSketch::<u64>::from_bytes(&frame);
+    assert!(decoded.is_ok(), "boundary round-trip failed: {:?}", decoded.err());
+}
