@@ -52,6 +52,10 @@ pub const KIND_QDIGEST: u8 = 2;
 /// Kind tag of
 /// [`ReservoirQuantiles<u64>`](crate::sampled::ReservoirQuantiles).
 pub const KIND_RESERVOIR: u8 = 3;
+/// Kind tag of the Dyadic Count-Sketch turnstile summary
+/// (`sqs_turnstile::TurnstileSummary<CountSketch>` — implemented in
+/// `sqs-turnstile` to keep this crate free of the sketch dependency).
+pub const KIND_DCS: u8 = 4;
 
 /// Fixed frame header length: magic(4) + version(1) + kind(1) +
 /// reserved(2) + body length(8).

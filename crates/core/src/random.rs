@@ -355,6 +355,21 @@ impl crate::codec::WireCodec for RandomSketch<u64> {
     /// summary *stream-identical* to the original: further inserts make
     /// exactly the random choices the sender would have made.
     fn encode_body(&mut self, out: &mut Vec<u8>) {
+        // Between buffers (`fill == None` — e.g. an insert just filled
+        // one) the sampler sits in a completed-group state: choice
+        // handed off, position parked at the end of the group. That
+        // state is dormant — the next insert starts a fresh group
+        // before touching it — but it violates the decoder's mid-group
+        // invariants, so park it in the canonical dormant state `new()`
+        // uses instead. The next insert draws from the serialized RNG
+        // either way, so sender and decoded summary stay
+        // stream-identical.
+        if self.fill.is_none() {
+            self.group_size = 1;
+            self.group_pos = 0;
+            self.group_target = 0;
+            self.group_choice = None;
+        }
         out.extend_from_slice(&self.eps.to_bits().to_le_bytes());
         out.extend_from_slice(&self.h.to_le_bytes());
         out.extend_from_slice(&(self.s as u64).to_le_bytes());

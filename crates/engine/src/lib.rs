@@ -662,6 +662,27 @@ mod tests {
     }
 
     #[test]
+    fn dcs_backend_shards_merge_exactly() {
+        use sqs_turnstile::TurnstileSummary;
+        // Same seed on every shard → identical hash draws → snapshot
+        // merging is *exact*: the engine snapshot is state-identical
+        // to one summary fed the whole stream directly.
+        let seed = 0xD05;
+        let e = ShardedEngine::new_with(4, 64, |_| TurnstileSummary::dcs(0.05, 16, seed));
+        let mut direct = TurnstileSummary::dcs(0.05, 16, seed);
+        let mut rng = sqs_util::rng::Xoshiro256pp::new(77);
+        let data: Vec<u64> = (0..8_000).map(|_| rng.next_below(1 << 16)).collect();
+        for chunk in data.chunks(250) {
+            e.ingest_batch(chunk);
+        }
+        direct.insert_batch(&data);
+        let snap = e.snapshot();
+        assert_eq!(snap, direct, "sharded != direct");
+        assert_eq!(e.n(), 8_000);
+        e.assert_invariants();
+    }
+
+    #[test]
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = ShardedEngine::<u64, RandomSketch<u64>>::new_with(0, 8, |i| {

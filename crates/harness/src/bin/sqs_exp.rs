@@ -3,14 +3,15 @@
 //!
 //! ```text
 //! sqs-exp <experiment|all> [--n N] [--trials T] [--seed S]
-//!         [--out DIR] [--max-stream-len N]
+//!         [--out DIR] [--max-stream-len N] [--quick]
 //! ```
 //!
 //! Experiments: fig4 fig5 fig6 fig7 fig8 tab34 fig9 fig10 fig11 fig12
-//! xcompare ablation claims engine (see DESIGN.md §2 for what each
-//! reproduces; `engine` is the sharded-ingestion baseline, not a paper
-//! figure). `sqs-exp plot <figure>` renders a previously-written CSV
-//! as an ASCII chart.
+//! xcompare ablation claims engine turnstile-perf (see DESIGN.md §2
+//! for what each reproduces; `engine` and `turnstile-perf` are
+//! implementation baselines, not paper figures). `--quick` shrinks the
+//! throughput experiments to CI scale. `sqs-exp plot <figure>` renders
+//! a previously-written CSV as an ASCII chart.
 //! Defaults are laptop-scale; raise `--n`/`--trials` toward paper
 //! scale (n = 10⁷–10¹⁰, 100 trials) as time permits.
 
@@ -21,7 +22,7 @@ use sqs_harness::experiments::{self, ExpConfig, ALL_EXPERIMENTS};
 
 fn usage() -> String {
     format!(
-        "usage: sqs-exp <experiment|all> [--n N] [--trials T] [--seed S] [--out DIR] [--max-stream-len N]\n\
+        "usage: sqs-exp <experiment|all> [--n N] [--trials T] [--seed S] [--out DIR] [--max-stream-len N] [--quick]\n\
          experiments: {} all",
         ALL_EXPERIMENTS.join(" ")
     )
@@ -64,6 +65,7 @@ fn parse_args() -> Result<(Vec<String>, ExpConfig), String> {
                     .parse()
                     .map_err(|e| format!("--max-stream-len: {e}"))?;
             }
+            "--quick" => cfg.quick = true,
             "--help" | "-h" => return Err(usage()),
             id if !id.starts_with('-') => ids.push(id.to_string()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),

@@ -216,6 +216,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("sqs_engine_scaling_test"),
             seed: 5,
             max_stream_len: 40_000,
+            quick: true,
         };
         let tables = run(&cfg);
         assert_eq!(tables.len(), 1);

@@ -1,0 +1,378 @@
+//! Turnstile hot-path throughput baseline: scalar vs batched updates.
+//!
+//! Not a paper figure: this experiment pins down what the row-major
+//! counter layout and the amortized batch hashing (PR 5) buy on the
+//! paper's tuned turnstile configurations (d = 7, u = 2³²,
+//! ε = 0.01 — §4.3.1), and records a machine-readable baseline that
+//! `cargo xtask bench-check` diffs against so later PRs cannot
+//! silently regress the hot path.
+//!
+//! For DCM and DCS it feeds the same uniform stream through
+//! `insert` (scalar) and `insert_batch` (batched) on identically
+//! seeded structures and reports items/s for both; the DCS+Post row
+//! additionally pays the post-processing tree build, i.e. it measures
+//! time-to-queryable. Because the batched path is required to be
+//! *state-identical* to the scalar loop (see `docs/PERF.md`), the run
+//! asserts structure equality and bit-identical quantile answers on
+//! uniform (fig10a-style) and normal (fig11a-style) streams — a
+//! throughput number from a divergent sketch would be meaningless.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use super::ExpConfig;
+use crate::report::{fnum, Table};
+use sqs_data::synthetic::{Normal, Uniform};
+use sqs_sketch::FrequencySketch;
+use sqs_turnstile::{new_dcm, new_dcs, DyadicQuantiles, PostProcessed, TurnstileQuantiles};
+use sqs_util::exact::probe_phis;
+
+const LOG_U: u32 = 32;
+const EPS: f64 = 0.01;
+const DEPTH: usize = 7;
+const BATCH: usize = 1024;
+const ETA: f64 = 0.1;
+/// `--quick` cap: large enough that per-item cost is steady-state,
+/// small enough for a CI gate.
+const QUICK_N: usize = 150_000;
+
+/// One measured cell of the baseline grid.
+struct Cell {
+    algo: &'static str,
+    mode: &'static str,
+    n: usize,
+    items_per_s: f64,
+    ns_per_update: f64,
+}
+
+/// Scalar-vs-batched speedup for one algorithm.
+struct Speedup {
+    algo: &'static str,
+    speedup: f64,
+}
+
+fn push_cell(cells: &mut Vec<Cell>, algo: &'static str, mode: &'static str, n: usize, secs: f64) {
+    cells.push(Cell {
+        algo,
+        mode,
+        n,
+        items_per_s: n as f64 / secs,
+        ns_per_update: secs * 1e9 / n as f64,
+    });
+}
+
+/// Feeds `data` scalar-wise and batch-wise into identically seeded
+/// structures (best of `trials` runs each), asserts the two end in
+/// exactly the same state, and returns (scalar, batched) for the
+/// query-identity checks.
+fn measure<S, F>(
+    algo: &'static str,
+    make: F,
+    data: &[u64],
+    trials: usize,
+    post: bool,
+    cells: &mut Vec<Cell>,
+    speedups: &mut Vec<Speedup>,
+) -> (DyadicQuantiles<S>, DyadicQuantiles<S>)
+where
+    S: FrequencySketch + PartialEq,
+    F: Fn() -> DyadicQuantiles<S>,
+{
+    let phis = probe_phis(EPS);
+    let mut best_scalar = f64::INFINITY;
+    let mut best_batched = f64::INFINITY;
+    let mut scalar = make();
+    let mut batched = make();
+    for _ in 0..trials.max(1) {
+        scalar = make();
+        let t0 = Instant::now();
+        for &x in data {
+            scalar.insert(x);
+        }
+        if post {
+            // Time-to-queryable: the Post row pays its tree build.
+            let p = PostProcessed::new(&scalar, EPS, ETA);
+            for &phi in &phis {
+                std::hint::black_box(p.quantile(phi));
+            }
+        }
+        best_scalar = best_scalar.min(t0.elapsed().as_secs_f64());
+
+        batched = make();
+        let t0 = Instant::now();
+        for chunk in data.chunks(BATCH) {
+            batched.insert_batch(chunk);
+        }
+        if post {
+            let p = PostProcessed::new(&batched, EPS, ETA);
+            for &phi in &phis {
+                std::hint::black_box(p.quantile(phi));
+            }
+        }
+        best_batched = best_batched.min(t0.elapsed().as_secs_f64());
+    }
+    assert!(
+        scalar == batched,
+        "{algo}: batched ingestion diverged from the scalar path"
+    );
+    push_cell(cells, algo, "scalar", data.len(), best_scalar);
+    push_cell(cells, algo, "batched", data.len(), best_batched);
+    speedups.push(Speedup {
+        algo,
+        speedup: best_scalar / best_batched,
+    });
+    (scalar, batched)
+}
+
+/// Asserts bit-identical quantile answers between the scalar-fed and
+/// batch-fed structures over the probe grid.
+fn assert_queries_identical<S: FrequencySketch>(
+    algo: &str,
+    stream: &str,
+    scalar: &DyadicQuantiles<S>,
+    batched: &DyadicQuantiles<S>,
+) {
+    for phi in probe_phis(EPS) {
+        assert_eq!(
+            scalar.quantile(phi),
+            batched.quantile(phi),
+            "{algo} on {stream}: scalar and batched answers differ at phi {phi}"
+        );
+        let x = scalar.quantile(phi).unwrap_or(0);
+        assert_eq!(
+            scalar.rank_estimate(x),
+            batched.rank_estimate(x),
+            "{algo} on {stream}: rank estimates differ at {x}"
+        );
+    }
+}
+
+/// Mixed insert/delete identity: the batched turnstile path
+/// (`update_batch` with signed deltas) must match the scalar
+/// insert/delete loop exactly. Deletions target previously inserted
+/// keys so the stream stays strict-turnstile.
+fn assert_turnstile_identical<S, F>(algo: &str, make: F, data: &[u64])
+where
+    S: FrequencySketch + PartialEq,
+    F: Fn() -> DyadicQuantiles<S>,
+{
+    let mut updates: Vec<(u64, i64)> = Vec::with_capacity(data.len() + data.len() / 4);
+    for (i, &x) in data.iter().enumerate() {
+        updates.push((x, 1));
+        if i % 4 == 3 {
+            updates.push((x, -1));
+        }
+    }
+    let mut scalar = make();
+    for &(x, delta) in &updates {
+        if delta > 0 {
+            scalar.insert(x);
+        } else {
+            scalar.delete(x);
+        }
+    }
+    let mut batched = make();
+    for chunk in updates.chunks(BATCH) {
+        batched.update_batch(chunk);
+    }
+    assert!(
+        scalar == batched,
+        "{algo}: update_batch diverged from the insert/delete loop"
+    );
+}
+
+/// Renders the grid as JSON by hand (the workspace builds offline — no
+/// serde), stable key order, one object per line so `bench-check` can
+/// line-scan it.
+fn to_json(cells: &[Cell], speedups: &[Speedup], cfg: &ExpConfig, n: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"experiment\": \"turnstile_perf\",");
+    let _ = writeln!(s, "  \"n\": {n},");
+    let _ = writeln!(s, "  \"quick\": {},", cfg.quick);
+    let _ = writeln!(s, "  \"log_u\": {LOG_U},");
+    let _ = writeln!(s, "  \"depth\": {DEPTH},");
+    let _ = writeln!(s, "  \"eps\": {EPS},");
+    let _ = writeln!(s, "  \"batch\": {BATCH},");
+    let _ = writeln!(s, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(s, "  \"state_identical\": true,");
+    let _ = writeln!(s, "  \"queries_bit_identical\": true,");
+    let _ = writeln!(s, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"algo\": \"{}\", \"mode\": \"{}\", \"n\": {}, \
+             \"items_per_s\": {:.1}, \"ns_per_update\": {:.2}}}{}",
+            c.algo, c.mode, c.n, c.items_per_s, c.ns_per_update, comma
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"speedups\": [");
+    for (i, sp) in speedups.iter().enumerate() {
+        let comma = if i + 1 == speedups.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"algo\": \"{}\", \"speedup\": {:.3}}}{}",
+            sp.algo, sp.speedup, comma
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Runs the turnstile hot-path baseline: one table plus
+/// `turnstile_perf_baseline.json` in the output directory.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let n = if cfg.quick { cfg.n.min(QUICK_N) } else { cfg.n };
+    let trials = if cfg.quick {
+        cfg.trials.clamp(1, 2)
+    } else {
+        cfg.trials.clamp(1, 3)
+    };
+    let uniform: Vec<u64> = Uniform::new(LOG_U, cfg.seed).take(n).collect();
+
+    let mut cells = Vec::new();
+    let mut speedups = Vec::new();
+    let seed = cfg.seed ^ 0x7e2f;
+
+    let (dcm_s, dcm_b) = measure(
+        "DCM",
+        || new_dcm(EPS, LOG_U, seed),
+        &uniform,
+        trials,
+        false,
+        &mut cells,
+        &mut speedups,
+    );
+    let (dcs_s, dcs_b) = measure(
+        "DCS",
+        || new_dcs(EPS, LOG_U, seed),
+        &uniform,
+        trials,
+        false,
+        &mut cells,
+        &mut speedups,
+    );
+    // The Post row shares DCS's update path but pays the OLS tree
+    // build before answering: time-to-queryable, not pure ingestion.
+    let (post_s, post_b) = measure(
+        "DCS+Post",
+        || new_dcs(EPS, LOG_U, seed ^ 1),
+        &uniform,
+        1,
+        true,
+        &mut cells,
+        &mut speedups,
+    );
+
+    // Query-identity sweeps: uniform (fig10a-style) on the structures
+    // just built, normal σ = 0.15 (fig11a-style) on fresh smaller ones.
+    assert_queries_identical("DCM", "uniform", &dcm_s, &dcm_b);
+    assert_queries_identical("DCS", "uniform", &dcs_s, &dcs_b);
+    let ps = PostProcessed::new(&post_s, EPS, ETA);
+    let pb = PostProcessed::new(&post_b, EPS, ETA);
+    for phi in probe_phis(EPS) {
+        assert_eq!(
+            ps.quantile(phi),
+            pb.quantile(phi),
+            "DCS+Post: scalar and batched answers differ at phi {phi}"
+        );
+    }
+
+    let n_id = n.min(100_000);
+    let normal: Vec<u64> = Normal::new(LOG_U, 0.15, cfg.seed ^ 0x11a)
+        .take(n_id)
+        .collect();
+    {
+        let mut s = new_dcm(EPS, LOG_U, seed ^ 2);
+        let mut b = new_dcm(EPS, LOG_U, seed ^ 2);
+        feed_both(&mut s, &mut b, &normal);
+        assert_queries_identical("DCM", "normal", &s, &b);
+    }
+    {
+        let mut s = new_dcs(EPS, LOG_U, seed ^ 2);
+        let mut b = new_dcs(EPS, LOG_U, seed ^ 2);
+        feed_both(&mut s, &mut b, &normal);
+        assert_queries_identical("DCS", "normal", &s, &b);
+    }
+
+    // Signed-delta identity on a strict-turnstile mixed stream.
+    assert_turnstile_identical("DCM", || new_dcm(EPS, LOG_U, seed ^ 3), &normal);
+    assert_turnstile_identical("DCS", || new_dcs(EPS, LOG_U, seed ^ 3), &normal);
+
+    let mut t = Table::new(
+        "turnstile_perf",
+        "Turnstile hot path: scalar vs batched update throughput (d=7, u=2^32)",
+        &["algo", "mode", "n", "items_per_s", "ns_per_update"],
+    );
+    for c in &cells {
+        t.push_row(vec![
+            c.algo.to_string(),
+            c.mode.to_string(),
+            c.n.to_string(),
+            fnum(c.items_per_s),
+            fnum(c.ns_per_update),
+        ]);
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&cfg.out_dir) {
+        eprintln!(
+            "turnstile_perf: cannot create {}: {e}",
+            cfg.out_dir.display()
+        );
+    } else if let Err(e) = std::fs::write(
+        cfg.out_dir.join("turnstile_perf_baseline.json"),
+        to_json(&cells, &speedups, cfg, n),
+    ) {
+        eprintln!("turnstile_perf: cannot write turnstile_perf_baseline.json: {e}");
+    }
+
+    vec![t]
+}
+
+/// Feeds the same stream scalar-wise into `s` and batch-wise into `b`.
+fn feed_both<S: FrequencySketch>(
+    s: &mut DyadicQuantiles<S>,
+    b: &mut DyadicQuantiles<S>,
+    data: &[u64],
+) {
+    for &x in data {
+        s.insert(x);
+    }
+    for chunk in data.chunks(BATCH) {
+        b.insert_batch(chunk);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_grid_is_complete_and_batched_not_slower() {
+        let cfg = ExpConfig {
+            n: 30_000,
+            trials: 1,
+            out_dir: std::env::temp_dir().join("sqs_turnstile_perf_test"),
+            seed: 7,
+            max_stream_len: 30_000,
+            quick: true,
+        };
+        let tables = run(&cfg);
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        // Three algorithms × {scalar, batched}.
+        assert_eq!(t.rows.len(), 6);
+        for row in &t.rows {
+            let ips: f64 = row[3].parse().expect("items_per_s cell parses");
+            assert!(ips > 0.0, "row {row:?}: non-positive throughput");
+        }
+        let json = std::fs::read_to_string(cfg.out_dir.join("turnstile_perf_baseline.json"))
+            .expect("baseline json written");
+        assert!(json.contains("\"experiment\": \"turnstile_perf\""));
+        assert!(json.contains("\"algo\": \"DCS\", \"mode\": \"batched\""));
+        assert!(json.contains("\"state_identical\": true"));
+    }
+}

@@ -8,11 +8,12 @@
 //!
 //! * `--addr HOST:PORT` — bind address (default `127.0.0.1:7171`,
 //!   port 0 for ephemeral).
-//! * `--backend random|qdigest|reservoir` — shard summary type
+//! * `--backend random|qdigest|reservoir|dcs` — shard summary type
 //!   (default `random`).
 //! * `--eps F` — accuracy parameter ε (default `0.01`).
-//! * `--log-u N` — q-digest universe is `[0, 2^N)` (default `32`;
-//!   qdigest only — the server refuses out-of-universe inserts).
+//! * `--log-u N` — q-digest/DCS universe is `[0, 2^N)` (default `32`;
+//!   fixed-universe backends only — the server refuses out-of-universe
+//!   inserts).
 //! * `--shards N` — engine shards per tenant (default `4`).
 //! * `--workers N` — connection worker threads (default `4`).
 //! * `--queue N` — backpressure queue depth (default `64`).
@@ -32,6 +33,7 @@ use sqs_core::qdigest::QDigest;
 use sqs_core::random::RandomSketch;
 use sqs_core::sampled::ReservoirQuantiles;
 use sqs_service::server::{spawn, ServerConfig};
+use sqs_turnstile::TurnstileSummary;
 use sqs_util::rng::SplitMix64;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +41,7 @@ enum Backend {
     Random,
     QDigest,
     Reservoir,
+    Dcs,
 }
 
 struct Args {
@@ -50,7 +53,7 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: sqs-serve [--addr HOST:PORT] [--backend random|qdigest|reservoir] \
+    "usage: sqs-serve [--addr HOST:PORT] [--backend random|qdigest|reservoir|dcs] \
      [--eps F] [--log-u N] [--shards N] [--workers N] [--queue N] [--batch N] [--seed N]"
 }
 
@@ -80,6 +83,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     "random" => Backend::Random,
                     "qdigest" => Backend::QDigest,
                     "reservoir" => Backend::Reservoir,
+                    "dcs" => Backend::Dcs,
                     other => return Err(format!("unknown backend {other:?}")),
                 }
             }
@@ -173,6 +177,18 @@ fn main() -> ExitCode {
             ReservoirQuantiles::new(eps, derive_seed(seed, tenant, shard))
         })
         .map(|h| run(h.addr(), h)),
+        Backend::Dcs => {
+            // Fixed-universe like qdigest: gate out-of-range inserts.
+            cfg.value_bound = Some(1u64 << log_u);
+            // One seed per *tenant*, shared by all of its shards: the
+            // dyadic Count-Sketch is linear, so same-draw shards merge
+            // counter-wise and the snapshot is state-identical to a
+            // single sketch that saw every update (docs/PERF.md).
+            spawn(cfg, move |tenant, _shard| {
+                TurnstileSummary::dcs(eps, log_u, derive_seed(seed, tenant, 0))
+            })
+            .map(|h| run(h.addr(), h))
+        }
     };
     match spawned {
         Ok(code) => code,

@@ -6,7 +6,7 @@
 // invariants (see `check_invariants` impls and docs/ANALYSIS.md);
 // this module is on the `cargo xtask check` allowlist.
 
-use crate::FrequencySketch;
+use crate::{batch_scratch::CHUNK, FrequencySketch, MergeableSketch};
 use sqs_util::hash::PairwiseHash;
 use sqs_util::rng::Xoshiro256pp;
 use sqs_util::space::{words, SpaceUsage};
@@ -15,15 +15,38 @@ use sqs_util::space::{words, SpaceUsage};
 /// `h_i(x)`; the estimate is the **minimum** over rows, which never
 /// underestimates (for insert-only mass) and overshoots by at most
 /// `2n/w` with probability `1 − 2^{−d}` per query.
+///
+/// Counters are stored row-contiguous with each row's width rounded up
+/// to a whole cache line (`stride`), so the batched update path can
+/// sweep one row across an entire batch without rows sharing lines.
+/// The padding slots always hold zero and are *layout*, not space: the
+/// paper's 4-byte-word accounting reports `w·d` counters (see
+/// `docs/PERF.md`).
 #[derive(Debug, Clone)]
 pub struct CountMin {
     width: usize,
-    counters: Vec<i64>, // d rows × w, row-major
+    stride: usize,      // width rounded up to a cache line of i64s
+    counters: Vec<i64>, // d rows × stride, row-contiguous
     hashes: Vec<PairwiseHash>,
     universe: u64,
     #[cfg(any(test, feature = "audit"))]
     updates: u64,
 }
+
+// Equality is summary state only — the audit-only `updates` diagnostic
+// is excluded, since it legitimately differs between paths that reach
+// the same state (wire decode starts it at zero, shard merges sum it).
+impl PartialEq for CountMin {
+    fn eq(&self, other: &Self) -> bool {
+        self.width == other.width
+            && self.stride == other.stride
+            && self.counters == other.counters
+            && self.hashes == other.hashes
+            && self.universe == other.universe
+    }
+}
+
+impl Eq for CountMin {}
 
 impl CountMin {
     /// Creates a sketch with `width` counters per row and `depth` rows.
@@ -35,9 +58,11 @@ impl CountMin {
             width > 0 && depth > 0,
             "CountMin: width and depth must be positive"
         );
+        let stride = crate::row_stride(width);
         Self {
             width,
-            counters: vec![0; width * depth],
+            stride,
+            counters: vec![0; stride * depth],
             hashes: (0..depth)
                 .map(|_| PairwiseHash::new(rng, width as u64))
                 .collect(),
@@ -77,13 +102,15 @@ impl sqs_util::audit::CheckInvariants for CountMin {
             || format!("width = {}, depth = {}", self.width, self.hashes.len()),
         )?;
         ensure(
-            self.counters.len() == self.width * self.hashes.len(),
+            self.stride == crate::row_stride(self.width)
+                && self.counters.len() == self.stride * self.hashes.len(),
             ALG,
             "countmin.counter_layout",
             || {
                 format!(
-                    "{} counters for {}×{} layout",
+                    "{} counters, stride {} for {}×{} layout",
                     self.counters.len(),
+                    self.stride,
                     self.width,
                     self.hashes.len()
                 )
@@ -92,11 +119,20 @@ impl sqs_util::audit::CheckInvariants for CountMin {
         ensure(self.universe > 0, ALG, "countmin.universe_positive", || {
             "universe is zero".to_string()
         })?;
+        // Cache-line padding slots are never addressed by any hash.
+        for (i, row) in self.counters.chunks_exact(self.stride).enumerate() {
+            ensure(
+                row[self.width..].iter().all(|&c| c == 0),
+                ALG,
+                "countmin.padding_zero",
+                || format!("row {i} has nonzero cache-line padding"),
+            )?;
+        }
         // Every update adds its delta to exactly one counter per row,
         // so all row sums equal the total update mass.
         let first: i64 = self.counters[..self.width].iter().sum();
         for i in 1..self.hashes.len() {
-            let row: i64 = self.counters[i * self.width..(i + 1) * self.width]
+            let row: i64 = self.counters[i * self.stride..i * self.stride + self.width]
                 .iter()
                 .sum();
             ensure(row == first, ALG, "countmin.row_mass_equal", || {
@@ -111,7 +147,7 @@ impl FrequencySketch for CountMin {
     fn update(&mut self, x: u64, delta: i64) {
         for (i, h) in self.hashes.iter().enumerate() {
             let j = h.hash(x) as usize;
-            self.counters[i * self.width + j] += delta;
+            self.counters[i * self.stride + j] += delta;
         }
         #[cfg(any(test, feature = "audit"))]
         {
@@ -122,11 +158,42 @@ impl FrequencySketch for CountMin {
         }
     }
 
+    // Row-major batch walk: each chunk folds its keys into the field
+    // once — shared by all d rows — and the row loop then walks the
+    // chunk row-major, hash coefficients in registers, every store
+    // landing in one `stride`-wide window instead of striding the
+    // full `d × stride` table per item. `CHUNK` matches the ingest
+    // batch, so a batch is normally a single chunk and each row is
+    // touched in exactly one pass. State-identical to the scalar loop
+    // (counter addition commutes within a row).
+    fn update_batch(&mut self, batch: &[(u64, i64)]) {
+        let mut keys = [0u64; CHUNK];
+        for chunk in batch.chunks(CHUNK) {
+            let m = chunk.len();
+            for (k, &(x, _)) in keys.iter_mut().zip(chunk) {
+                *k = sqs_util::hash::fold_to_field(x);
+            }
+            for (i, h) in self.hashes.iter().enumerate() {
+                let row = &mut self.counters[i * self.stride..i * self.stride + self.width];
+                h.buckets_folded_for_each(&keys[..m], |k, j| {
+                    row[j as usize] += chunk[k].1;
+                });
+            }
+        }
+        #[cfg(any(test, feature = "audit"))]
+        {
+            self.updates += batch.len() as u64;
+            if sqs_util::audit::audit_point(self.updates) {
+                sqs_util::audit::CheckInvariants::assert_invariants(self);
+            }
+        }
+    }
+
     fn estimate(&self, x: u64) -> i64 {
         self.hashes
             .iter()
             .enumerate()
-            .map(|(i, h)| self.counters[i * self.width + h.hash(x) as usize])
+            .map(|(i, h)| self.counters[i * self.stride + h.hash(x) as usize])
             .min()
             .expect("CountMin invariant: depth > 0")
     }
@@ -136,10 +203,31 @@ impl FrequencySketch for CountMin {
     }
 }
 
+impl MergeableSketch for CountMin {
+    fn merge_compatible(&self, other: &Self) -> bool {
+        self.width == other.width && self.universe == other.universe && self.hashes == other.hashes
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.merge_compatible(other),
+            "CountMin invariant: merge requires identical hashes and shape"
+        );
+        for (c, o) in self.counters.iter_mut().zip(&other.counters) {
+            *c += o;
+        }
+        #[cfg(any(test, feature = "audit"))]
+        {
+            self.updates += other.updates;
+        }
+    }
+}
+
 impl SpaceUsage for CountMin {
     fn space_bytes(&self) -> usize {
-        // w·d counters + 2 hash coefficients per row.
-        words(self.counters.len() + 2 * self.hashes.len())
+        // w·d counters + 2 hash coefficients per row. Logical size:
+        // cache-line padding is a layout artifact, not sketch state.
+        words(self.width * self.hashes.len() + 2 * self.hashes.len())
     }
 }
 
@@ -215,6 +303,55 @@ mod tests {
     fn rejects_zero_width() {
         CountMin::new(0, 3, &mut Xoshiro256pp::new(1));
     }
+
+    #[test]
+    fn batch_is_state_identical_to_scalar() {
+        // Unpadded width (100 → stride 104) exercises the padding lanes.
+        let mut rng = Xoshiro256pp::new(16);
+        let mut scalar = CountMin::new(100, 7, &mut rng);
+        let mut batched = scalar.clone();
+        let mut stream_rng = Xoshiro256pp::new(17);
+        let batch: Vec<(u64, i64)> = (0..1000)
+            .map(|i| {
+                let x = stream_rng.next_below(1 << 30);
+                (x, if i % 3 == 2 { -1 } else { 1 })
+            })
+            .collect();
+        for &(x, d) in &batch {
+            scalar.update(x, d);
+        }
+        batched.update_batch(&batch);
+        assert_eq!(scalar, batched);
+    }
+
+    #[test]
+    fn merge_matches_single_sketch() {
+        let mut rng = Xoshiro256pp::new(18);
+        let whole = CountMin::new(64, 4, &mut rng);
+        let mut left = whole.clone();
+        let mut right = whole.clone();
+        let mut whole = whole;
+        for x in 0..500u64 {
+            whole.update(x, 1);
+            if x % 2 == 0 {
+                left.update(x, 1);
+            } else {
+                right.update(x, 1);
+            }
+        }
+        assert!(left.merge_compatible(&right));
+        left.merge_from(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical hashes")]
+    fn merge_rejects_different_draws() {
+        let mut rng = Xoshiro256pp::new(19);
+        let mut a = CountMin::new(64, 4, &mut rng);
+        let b = CountMin::new(64, 4, &mut rng);
+        a.merge_from(&b);
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +380,18 @@ mod corruption {
         assert_eq!(
             cm.check_invariants().unwrap_err().invariant,
             "countmin.counter_layout"
+        );
+    }
+
+    #[test]
+    fn auditor_catches_dirty_padding() {
+        let mut rng = Xoshiro256pp::new(52);
+        let mut cm = CountMin::new(100, 2, &mut rng); // stride 104
+        let stride = cm.stride;
+        cm.counters[stride - 1] = 7;
+        assert_eq!(
+            cm.check_invariants().unwrap_err().invariant,
+            "countmin.padding_zero"
         );
     }
 }

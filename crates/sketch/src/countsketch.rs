@@ -14,7 +14,7 @@
 // invariants (see `check_invariants` impls and docs/ANALYSIS.md);
 // this module is on the `cargo xtask check` allowlist.
 
-use crate::FrequencySketch;
+use crate::{batch_scratch::CHUNK, FrequencySketch, MergeableSketch};
 use sqs_util::hash::{FourwiseHash, PairwiseHash};
 use sqs_util::rng::Xoshiro256pp;
 use sqs_util::space::{words, SpaceUsage};
@@ -40,13 +40,30 @@ use sqs_util::space::{words, SpaceUsage};
 #[derive(Debug, Clone)]
 pub struct CountSketch {
     width: usize,
-    counters: Vec<i64>, // d rows × w, row-major
+    stride: usize,      // width rounded up to a cache line of i64s
+    counters: Vec<i64>, // d rows × stride, row-contiguous
     bucket_hashes: Vec<PairwiseHash>,
     sign_hashes: Vec<FourwiseHash>,
     universe: u64,
     #[cfg(any(test, feature = "audit"))]
     updates: u64,
 }
+
+// Equality is summary state only — the audit-only `updates` diagnostic
+// is excluded, since it legitimately differs between paths that reach
+// the same state (wire decode starts it at zero, shard merges sum it).
+impl PartialEq for CountSketch {
+    fn eq(&self, other: &Self) -> bool {
+        self.width == other.width
+            && self.stride == other.stride
+            && self.counters == other.counters
+            && self.bucket_hashes == other.bucket_hashes
+            && self.sign_hashes == other.sign_hashes
+            && self.universe == other.universe
+    }
+}
+
+impl Eq for CountSketch {}
 
 impl CountSketch {
     /// Creates a sketch with `width` counters per row and `depth` rows.
@@ -58,9 +75,11 @@ impl CountSketch {
             width > 0 && depth > 0,
             "CountSketch: width and depth must be positive"
         );
+        let stride = crate::row_stride(width);
         Self {
             width,
-            counters: vec![0; width * depth],
+            stride,
+            counters: vec![0; stride * depth],
             bucket_hashes: (0..depth)
                 .map(|_| PairwiseHash::new(rng, width as u64))
                 .collect(),
@@ -104,9 +123,64 @@ impl CountSketch {
         (0..self.depth())
             .map(|i| {
                 let j = self.bucket_hashes[i].hash(x) as usize;
-                self.sign_hashes[i].sign(x) * self.counters[i * self.width + j]
+                self.sign_hashes[i].sign(x) * self.counters[i * self.stride + j]
             })
             .collect()
+    }
+
+    /// The per-row `(bucket_hash, sign_hash)` draws, for serialization.
+    pub fn rows(&self) -> impl Iterator<Item = (&PairwiseHash, &FourwiseHash)> {
+        self.bucket_hashes.iter().zip(self.sign_hashes.iter())
+    }
+
+    /// The **logical** counters, row-major `d × w` with cache-line
+    /// padding stripped — the canonical wire form.
+    pub fn logical_counters(&self) -> Vec<i64> {
+        self.counters
+            .chunks_exact(self.stride)
+            .flat_map(|row| row[..self.width].iter().copied())
+            .collect()
+    }
+
+    /// Rebuilds a sketch from decoded parts (the inverse of
+    /// [`rows`](Self::rows) + [`logical_counters`](Self::logical_counters)).
+    /// `counters` is logical `d × w` row-major. Returns `Err` on any
+    /// shape mismatch; the caller is expected to follow up with an
+    /// invariant audit.
+    pub fn from_parts(
+        universe: u64,
+        width: usize,
+        rows: Vec<(PairwiseHash, FourwiseHash)>,
+        counters: &[i64],
+    ) -> Result<Self, &'static str> {
+        if width == 0 || rows.is_empty() {
+            return Err("CountSketch: width and depth must be positive");
+        }
+        if counters.len() != width * rows.len() {
+            return Err("CountSketch: counter count does not match w×d");
+        }
+        if universe == 0 {
+            return Err("CountSketch: universe must be positive");
+        }
+        let stride = crate::row_stride(width);
+        let mut padded = vec![0i64; stride * rows.len()];
+        for (dst, src) in padded
+            .chunks_exact_mut(stride)
+            .zip(counters.chunks_exact(width))
+        {
+            dst[..width].copy_from_slice(src);
+        }
+        let (bucket_hashes, sign_hashes) = rows.into_iter().unzip();
+        Ok(Self {
+            width,
+            stride,
+            counters: padded,
+            bucket_hashes,
+            sign_hashes,
+            universe,
+            #[cfg(any(test, feature = "audit"))]
+            updates: 0,
+        })
     }
 }
 
@@ -139,23 +213,34 @@ impl sqs_util::audit::CheckInvariants for CountSketch {
             },
         )?;
         ensure(
-            self.counters.len() == self.width * self.bucket_hashes.len(),
+            self.stride == crate::row_stride(self.width)
+                && self.counters.len() == self.stride * self.bucket_hashes.len(),
             ALG,
             "countsketch.counter_layout",
             || {
                 format!(
-                    "{} counters for {}×{} layout",
+                    "{} counters, stride {} for {}×{} layout",
                     self.counters.len(),
+                    self.stride,
                     self.width,
                     self.bucket_hashes.len()
                 )
             },
         )?;
+        // Cache-line padding slots are never addressed by any hash.
+        for (i, row) in self.counters.chunks_exact(self.stride).enumerate() {
+            ensure(
+                row[self.width..].iter().all(|&c| c == 0),
+                ALG,
+                "countsketch.padding_zero",
+                || format!("row {i} has nonzero cache-line padding"),
+            )?;
+        }
         // Signs are ±1, so each row's sum has the parity of the total
         // update mass — every row must agree on it.
         let first: i64 = self.counters[..self.width].iter().sum();
         for i in 1..self.bucket_hashes.len() {
-            let row: i64 = self.counters[i * self.width..(i + 1) * self.width]
+            let row: i64 = self.counters[i * self.stride..i * self.stride + self.width]
                 .iter()
                 .sum();
             ensure(
@@ -173,11 +258,49 @@ impl FrequencySketch for CountSketch {
     fn update(&mut self, x: u64, delta: i64) {
         for i in 0..self.bucket_hashes.len() {
             let j = self.bucket_hashes[i].hash(x) as usize;
-            self.counters[i * self.width + j] += self.sign_hashes[i].sign(x) * delta;
+            self.counters[i * self.stride + j] += self.sign_hashes[i].sign(x) * delta;
         }
         #[cfg(any(test, feature = "audit"))]
         {
             self.updates += 1;
+            if sqs_util::audit::audit_point(self.updates) {
+                sqs_util::audit::CheckInvariants::assert_invariants(self);
+            }
+        }
+    }
+
+    // Row-major batch walk: each chunk folds its keys into the field
+    // once — shared by both hash families of all d rows — and the row
+    // loop then walks the chunk row-major: sign polynomial into a
+    // scratch buffer, bucket polynomial fused with the scatter, all
+    // stores landing in one row window. `CHUNK` matches the ingest
+    // batch, so a batch is normally a single chunk and each row is
+    // touched in exactly one pass. State-identical to the scalar loop
+    // (additions commute in a row).
+    fn update_batch(&mut self, batch: &[(u64, i64)]) {
+        let mut keys = [0u64; CHUNK];
+        let mut sbuf = [0i64; CHUNK];
+        for chunk in batch.chunks(CHUNK) {
+            let m = chunk.len();
+            for (k, &(x, _)) in keys.iter_mut().zip(chunk) {
+                *k = sqs_util::hash::fold_to_field(x);
+            }
+            for (i, (h, g)) in self
+                .bucket_hashes
+                .iter()
+                .zip(self.sign_hashes.iter())
+                .enumerate()
+            {
+                g.sign_folded_batch(&keys[..m], &mut sbuf[..m]);
+                let row = &mut self.counters[i * self.stride..i * self.stride + self.width];
+                h.buckets_folded_for_each(&keys[..m], |k, j| {
+                    row[j as usize] += sbuf[k] * chunk[k].1;
+                });
+            }
+        }
+        #[cfg(any(test, feature = "audit"))]
+        {
+            self.updates += batch.len() as u64;
             if sqs_util::audit::audit_point(self.updates) {
                 sqs_util::audit::CheckInvariants::assert_invariants(self);
             }
@@ -226,10 +349,34 @@ impl FrequencySketch for CountSketch {
     }
 }
 
+impl MergeableSketch for CountSketch {
+    fn merge_compatible(&self, other: &Self) -> bool {
+        self.width == other.width
+            && self.universe == other.universe
+            && self.bucket_hashes == other.bucket_hashes
+            && self.sign_hashes == other.sign_hashes
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.merge_compatible(other),
+            "CountSketch invariant: merge requires identical hashes and shape"
+        );
+        for (c, o) in self.counters.iter_mut().zip(&other.counters) {
+            *c += o;
+        }
+        #[cfg(any(test, feature = "audit"))]
+        {
+            self.updates += other.updates;
+        }
+    }
+}
+
 impl SpaceUsage for CountSketch {
     fn space_bytes(&self) -> usize {
         // w·d counters + 2 pairwise + 4 fourwise coefficients per row.
-        words(self.counters.len() + 6 * self.bucket_hashes.len())
+        // Logical size: cache-line padding is layout, not sketch state.
+        words(self.width * self.bucket_hashes.len() + 6 * self.bucket_hashes.len())
     }
 }
 
@@ -315,6 +462,72 @@ mod tests {
         let mut rng = Xoshiro256pp::new(35);
         let cs = CountSketch::new(8, 7, &mut rng);
         assert_eq!(cs.row_estimates(42).len(), 7);
+    }
+
+    #[test]
+    fn batch_is_state_identical_to_scalar() {
+        // Unpadded width (100 → stride 104) exercises the padding lanes.
+        let mut rng = Xoshiro256pp::new(36);
+        let mut scalar = CountSketch::new(100, 7, &mut rng);
+        let mut batched = scalar.clone();
+        let mut stream_rng = Xoshiro256pp::new(37);
+        let batch: Vec<(u64, i64)> = (0..1000)
+            .map(|i| {
+                let x = stream_rng.next_below(1 << 30);
+                (x, if i % 3 == 2 { -1 } else { 1 })
+            })
+            .collect();
+        for &(x, d) in &batch {
+            scalar.update(x, d);
+        }
+        batched.update_batch(&batch);
+        assert_eq!(scalar, batched);
+    }
+
+    #[test]
+    fn merge_matches_single_sketch() {
+        let mut rng = Xoshiro256pp::new(38);
+        let whole = CountSketch::new(64, 5, &mut rng);
+        let mut left = whole.clone();
+        let mut right = whole.clone();
+        let mut whole = whole;
+        for x in 0..500u64 {
+            whole.update(x, 1);
+            if x % 2 == 0 {
+                left.update(x, 1);
+            } else {
+                right.update(x, 1);
+            }
+        }
+        assert!(left.merge_compatible(&right));
+        left.merge_from(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn parts_roundtrip_preserves_estimates() {
+        let mut rng = Xoshiro256pp::new(39);
+        let mut cs = CountSketch::for_universe(1 << 20, 100, 5, &mut rng);
+        for x in 0..2000u64 {
+            cs.update(x % 300, 1);
+        }
+        let rows: Vec<_> = cs.rows().map(|(h, g)| (h.clone(), g.clone())).collect();
+        let rebuilt =
+            CountSketch::from_parts(cs.universe(), cs.width(), rows, &cs.logical_counters())
+                .expect("invariant: parts round-trip from a live sketch");
+        for x in [0u64, 7, 150, 299, 5000] {
+            assert_eq!(rebuilt.estimate(x), cs.estimate(x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_shape_mismatch() {
+        let mut rng = Xoshiro256pp::new(40);
+        let cs = CountSketch::new(16, 3, &mut rng);
+        let rows: Vec<_> = cs.rows().map(|(h, g)| (h.clone(), g.clone())).collect();
+        assert!(CountSketch::from_parts(1, 16, rows.clone(), &[0; 47]).is_err());
+        assert!(CountSketch::from_parts(0, 16, rows.clone(), &[0; 48]).is_err());
+        assert!(CountSketch::from_parts(1, 0, rows, &[]).is_err());
     }
 }
 

@@ -12,7 +12,7 @@
 // invariants (see `check_invariants` impls and docs/ANALYSIS.md);
 // this module is on the `cargo xtask check` allowlist.
 
-use crate::FrequencySketch;
+use crate::{FrequencySketch, MergeableSketch};
 use sqs_util::space::{words, SpaceUsage};
 
 /// A plain counter array over a small universe.
@@ -22,6 +22,17 @@ pub struct ExactCounts {
     #[cfg(any(test, feature = "audit"))]
     updates: u64,
 }
+
+// Equality is summary state only — the audit-only `updates` diagnostic
+// is excluded, since it legitimately differs between paths that reach
+// the same state (wire decode starts it at zero, shard merges sum it).
+impl PartialEq for ExactCounts {
+    fn eq(&self, other: &Self) -> bool {
+        self.counts == other.counts
+    }
+}
+
+impl Eq for ExactCounts {}
 
 impl ExactCounts {
     /// Creates counters for a universe of `universe` items.
@@ -40,6 +51,28 @@ impl ExactCounts {
             #[cfg(any(test, feature = "audit"))]
             updates: 0,
         }
+    }
+
+    /// The raw per-item counts, for serialization.
+    pub fn counts(&self) -> &[i64] {
+        &self.counts
+    }
+
+    /// Rebuilds from decoded counts (the inverse of
+    /// [`counts`](Self::counts)). Returns `Err` if the implied universe
+    /// is empty or too large for exact counting.
+    pub fn from_counts(counts: Vec<i64>) -> Result<Self, &'static str> {
+        if counts.is_empty() {
+            return Err("ExactCounts: empty universe");
+        }
+        if counts.len() > 1 << 28 {
+            return Err("ExactCounts: universe too large for exact counting");
+        }
+        Ok(Self {
+            counts,
+            #[cfg(any(test, feature = "audit"))]
+            updates: 0,
+        })
     }
 }
 
@@ -75,6 +108,21 @@ impl FrequencySketch for ExactCounts {
         }
     }
 
+    // A tight add loop with the audit bookkeeping amortized over the
+    // batch; state-identical to the scalar loop.
+    fn update_batch(&mut self, batch: &[(u64, i64)]) {
+        for &(x, delta) in batch {
+            self.counts[x as usize] += delta;
+        }
+        #[cfg(any(test, feature = "audit"))]
+        {
+            self.updates += batch.len() as u64;
+            if sqs_util::audit::audit_point(self.updates) {
+                sqs_util::audit::CheckInvariants::assert_invariants(self);
+            }
+        }
+    }
+
     fn estimate(&self, x: u64) -> i64 {
         self.counts[x as usize]
     }
@@ -85,6 +133,26 @@ impl FrequencySketch for ExactCounts {
 
     fn variance_estimate(&self) -> Option<f64> {
         Some(0.0)
+    }
+}
+
+impl MergeableSketch for ExactCounts {
+    fn merge_compatible(&self, other: &Self) -> bool {
+        self.counts.len() == other.counts.len()
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.merge_compatible(other),
+            "ExactCounts invariant: merge requires identical universes"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        #[cfg(any(test, feature = "audit"))]
+        {
+            self.updates += other.updates;
+        }
     }
 }
 

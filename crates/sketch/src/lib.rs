@@ -48,6 +48,26 @@ pub use subsetsum::SubsetSum;
 use sqs_util::audit::CheckInvariants;
 use sqs_util::SpaceUsage;
 
+/// Shared sizing for the batched update paths.
+pub(crate) mod batch_scratch {
+    /// Keys processed per stack-scratch refill in `update_batch`
+    /// overrides. Sized to the engine/service ingest batch (1024), so
+    /// a whole application batch folds its keys **once** — shared by
+    /// every row — and each row then makes a single pass over it with
+    /// its counters L1-resident. 1024 keys × (8-byte key + 8-byte
+    /// sign) = 16 KiB of scratch, comfortably inside a 48 KiB L1
+    /// alongside one sketch row.
+    pub(crate) const CHUNK: usize = 1024;
+}
+
+/// Rounds a sketch row width up to a whole 64-byte cache line of
+/// `i64` counters, so row-contiguous storage never splits a line
+/// between rows. Padding slots stay zero and are excluded from the
+/// paper's space accounting.
+pub(crate) fn row_stride(width: usize) -> usize {
+    width.next_multiple_of(8)
+}
+
 /// A frequency-estimation sketch over a fixed universe, processing a
 /// turnstile stream of item insertions and deletions.
 ///
@@ -59,6 +79,21 @@ pub trait FrequencySketch: SpaceUsage + CheckInvariants {
     /// turnstile model guarantees no item's multiplicity goes negative;
     /// sketches do not check this (they cannot).
     fn update(&mut self, x: u64, delta: i64);
+
+    /// Applies a batch of `(item, delta)` updates.
+    ///
+    /// The default is an element-wise [`update`](Self::update) loop.
+    /// Overrides must be **state-identical** to that loop — counter for
+    /// counter, including any audit bookkeeping — and exist purely so
+    /// row-organized sketches can walk the batch row-major with their
+    /// hash coefficients held in registers (see `docs/PERF.md`). The
+    /// dyadic structures and the property tests in
+    /// `crates/turnstile/tests/batch_props.rs` rely on the identity.
+    fn update_batch(&mut self, batch: &[(u64, i64)]) {
+        for &(x, delta) in batch {
+            self.update(x, delta);
+        }
+    }
 
     /// Estimated current frequency of item `x`. May be negative for
     /// unbiased sketches (Count-Sketch); callers clamp as appropriate.
@@ -87,6 +122,29 @@ pub trait FrequencySketch: SpaceUsage + CheckInvariants {
         let _ = x;
         self.variance_estimate()
     }
+}
+
+/// A frequency sketch whose state is a linear function of the update
+/// stream, so two sketches drawn with the **same hash functions** can
+/// be combined counter-wise into the sketch of the concatenated
+/// streams.
+///
+/// This is what lets the dyadic turnstile structures participate in
+/// the sharded engine (`sqs-engine`) and the service's snapshot-merge
+/// protocol: shards built from one seed are hash-compatible, and
+/// merging them is exact — the merged sketch is state-identical to a
+/// single sketch that saw every update.
+pub trait MergeableSketch: FrequencySketch {
+    /// Whether `other` was drawn with the same hash functions and
+    /// shape, so [`merge_from`](Self::merge_from) is meaningful.
+    fn merge_compatible(&self, other: &Self) -> bool;
+
+    /// Adds `other`'s counters into `self`.
+    ///
+    /// # Panics
+    /// Panics if the sketches are not
+    /// [`merge_compatible`](Self::merge_compatible).
+    fn merge_from(&mut self, other: &Self);
 }
 
 #[cfg(test)]

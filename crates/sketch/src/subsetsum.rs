@@ -15,7 +15,12 @@
 //! ("its performance is much worse"), and why we keep it: to show
 //! that.
 
-use crate::FrequencySketch;
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+// ^ audited: indices and casts here are bounded by structural
+// invariants (see `check_invariants` impls and docs/ANALYSIS.md);
+// this module is on the `cargo xtask check` allowlist.
+
+use crate::{batch_scratch::CHUNK, FrequencySketch, MergeableSketch};
 use sqs_util::hash::PairwiseHash;
 use sqs_util::rng::Xoshiro256pp;
 use sqs_util::space::{words, SpaceUsage};
@@ -30,6 +35,20 @@ pub struct SubsetSum {
     #[cfg(any(test, feature = "audit"))]
     updates: u64,
 }
+
+// Equality is summary state only — the audit-only `updates` diagnostic
+// is excluded, since it legitimately differs between paths that reach
+// the same state (wire decode starts it at zero, shard merges sum it).
+impl PartialEq for SubsetSum {
+    fn eq(&self, other: &Self) -> bool {
+        self.counters == other.counters
+            && self.members == other.members
+            && self.total == other.total
+            && self.universe == other.universe
+    }
+}
+
+impl Eq for SubsetSum {}
 
 impl SubsetSum {
     /// Creates a sketch over `universe` items with `k` repetitions.
@@ -117,6 +136,36 @@ impl FrequencySketch for SubsetSum {
         }
     }
 
+    // Repetition-major batch walk: each membership hash is evaluated
+    // over the whole chunk with coefficients in registers, and the
+    // `{0,1}` membership bit multiplies the delta branchlessly.
+    // State-identical to the scalar loop.
+    fn update_batch(&mut self, batch: &[(u64, i64)]) {
+        let mut keys = [0u64; CHUNK];
+        let mut mbuf = [0u64; CHUNK];
+        for chunk in batch.chunks(CHUNK) {
+            let m = chunk.len();
+            // One field-fold per key, shared by every repetition.
+            for (k, &(x, _)) in keys.iter_mut().zip(chunk) {
+                *k = sqs_util::hash::fold_to_field(x);
+            }
+            self.total += chunk.iter().map(|&(_, d)| d).sum::<i64>();
+            for (c, b) in self.counters.iter_mut().zip(&self.members) {
+                b.hash_folded_batch(&keys[..m], &mut mbuf[..m]);
+                for (&bit, &(_, delta)) in mbuf[..m].iter().zip(chunk) {
+                    *c += bit as i64 * delta;
+                }
+            }
+        }
+        #[cfg(any(test, feature = "audit"))]
+        {
+            self.updates += batch.len() as u64;
+            if sqs_util::audit::audit_point(self.updates) {
+                sqs_util::audit::CheckInvariants::assert_invariants(self);
+            }
+        }
+    }
+
     fn estimate(&self, x: u64) -> i64 {
         let k = self.counters.len() as i64;
         let sum: i64 = self
@@ -144,6 +193,27 @@ impl FrequencySketch for SubsetSum {
         // bound (the sketch has no good F₂ estimator of its own).
         let k = self.counters.len() as f64;
         Some((self.total as f64) * (self.total as f64) / k)
+    }
+}
+
+impl MergeableSketch for SubsetSum {
+    fn merge_compatible(&self, other: &Self) -> bool {
+        self.universe == other.universe && self.members == other.members
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.merge_compatible(other),
+            "SubsetSum invariant: merge requires identical membership hashes"
+        );
+        self.total += other.total;
+        for (c, o) in self.counters.iter_mut().zip(&other.counters) {
+            *c += o;
+        }
+        #[cfg(any(test, feature = "audit"))]
+        {
+            self.updates += other.updates;
+        }
     }
 }
 
@@ -201,6 +271,29 @@ mod tests {
         for x in 0..100u64 {
             assert_eq!(ss.estimate(x), 0, "x={x}");
         }
+    }
+
+    #[test]
+    fn batch_is_state_identical_to_scalar() {
+        let mut rng = Xoshiro256pp::new(45);
+        let mut scalar = SubsetSum::new(1 << 20, 64, &mut rng);
+        let mut batched = scalar.clone();
+        let mut stream_rng = Xoshiro256pp::new(46);
+        // Deletions target keys already inserted, keeping the stream
+        // strict-turnstile so mid-batch audit points stay valid.
+        let mut batch: Vec<(u64, i64)> = Vec::new();
+        for i in 0..700 {
+            let x = stream_rng.next_below(1 << 20);
+            batch.push((x, 1));
+            if i % 4 == 3 {
+                batch.push((x, -1));
+            }
+        }
+        for &(x, d) in &batch {
+            scalar.update(x, d);
+        }
+        batched.update_batch(&batch);
+        assert_eq!(scalar, batched);
     }
 
     #[test]

@@ -15,14 +15,14 @@
 // this module is on the `cargo xtask check` allowlist.
 
 use crate::TurnstileQuantiles;
-use sqs_sketch::{ExactCounts, FrequencySketch};
+use sqs_sketch::{ExactCounts, FrequencySketch, MergeableSketch};
 use sqs_util::dyadic::{Cell, DyadicUniverse};
 use sqs_util::space::{words, SpaceUsage};
 
 /// Per-level storage: exact counters for small reduced universes, a
 /// sketch otherwise.
-#[derive(Debug, Clone)]
-enum Level<S> {
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Level<S> {
     Exact(ExactCounts),
     Sketch(S),
 }
@@ -39,6 +39,18 @@ pub struct DyadicQuantiles<S> {
     name: &'static str,
     #[cfg(any(test, feature = "audit"))]
     updates: u64,
+}
+
+// Equality is summary state only — the audit-only `updates` diagnostic
+// is excluded, since it legitimately differs between paths that reach
+// the same state (wire decode starts it at zero, shard merges sum it).
+impl<S: PartialEq> PartialEq for DyadicQuantiles<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.universe == other.universe
+            && self.levels == other.levels
+            && self.live == other.live
+            && self.name == other.name
+    }
 }
 
 impl<S: FrequencySketch> DyadicQuantiles<S> {
@@ -143,6 +155,43 @@ impl<S: FrequencySketch> DyadicQuantiles<S> {
         }
     }
 
+    /// Applies a batch of `(element, delta)` updates, restructured
+    /// level-major → row-major: the reduced keys for each level are
+    /// materialized once (one extra right-shift per level) and handed
+    /// to the level store's own batched path, so every sketch row's
+    /// hash coefficients are evaluated over the whole batch with the
+    /// coefficients held in registers (see `docs/PERF.md`).
+    ///
+    /// State-identical to the element-wise [`update`](Self::update)
+    /// loop — counter for counter — which the property tests in
+    /// `tests/batch_props.rs` enforce.
+    ///
+    /// # Panics
+    /// Panics if any element lies outside the universe.
+    pub fn update_batch(&mut self, batch: &[(u64, i64)]) {
+        for &(x, _) in batch {
+            assert!(x < self.universe.size(), "element {x} outside universe");
+        }
+        self.live += batch.iter().map(|&(_, d)| d).sum::<i64>();
+        let mut reduced = batch.to_vec();
+        for store in self.levels.iter_mut() {
+            match store {
+                Level::Exact(e) => e.update_batch(&reduced),
+                Level::Sketch(s) => s.update_batch(&reduced),
+            }
+            for (x, _) in reduced.iter_mut() {
+                *x >>= 1;
+            }
+        }
+        #[cfg(any(test, feature = "audit"))]
+        {
+            self.updates += batch.len() as u64;
+            if sqs_util::audit::audit_point(self.updates) {
+                sqs_util::audit::CheckInvariants::assert_invariants(self);
+            }
+        }
+    }
+
     /// Signed rank estimate (before clamping): the summed cell
     /// estimates over the prefix decomposition of `[0, x)`.
     pub fn rank_signed(&self, x: u64) -> i64 {
@@ -151,6 +200,101 @@ impl<S: FrequencySketch> DyadicQuantiles<S> {
             .into_iter()
             .map(|c| self.cell_estimate(c))
             .sum()
+    }
+
+    /// The per-level stores, bottom (singletons) first — serialization.
+    pub(crate) fn levels(&self) -> &[Level<S>] {
+        &self.levels
+    }
+
+    /// The signed live count (serialization; `live()` clamps).
+    pub(crate) fn live_signed(&self) -> i64 {
+        self.live
+    }
+
+    /// Rebuilds a structure from decoded parts. Shape errors (wrong
+    /// level count, a level scoped to the wrong reduced universe, or
+    /// an exact level below a sketch level) are reported as `Err`; the
+    /// caller follows up with a full invariant audit.
+    pub(crate) fn from_raw(
+        log_u: u32,
+        levels: Vec<Level<S>>,
+        live: i64,
+        name: &'static str,
+    ) -> Result<Self, &'static str> {
+        if log_u == 0 || log_u > 63 {
+            return Err("Dyadic: log_u must be in 1..=63");
+        }
+        let universe = DyadicUniverse::new(log_u);
+        if levels.len() != log_u as usize {
+            return Err("Dyadic: level count does not match log_u");
+        }
+        let mut prev_exact = false;
+        for (i, store) in levels.iter().enumerate() {
+            let (scope, exact) = match store {
+                Level::Exact(e) => (e.universe(), true),
+                Level::Sketch(s) => (s.universe(), false),
+            };
+            if scope != universe.cells_at_level(i as u32) {
+                return Err("Dyadic: level scoped to wrong reduced universe");
+            }
+            if prev_exact && !exact {
+                return Err("Dyadic: sketch level above an exact level");
+            }
+            prev_exact = exact;
+        }
+        Ok(Self {
+            universe,
+            levels,
+            live,
+            name,
+            #[cfg(any(test, feature = "audit"))]
+            updates: 0,
+        })
+    }
+}
+
+impl<S: MergeableSketch> DyadicQuantiles<S> {
+    /// Whether `other` was built from the same universe and per-level
+    /// hash draws, so [`merge_from`](Self::merge_from) is exact.
+    pub fn merge_compatible(&self, other: &Self) -> bool {
+        self.universe == other.universe
+            && self.levels.len() == other.levels.len()
+            && self
+                .levels
+                .iter()
+                .zip(&other.levels)
+                .all(|(a, b)| match (a, b) {
+                    (Level::Exact(x), Level::Exact(y)) => x.merge_compatible(y),
+                    (Level::Sketch(x), Level::Sketch(y)) => x.merge_compatible(y),
+                    _ => false,
+                })
+    }
+
+    /// Adds `other`'s state into `self`, level by level. Because every
+    /// level store is a linear sketch, the merged structure is
+    /// state-identical to one that saw both update streams.
+    ///
+    /// # Panics
+    /// Panics if the structures are not
+    /// [`merge_compatible`](Self::merge_compatible).
+    pub fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.merge_compatible(other),
+            "Dyadic invariant: merge requires identical universe and hash draws"
+        );
+        self.live += other.live;
+        for (a, b) in self.levels.iter_mut().zip(&other.levels) {
+            match (a, b) {
+                (Level::Exact(x), Level::Exact(y)) => x.merge_from(y),
+                (Level::Sketch(x), Level::Sketch(y)) => x.merge_from(y),
+                _ => unreachable!("merge_compatible checked the level kinds"),
+            }
+        }
+        #[cfg(any(test, feature = "audit"))]
+        {
+            self.updates += other.updates;
+        }
     }
 }
 
@@ -266,6 +410,11 @@ impl<S: FrequencySketch> TurnstileQuantiles for DyadicQuantiles<S> {
 
     fn delete(&mut self, x: u64) {
         self.update(x, -1);
+    }
+
+    fn insert_batch(&mut self, xs: &[u64]) {
+        let batch: Vec<(u64, i64)> = xs.iter().map(|&x| (x, 1)).collect();
+        self.update_batch(&batch);
     }
 
     fn live(&self) -> u64 {
@@ -427,7 +576,6 @@ mod tests {
 
 #[cfg(test)]
 mod corruption {
-    use super::*;
     use crate::new_dgm;
     use crate::TurnstileQuantiles;
     use sqs_util::audit::CheckInvariants;

@@ -37,6 +37,7 @@ pub mod dyadic;
 pub mod exact;
 pub mod post;
 pub mod rss;
+pub mod summary;
 
 pub use dcm::{new_dcm, Dcm};
 pub use dcs::{new_dcs, Dcs};
@@ -45,6 +46,7 @@ pub use dyadic::DyadicQuantiles;
 pub use exact::ExactTurnstile;
 pub use post::{FrontierMode, PostProcessed, VarianceMode};
 pub use rss::{new_rss, Rss};
+pub use summary::TurnstileSummary;
 
 /// A turnstile quantile summary: insertions, deletions, rank and
 /// quantile queries over the *live* multiset.
@@ -56,6 +58,15 @@ pub trait TurnstileQuantiles: sqs_util::SpaceUsage {
     /// turnstile model's strictness condition; not checkable by the
     /// sketch, so not checked).
     fn delete(&mut self, x: u64);
+
+    /// Inserts one copy of each element. The default is an
+    /// [`insert`](Self::insert) loop; `DyadicQuantiles` overrides it
+    /// with the row-major batched update path (see `docs/PERF.md`).
+    fn insert_batch(&mut self, xs: &[u64]) {
+        for &x in xs {
+            self.insert(x);
+        }
+    }
 
     /// Number of live elements (insertions − deletions), tracked
     /// exactly.

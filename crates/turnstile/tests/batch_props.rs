@@ -1,0 +1,96 @@
+//! Property tests for the batched turnstile update path.
+//!
+//! `DyadicQuantiles::update_batch` (and the sketch `update_batch`
+//! overrides underneath it) promise to be **state-identical** to the
+//! element-wise scalar loop — counter for counter, hash draws
+//! untouched — so the batched path can never change a query answer.
+//! These tests enforce that contract for all three dyadic algorithms
+//! over random insert/delete batches, including batches that span the
+//! internal chunking boundary and leave ragged unroll tails.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sqs_turnstile::dyadic::DyadicQuantiles;
+use sqs_turnstile::rss::new_rss_with;
+use sqs_turnstile::{new_dcm, new_dcs, TurnstileQuantiles};
+
+const LOG_U: u32 = 20;
+
+/// Interleaves deletions of earlier items into an insert stream,
+/// keeping every prefix valid under the strict turnstile model (no
+/// multiplicity ever goes negative when applied left to right).
+fn mixed_batch(data: &[u64]) -> Vec<(u64, i64)> {
+    let mut batch = Vec::with_capacity(data.len() + data.len() / 3);
+    for (i, &x) in data.iter().enumerate() {
+        batch.push((x, 1));
+        if i % 3 == 2 {
+            // i/2 < i and strictly increases between hits, so each
+            // deletion targets a distinct, already-inserted item.
+            batch.push((data[i / 2], -1));
+        }
+    }
+    batch
+}
+
+fn assert_batch_identical<S>(mut scalar: DyadicQuantiles<S>, batch: &[(u64, i64)])
+where
+    S: sqs_sketch::FrequencySketch + Clone + PartialEq + std::fmt::Debug,
+{
+    let mut batched = scalar.clone();
+    for &(x, d) in batch {
+        // `mixed_batch` only emits unit deltas; the scalar reference
+        // path is the public insert/delete API.
+        if d > 0 {
+            scalar.insert(x);
+        } else {
+            scalar.delete(x);
+        }
+    }
+    batched.update_batch(batch);
+    assert_eq!(
+        scalar, batched,
+        "update_batch diverged from the scalar update loop"
+    );
+}
+
+proptest! {
+    #[test]
+    fn dcm_batch_is_state_identical(
+        data in vec(0u64..(1 << LOG_U), 1..2_500),
+        seed in 0u64..1_000,
+    ) {
+        assert_batch_identical(new_dcm(0.05, LOG_U, seed), &mixed_batch(&data));
+    }
+
+    #[test]
+    fn dcs_batch_is_state_identical(
+        data in vec(0u64..(1 << LOG_U), 1..2_500),
+        seed in 0u64..1_000,
+    ) {
+        assert_batch_identical(new_dcs(0.05, LOG_U, seed), &mixed_batch(&data));
+    }
+
+    #[test]
+    fn rss_batch_is_state_identical(
+        data in vec(0u64..(1 << LOG_U), 1..2_500),
+        seed in 0u64..1_000,
+    ) {
+        assert_batch_identical(new_rss_with(64, LOG_U, seed), &mixed_batch(&data));
+    }
+}
+
+/// A batch exactly at, one under, and one over the internal chunk
+/// size, plus ragged 8-wide unroll tails — the deterministic edges the
+/// random sizes above may miss.
+#[test]
+fn chunk_boundary_sizes_are_identical() {
+    for n in [1usize, 7, 8, 9, 255, 256, 1023, 1024, 1025, 2048, 2049] {
+        let data: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - LOG_U))
+            .collect();
+        let batch = mixed_batch(&data);
+        assert_batch_identical(new_dcm(0.05, LOG_U, n as u64), &batch);
+        assert_batch_identical(new_dcs(0.05, LOG_U, n as u64), &batch);
+        assert_batch_identical(new_rss_with(64, LOG_U, n as u64), &batch);
+    }
+}

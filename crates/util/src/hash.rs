@@ -49,13 +49,65 @@ pub fn mul_mod(a: u64, b: u64) -> u64 {
     mod_mersenne((a as u128) * (b as u128))
 }
 
+/// Folds an arbitrary `u64` into the field `[0, p)`, bit-identical to
+/// `x % MERSENNE_P` but via the Mersenne limb identity
+/// `2^61 ≡ 1 (mod p)`: two shifts, an add and one conditional
+/// subtraction instead of the compiler's multiply-based division.
+#[inline]
+fn fold_p(x: u64) -> u64 {
+    // x = hi·2^61 + lo with hi < 8, so x ≡ hi + lo and the sum is
+    // ≤ p + 7 — a single conditional subtraction finishes the job.
+    let mut r = (x & MERSENNE_P) + (x >> 61);
+    if r >= MERSENNE_P {
+        r -= MERSENNE_P;
+    }
+    r
+}
+
+/// Folds an arbitrary key into the field `[0, p)`, bit-identical to
+/// `x % MERSENNE_P` — the shared prepass for the `*_folded_batch`
+/// kernels: a sketch folds a chunk's keys once and reuses them across
+/// all `d` of its rows instead of re-folding inside every row's hash.
+#[inline]
+#[must_use]
+pub fn fold_to_field(x: u64) -> u64 {
+    fold_p(x)
+}
+
+/// Partially reduces a `< 2^125` product: splits the `u128` into its
+/// 64-bit halves and merges the limbs with `2^64 ≡ 2^3 (mod p)`. The
+/// result is congruent mod p and fits a `u64` (not fully reduced) —
+/// the batch kernels keep values in this *lazy* range between Horner
+/// steps (a lazy value times a field element stays `< 2^125`) and only
+/// pay the final fold + subtraction once per key.
+#[inline]
+fn lazy_reduce(m: u128) -> u64 {
+    let lo = m as u64;
+    let hi = (m >> 64) as u64;
+    // `hi << 3` has zero low bits and `lo >> 61 < 8`, so OR is an add.
+    (lo & MERSENNE_P) + ((hi << 3) | (lo >> 61))
+}
+
+/// Maps a field element `v ∈ [0, p)` onto `[0, buckets)` by the
+/// multiply-shift range reduction `⌊v·buckets / 2^61⌋` (Lemire's
+/// fastrange). Compared to `v % buckets` this replaces a 64-bit
+/// division — the sketch hot loops pay the mapping `d·log u` times per
+/// update, and hardware dividers neither pipeline nor vectorize — with
+/// one widening multiply, while introducing the same ≤ `buckets/p`
+/// deviation from uniformity as the modulo mapping.
+#[inline]
+fn bucket_of(v: u64, buckets: u64) -> u64 {
+    (((v as u128) * (buckets as u128)) >> 61) as u64
+}
+
 /// A pairwise-independent hash function `[2^64] → [buckets]`.
 ///
-/// `h(x) = ((a·x + b) mod p) mod buckets` with `a` uniform in
+/// `h(x) = ⌊((a·x + b) mod p) · buckets / 2^61⌋` with `a` uniform in
 /// `[1, p)`, `b` uniform in `[0, p)`. Pairwise independence over the
-/// field is exact; the final `mod buckets` introduces the usual ≤
-/// `buckets/p` deviation, negligible for sketch widths ≪ 2^61.
-#[derive(Debug, Clone)]
+/// field is exact; the final multiply-shift range reduction (see
+/// [`bucket_of`]) introduces the usual ≤ `buckets/p` deviation,
+/// negligible for sketch widths ≪ 2^61.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PairwiseHash {
     a: u64,
     b: u64,
@@ -82,7 +134,106 @@ impl PairwiseHash {
     pub fn hash(&self, x: u64) -> u64 {
         let x = x % MERSENNE_P; // inputs ≥ p are folded into the field
         let v = mod_mersenne((self.a as u128) * (x as u128) + self.b as u128);
-        v % self.buckets
+        bucket_of(v, self.buckets)
+    }
+
+    /// Evaluates the function over a batch: `out[i] = hash(xs[i])`,
+    /// bit-identical to calling [`hash`](Self::hash) per key.
+    ///
+    /// Convenience wrapper: folds the keys into the field chunk-wise
+    /// and defers to [`hash_folded_batch`](Self::hash_folded_batch).
+    /// Hot paths that evaluate several rows over the same keys (the
+    /// sketches' `update_batch`) should fold once with
+    /// [`fold_to_field`] and call the folded kernel per row instead.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn hash_batch(&self, xs: &[u64], out: &mut [u64]) {
+        assert_eq!(xs.len(), out.len(), "hash_batch: slice length mismatch");
+        let mut xm = [0u64; 64];
+        for (xs_c, out_c) in xs.chunks(64).zip(out.chunks_mut(64)) {
+            let m = xs_c.len();
+            for (t, &x) in xm.iter_mut().zip(xs_c) {
+                *t = fold_p(x);
+            }
+            self.hash_folded_batch(&xm[..m], out_c);
+        }
+    }
+
+    /// [`hash_batch`](Self::hash_batch) over keys already folded into
+    /// `[0, p)` (see [`fold_to_field`]) — the row-major hot-path
+    /// kernel. The `(a, b)` coefficients stay in registers for the
+    /// whole batch, the per-key reduction is the two-limb
+    /// [`lazy_reduce`] (one widening multiply instead of the generic
+    /// three-limb chain), and the loop is unrolled 4-wide so the
+    /// independent multiply chains pipeline. Bit-identical to
+    /// [`hash`](Self::hash) on the unfolded keys.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length. Folding is only checked
+    /// by `debug_assert`: a non-folded key gives a well-defined but
+    /// *different* bucket than `hash`.
+    pub fn hash_folded_batch(&self, xs: &[u64], out: &mut [u64]) {
+        assert_eq!(xs.len(), out.len(), "hash_batch: slice length mismatch");
+        debug_assert!(
+            xs.iter().all(|&x| x < MERSENNE_P),
+            "hash_folded_batch: keys must be pre-folded into the field"
+        );
+        let (a, b, w) = (self.a as u128, self.b as u128, self.buckets);
+        let mut xs4 = xs.chunks_exact(4);
+        let mut out4 = out.chunks_exact_mut(4);
+        for (x, o) in (&mut xs4).zip(&mut out4) {
+            let v0 = fold_p(lazy_reduce(a * (x[0] as u128) + b));
+            let v1 = fold_p(lazy_reduce(a * (x[1] as u128) + b));
+            let v2 = fold_p(lazy_reduce(a * (x[2] as u128) + b));
+            let v3 = fold_p(lazy_reduce(a * (x[3] as u128) + b));
+            o[0] = bucket_of(v0, w);
+            o[1] = bucket_of(v1, w);
+            o[2] = bucket_of(v2, w);
+            o[3] = bucket_of(v3, w);
+        }
+        for (&x, o) in xs4.remainder().iter().zip(out4.into_remainder()) {
+            *o = bucket_of(fold_p(lazy_reduce(a * (x as u128) + b)), w);
+        }
+    }
+
+    /// Fused bucket walk over pre-folded keys: calls `f(k, bucket)`
+    /// for each key index `k`, computing buckets exactly as
+    /// [`hash_folded_batch`](Self::hash_folded_batch) does but handing
+    /// each one straight to the caller instead of round-tripping
+    /// through an index buffer — the Count-Min scatter inlines into
+    /// the unrolled hash loop and the chunk makes a single pass.
+    pub fn buckets_folded_for_each(&self, xs: &[u64], mut f: impl FnMut(usize, u64)) {
+        debug_assert!(
+            xs.iter().all(|&x| x < MERSENNE_P),
+            "buckets_folded_for_each: keys must be pre-folded into the field"
+        );
+        let (a, b, w) = (self.a as u128, self.b as u128, self.buckets);
+        let mut k = 0usize;
+        let mut xs8 = xs.chunks_exact(8);
+        for x in &mut xs8 {
+            let j0 = bucket_of(fold_p(lazy_reduce(a * (x[0] as u128) + b)), w);
+            let j1 = bucket_of(fold_p(lazy_reduce(a * (x[1] as u128) + b)), w);
+            let j2 = bucket_of(fold_p(lazy_reduce(a * (x[2] as u128) + b)), w);
+            let j3 = bucket_of(fold_p(lazy_reduce(a * (x[3] as u128) + b)), w);
+            let j4 = bucket_of(fold_p(lazy_reduce(a * (x[4] as u128) + b)), w);
+            let j5 = bucket_of(fold_p(lazy_reduce(a * (x[5] as u128) + b)), w);
+            let j6 = bucket_of(fold_p(lazy_reduce(a * (x[6] as u128) + b)), w);
+            let j7 = bucket_of(fold_p(lazy_reduce(a * (x[7] as u128) + b)), w);
+            f(k, j0);
+            f(k + 1, j1);
+            f(k + 2, j2);
+            f(k + 3, j3);
+            f(k + 4, j4);
+            f(k + 5, j5);
+            f(k + 6, j6);
+            f(k + 7, j7);
+            k += 8;
+        }
+        for &x in xs8.remainder() {
+            f(k, bucket_of(fold_p(lazy_reduce(a * (x as u128) + b)), w));
+            k += 1;
+        }
     }
 
     /// The number of buckets this function maps into.
@@ -90,11 +241,32 @@ impl PairwiseHash {
     pub fn buckets(&self) -> u64 {
         self.buckets
     }
+
+    /// The `(a, b)` polynomial coefficients (wire-codec support).
+    #[must_use]
+    pub fn params(&self) -> (u64, u64) {
+        (self.a, self.b)
+    }
+
+    /// Reconstructs a function from serialized parameters, validating
+    /// the family's ranges: `a ∈ [1, p)`, `b ∈ [0, p)`, `buckets > 0`.
+    pub fn from_params(a: u64, b: u64, buckets: u64) -> Result<Self, &'static str> {
+        if a == 0 || a >= MERSENNE_P {
+            return Err("PairwiseHash: coefficient a outside [1, p)");
+        }
+        if b >= MERSENNE_P {
+            return Err("PairwiseHash: coefficient b outside [0, p)");
+        }
+        if buckets == 0 {
+            return Err("PairwiseHash: zero buckets");
+        }
+        Ok(Self { a, b, buckets })
+    }
 }
 
 /// A 4-wise independent hash function `[2^64] → [0, p)` realized as a
 /// uniform degree-3 polynomial over GF(2^61 − 1).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FourwiseHash {
     /// Coefficients `c3 x^3 + c2 x^2 + c1 x + c0`, each in `[0, p)`.
     coeffs: [u64; 4],
@@ -134,6 +306,98 @@ impl FourwiseHash {
         } else {
             -1
         }
+    }
+
+    /// Evaluates the sign hash over a batch: `out[i] = sign(xs[i])`,
+    /// bit-identical to per-key [`sign`](Self::sign) calls.
+    ///
+    /// Convenience wrapper over
+    /// [`sign_folded_batch`](Self::sign_folded_batch); hot paths
+    /// sharing keys across rows should fold once with
+    /// [`fold_to_field`] and call the folded kernel directly.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn sign_batch(&self, xs: &[u64], out: &mut [i64]) {
+        assert_eq!(xs.len(), out.len(), "sign_batch: slice length mismatch");
+        let mut xm = [0u64; 64];
+        for (xs_c, out_c) in xs.chunks(64).zip(out.chunks_mut(64)) {
+            let m = xs_c.len();
+            for (t, &x) in xm.iter_mut().zip(xs_c) {
+                *t = fold_p(x);
+            }
+            self.sign_folded_batch(&xm[..m], out_c);
+        }
+    }
+
+    /// [`sign_batch`](Self::sign_batch) over keys already folded into
+    /// `[0, p)` — the Count-Sketch hot-path kernel.
+    ///
+    /// The four polynomial coefficients stay in registers for the
+    /// whole batch and the Horner chain uses *lazy* reduction: each of
+    /// the three multiply steps only merges the product's two 64-bit
+    /// limbs ([`lazy_reduce`] — congruent mod p, not fully reduced;
+    /// the accumulator grows by at most `2^61` per step, staying well
+    /// inside `u64`), and a key pays the exact fold just once at the
+    /// end, where the parity bit needs the canonical value. Unrolled
+    /// 8-wide: a key's three-step chain is latency-bound (~7 cycles a
+    /// step), so eight independent chains are needed to keep the
+    /// multiplier port busy.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length. Folding is only checked
+    /// by `debug_assert`.
+    pub fn sign_folded_batch(&self, xs: &[u64], out: &mut [i64]) {
+        assert_eq!(xs.len(), out.len(), "sign_batch: slice length mismatch");
+        debug_assert!(
+            xs.iter().all(|&x| x < MERSENNE_P),
+            "sign_folded_batch: keys must be pre-folded into the field"
+        );
+        let [c0, c1, c2, c3] = self.coeffs;
+        let (c0, c1, c2, c3) = (c0 as u128, c1 as u128, c2 as u128, c3 as u128);
+        #[inline]
+        fn horner(x: u64, c3: u128, c2: u128, c1: u128, c0: u128) -> i64 {
+            let x = x as u128;
+            let acc = lazy_reduce(c3 * x + c2);
+            let acc = lazy_reduce((acc as u128) * x + c1);
+            let acc = lazy_reduce((acc as u128) * x + c0);
+            if fold_p(acc) & 1 == 1 {
+                1
+            } else {
+                -1
+            }
+        }
+        let mut xs8 = xs.chunks_exact(8);
+        let mut out8 = out.chunks_exact_mut(8);
+        for (x, o) in (&mut xs8).zip(&mut out8) {
+            o[0] = horner(x[0], c3, c2, c1, c0);
+            o[1] = horner(x[1], c3, c2, c1, c0);
+            o[2] = horner(x[2], c3, c2, c1, c0);
+            o[3] = horner(x[3], c3, c2, c1, c0);
+            o[4] = horner(x[4], c3, c2, c1, c0);
+            o[5] = horner(x[5], c3, c2, c1, c0);
+            o[6] = horner(x[6], c3, c2, c1, c0);
+            o[7] = horner(x[7], c3, c2, c1, c0);
+        }
+        for (&x, o) in xs8.remainder().iter().zip(out8.into_remainder()) {
+            *o = horner(x, c3, c2, c1, c0);
+        }
+    }
+
+    /// The polynomial coefficients `[c0, c1, c2, c3]` (wire-codec
+    /// support).
+    #[must_use]
+    pub fn coeffs(&self) -> [u64; 4] {
+        self.coeffs
+    }
+
+    /// Reconstructs a function from serialized coefficients, validating
+    /// that each lies in the field `[0, p)`.
+    pub fn from_coeffs(coeffs: [u64; 4]) -> Result<Self, &'static str> {
+        if coeffs.iter().any(|&c| c >= MERSENNE_P) {
+            return Err("FourwiseHash: coefficient outside [0, p)");
+        }
+        Ok(Self { coeffs })
     }
 }
 
@@ -241,6 +505,60 @@ mod tests {
         for x in 0..1000u64 {
             assert!(g.hash(x) < MERSENNE_P);
             assert!(g.sign(x) == 1 || g.sign(x) == -1);
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        // The batched evaluators must be bit-identical to per-key
+        // calls — the sketches' state-identity guarantee rests on it.
+        let mut rng = Xoshiro256pp::new(8);
+        let h = PairwiseHash::new(&mut rng, 977);
+        let g = FourwiseHash::new(&mut rng);
+        // 1003 keys: exercises the 4-wide unroll and the remainder tail.
+        let xs: Vec<u64> = (0..1003u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let mut jb = vec![0u64; xs.len()];
+        let mut sb = vec![0i64; xs.len()];
+        h.hash_batch(&xs, &mut jb);
+        g.sign_batch(&xs, &mut sb);
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(jb[i], h.hash(x), "bucket mismatch at i={i}");
+            assert_eq!(sb[i], g.sign(x), "sign mismatch at i={i}");
+        }
+    }
+
+    #[test]
+    fn params_roundtrip_and_validation() {
+        let mut rng = Xoshiro256pp::new(9);
+        let h = PairwiseHash::new(&mut rng, 128);
+        let (a, b) = h.params();
+        let h2 = PairwiseHash::from_params(a, b, h.buckets()).unwrap();
+        assert_eq!(h, h2);
+        assert!(PairwiseHash::from_params(0, b, 128).is_err());
+        assert!(PairwiseHash::from_params(MERSENNE_P, b, 128).is_err());
+        assert!(PairwiseHash::from_params(a, MERSENNE_P, 128).is_err());
+        assert!(PairwiseHash::from_params(a, b, 0).is_err());
+
+        let g = FourwiseHash::new(&mut rng);
+        let g2 = FourwiseHash::from_coeffs(g.coeffs()).unwrap();
+        assert_eq!(g, g2);
+        assert!(FourwiseHash::from_coeffs([0, 0, 0, MERSENNE_P]).is_err());
+    }
+
+    #[test]
+    fn bucket_mapping_stays_in_range_and_spreads() {
+        // The multiply-shift range reduction must cover every bucket
+        // roughly uniformly (it partitions [0, p) into equal spans).
+        let mut rng = Xoshiro256pp::new(12);
+        let h = PairwiseHash::new(&mut rng, 7);
+        let mut counts = [0usize; 7];
+        for x in 0..70_000u64 {
+            counts[h.hash(x) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((7_000..13_000).contains(&c), "bucket {i} got {c}");
         }
     }
 

@@ -31,4 +31,13 @@ echo "== loadgen sanity (2s, throwaway output) =="
 cargo run --release -q -p sqs-harness --bin sqs-loadgen -- --secs 2 \
     --out "$(mktemp -d)/service_sanity.json" >/dev/null
 
+# Perf-regression gate for the batched turnstile hot path: re-runs
+# `sqs-exp turnstile-perf --quick` (release, ~3s) and compares against
+# the checked-in results/turnstile_perf_baseline.json. The 20% default
+# tolerance plus machine-independent speedup floors keep this stable
+# on shared hardware; widen with BENCH_CHECK_TOLERANCE=0.35 on noisy
+# boxes (see docs/PERF.md).
+echo "== cargo xtask bench-check (turnstile perf gate) =="
+cargo xtask bench-check
+
 echo "== all checks passed =="

@@ -101,6 +101,7 @@ pub mod prelude {
     pub use sqs_engine::{EngineStats, IngestHandle, ShardedEngine};
     pub use sqs_turnstile::{
         new_dcm, new_dcs, new_rss, Dcm, Dcs, PostProcessed, Rss, TurnstileQuantiles,
+        TurnstileSummary,
     };
     pub use sqs_util::exact::ExactQuantiles;
     pub use sqs_util::{CheckInvariants, InvariantViolation, SpaceUsage};

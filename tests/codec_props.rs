@@ -170,3 +170,21 @@ fn wrong_kind_is_rejected_not_misparsed() {
         "q-digest frame must not decode as a reservoir"
     );
 }
+
+#[test]
+fn roundtrip_at_buffer_fill_boundary() {
+    // Regression: encoding exactly when the Random sketch's bottom
+    // buffer is full used to hit the sampler hand-off mid-frame.
+    let mut s = RandomSketch::<u64>::new(0.05, 42);
+    let sz = s.buffer_size();
+    for x in 0..sz as u64 {
+        s.insert(x);
+    }
+    let frame = s.to_bytes();
+    let decoded = RandomSketch::<u64>::from_bytes(&frame);
+    assert!(
+        decoded.is_ok(),
+        "boundary round-trip failed: {:?}",
+        decoded.err()
+    );
+}

@@ -136,6 +136,61 @@ fn snapshot_merges_into_second_server_rank_identical() {
 }
 
 #[test]
+fn dcs_backend_end_to_end_over_the_socket() {
+    use streaming_quantiles::sqs_core::codec::WireCodec;
+    use streaming_quantiles::sqs_sketch::CountSketch;
+
+    const LOG_U: u32 = 20;
+    // One seed per tenant shared by every shard: the DCS is a linear
+    // sketch, so same-draw shards merge counter-wise and snapshots are
+    // state-identical to a single directly-fed structure.
+    let mut cfg = ServerConfig::default();
+    cfg.value_bound = Some(1u64 << LOG_U);
+    let server = spawn(cfg, move |tenant, _shard| {
+        TurnstileSummary::dcs(EPS, LOG_U, 0xDC5 ^ tenant)
+    })
+    .expect("ephemeral loopback bind");
+    let tenant = 3u64;
+
+    let mut client = connect(server.addr());
+    let data = stream(tenant, 5)
+        .into_iter()
+        .map(|x| x % (1 << LOG_U))
+        .collect::<Vec<_>>();
+    for chunk in data.chunks(BATCH) {
+        client.insert_batch(tenant, chunk).expect("insert batch");
+    }
+
+    // Out-of-universe inserts get an error reply, not a worker panic.
+    let err = client
+        .insert_batch(tenant, &[1u64 << LOG_U])
+        .expect_err("out-of-universe value must be refused");
+    assert!(matches!(err, ClientError::Server(_)), "got {err:?}");
+
+    // Accuracy over the socket against the exact oracle.
+    let oracle = ExactQuantiles::new(data.clone());
+    let phis = probe_phis(EPS);
+    let answers = client.query_quantiles(tenant, &phis).expect("sweep");
+    for (phi, ans) in phis.iter().zip(answers) {
+        let ans = ans.expect("tenant stream is non-empty");
+        let err = oracle.quantile_error(*phi, ans);
+        assert!(err <= EPS, "phi {phi}: rank error {err} > eps {EPS}");
+    }
+
+    // The SNAPSHOT frame decodes into a TurnstileSummary that is
+    // state-identical to a single structure fed the whole stream.
+    let frame = client.snapshot(tenant).expect("snapshot frame");
+    let decoded =
+        TurnstileSummary::<CountSketch>::from_bytes(&frame).expect("snapshot frame decodes");
+    let mut direct = TurnstileSummary::dcs(EPS, LOG_U, 0xDC5 ^ tenant);
+    direct.insert_batch(&data);
+    assert_eq!(decoded, direct, "socket snapshot != directly-fed summary");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn server_replies_with_errors_not_panics() {
     let server = test_server(31);
     let mut client = connect(server.addr());

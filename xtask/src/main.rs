@@ -20,6 +20,13 @@
 //! `scripts/check.sh`. Steps run in order and the process exits
 //! non-zero on the first failure, printing the offending file/line for
 //! the source lints.
+//!
+//! `cargo xtask bench-check` is the companion perf gate: it re-runs
+//! the `turnstile-perf` experiment at CI scale (`--quick`, release
+//! build) and fails if any cell's throughput drops more than
+//! `BENCH_CHECK_TOLERANCE` (default 20%) below the checked-in
+//! `results/turnstile_perf_baseline.json`, or if the batched hot path
+//! loses its speedup over scalar (see docs/PERF.md).
 
 #![forbid(unsafe_code)]
 
@@ -89,6 +96,7 @@ const LINT_ALLOWLIST: &[&str] = &[
     "crates/sketch/src/countsketch.rs",
     "crates/sketch/src/crprecis.rs",
     "crates/sketch/src/exactlevel.rs",
+    "crates/sketch/src/subsetsum.rs",
     "crates/turnstile/src/dcm.rs",
     "crates/turnstile/src/dcs.rs",
     "crates/turnstile/src/dgm.rs",
@@ -110,8 +118,9 @@ fn main() -> ExitCode {
     let cmd = args.first().map(String::as_str).unwrap_or("check");
     match cmd {
         "check" => check(),
+        "bench-check" => bench_check(),
         other => {
-            eprintln!("unknown xtask `{other}`; available: check");
+            eprintln!("unknown xtask `{other}`; available: check, bench-check");
             ExitCode::FAILURE
         }
     }
@@ -140,6 +149,169 @@ fn check() -> ExitCode {
     }
     println!("xtask check: all gates passed");
     ExitCode::SUCCESS
+}
+
+/// Throughput floors the perf gate enforces: a fresh run may not fall
+/// more than `BENCH_CHECK_TOLERANCE` (default 0.20) below the recorded
+/// baseline cell-for-cell, the baseline itself must show a real
+/// batched-over-scalar speedup, and the fresh run must keep at least
+/// `FRESH_SPEEDUP_FLOOR` of it (slack for CI noise and cross-machine
+/// variance — the ratio is machine-independent, the absolute items/s
+/// are not). The floors reflect the measured ceiling of the
+/// bit-identical batched path (~2.0× DCM, ~1.6× DCS on the reference
+/// box; see docs/PERF.md for why the hash-bound kernels cannot go much
+/// further without changing the hash family or leaving safe Rust), set
+/// with enough headroom to catch a real regression rather than noise.
+const BASELINE_SPEEDUP_FLOOR: f64 = 1.4;
+const FRESH_SPEEDUP_FLOOR: f64 = 1.2;
+const GATED_ALGOS: &[&str] = &["DCM", "DCS"];
+
+fn bench_check() -> ExitCode {
+    let root = workspace_root();
+    match run_bench_check(&root) {
+        Ok(()) => {
+            println!("xtask bench-check: ok");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            println!("xtask bench-check: FAILED");
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_bench_check(root: &Path) -> Result<(), String> {
+    let baseline_path = root.join("results").join("turnstile_perf_baseline.json");
+    let baseline = read(&baseline_path).map_err(|e| {
+        format!(
+            "{e}\nno recorded baseline — run `cargo run --release -p sqs-harness \
+             --bin sqs-exp -- turnstile-perf` once and commit the JSON"
+        )
+    })?;
+    let base_cells = parse_cells(&baseline);
+    if base_cells.is_empty() {
+        return Err(format!(
+            "{}: no cells parsed — regenerate the baseline",
+            baseline_path.display()
+        ));
+    }
+    // The committed baseline must itself prove the batched win.
+    for (algo, speedup) in parse_speedups(&baseline) {
+        if GATED_ALGOS.contains(&algo.as_str()) && speedup < BASELINE_SPEEDUP_FLOOR {
+            return Err(format!(
+                "baseline speedup for {algo} is {speedup:.2}x, below the {BASELINE_SPEEDUP_FLOOR}x \
+                 floor — fix the batched path, then re-baseline"
+            ));
+        }
+    }
+
+    // Fresh CI-scale measurement (release build, same cells).
+    let out_dir = root.join("target").join("bench-check");
+    let out_str = out_dir.display().to_string();
+    run_cargo(
+        root,
+        &[
+            "run",
+            "--release",
+            "--quiet",
+            "--offline",
+            "-p",
+            "sqs-harness",
+            "--bin",
+            "sqs-exp",
+            "--",
+            "turnstile-perf",
+            "--quick",
+            "--out",
+            &out_str,
+        ],
+    )?;
+    let fresh = read(&out_dir.join("turnstile_perf_baseline.json"))?;
+    let fresh_cells = parse_cells(&fresh);
+
+    let tolerance: f64 = std::env::var("BENCH_CHECK_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.20);
+    let mut problems = Vec::new();
+    for (algo, mode, base_ips) in &base_cells {
+        let Some((_, _, fresh_ips)) = fresh_cells.iter().find(|(a, m, _)| a == algo && m == mode)
+        else {
+            problems.push(format!("{algo}/{mode}: cell missing from the fresh run"));
+            continue;
+        };
+        let delta = 100.0 * (fresh_ips / base_ips - 1.0);
+        println!(
+            "xtask bench-check: {algo}/{mode}: {fresh_ips:.0} items/s \
+             (baseline {base_ips:.0}, {delta:+.1}%)"
+        );
+        if *fresh_ips < base_ips * (1.0 - tolerance) {
+            problems.push(format!(
+                "{algo}/{mode}: {fresh_ips:.0} items/s is more than {:.0}% below the \
+                 baseline {base_ips:.0} (set BENCH_CHECK_TOLERANCE to widen, or \
+                 re-baseline after an intentional change)",
+                tolerance * 100.0
+            ));
+        }
+    }
+    for (algo, speedup) in parse_speedups(&fresh) {
+        println!("xtask bench-check: {algo}: batched/scalar speedup {speedup:.2}x");
+        if GATED_ALGOS.contains(&algo.as_str()) && speedup < FRESH_SPEEDUP_FLOOR {
+            problems.push(format!(
+                "{algo}: fresh batched/scalar speedup {speedup:.2}x fell below the \
+                 {FRESH_SPEEDUP_FLOOR}x floor — the batched hot path regressed"
+            ));
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "throughput regressions:\n  {}",
+            problems.join("\n  ")
+        ))
+    }
+}
+
+/// Extracts `(algo, mode, items_per_s)` from the one-cell-per-line
+/// JSON the harness writes (hand-rolled on both ends — no serde in the
+/// offline workspace).
+fn parse_cells(json: &str) -> Vec<(String, String, f64)> {
+    json.lines()
+        .filter_map(|line| {
+            Some((
+                json_str_field(line, "algo")?,
+                json_str_field(line, "mode")?,
+                json_num_field(line, "items_per_s")?,
+            ))
+        })
+        .collect()
+}
+
+/// Extracts `(algo, speedup)` rows from the baseline JSON.
+fn parse_speedups(json: &str) -> Vec<(String, f64)> {
+    json.lines()
+        .filter_map(|line| {
+            Some((
+                json_str_field(line, "algo")?,
+                json_num_field(line, "speedup")?,
+            ))
+        })
+        .collect()
+}
+
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let rest = line.get(line.find(&tag)? + tag.len()..)?;
+    rest.get(..rest.find('"')?).map(str::to_string)
+}
+
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let rest = line.get(line.find(&tag)? + tag.len()..)?;
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest.get(..end)?.trim().parse().ok()
 }
 
 /// The workspace root: this binary lives in `<root>/xtask`.
