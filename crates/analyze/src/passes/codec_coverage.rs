@@ -1,0 +1,279 @@
+//! SQS-C01/SQS-C02 — wire-codec exhaustiveness.
+//!
+//! The wire format's kind byte is an open enum: `sqs_core::codec`
+//! declares one `KIND_*` constant per summary family, and each family
+//! implements `WireCodec` with `WIRE_KIND` set to its constant. A new
+//! kind constant that is never wired to an impl — or an impl without
+//! both `encode_body` and `decode_body` — is a frame the service can
+//! route but not serve; a codec type that never appears in the
+//! round-trip/corruption property tests is a codec whose compatibility
+//! is unproven. This pass closes the loop structurally: every declared
+//! kind must have an impl with both arms (`SQS-C01`), and every
+//! implementing type must be exercised by `tests/codec_props.rs`
+//! (`SQS-C02`).
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::passes::{trait_impls, Code, Pass};
+use crate::workspace::{AnalysisInput, FileRole};
+
+/// Rule ID: kind constant without a complete `WireCodec` impl.
+pub const RULE_KIND_UNWIRED: &str = "SQS-C01";
+/// Rule ID: codec type not exercised by the codec property tests.
+pub const RULE_KIND_UNTESTED: &str = "SQS-C02";
+
+/// The codec-exhaustiveness pass. See the module docs.
+pub struct CodecCoverage {
+    /// File declaring the `KIND_*` constants and the `WireCodec` trait.
+    pub codec_file: String,
+    /// The property-test file every codec type must appear in.
+    pub test_file: String,
+}
+
+impl Default for CodecCoverage {
+    fn default() -> Self {
+        Self {
+            codec_file: "crates/core/src/codec.rs".to_string(),
+            test_file: "tests/codec_props.rs".to_string(),
+        }
+    }
+}
+
+/// A `WireCodec` impl found in the tree.
+struct CodecImpl {
+    type_name: String,
+    wire_kind: Option<String>,
+    has_encode: bool,
+    has_decode: bool,
+    file: String,
+    line: u32,
+    col: u32,
+}
+
+impl Pass for CodecCoverage {
+    fn name(&self) -> &'static str {
+        "codec-coverage"
+    }
+
+    fn description(&self) -> &'static str {
+        "every wire kind constant has a WireCodec impl with both arms and a property test"
+    }
+
+    fn run(&self, input: &AnalysisInput, diags: &mut Vec<Diagnostic>) {
+        let Some(codec) = input.file(&self.codec_file) else {
+            diags.push(missing_file(RULE_KIND_UNWIRED, &self.codec_file));
+            return;
+        };
+
+        // 1. The declared kind constants: `pub const KIND_X: u8 = …`.
+        let code = Code::new(codec);
+        let mut kinds: Vec<(String, u32, u32)> = Vec::new();
+        for ci in 0..code.len() {
+            if code.text(ci) == "const"
+                && code.text(ci + 1).starts_with("KIND_")
+                && code.text(ci + 2) == ":"
+                && code.text(ci + 3) == "u8"
+            {
+                let t = code.tok(ci + 1);
+                kinds.push((
+                    code.text(ci + 1).to_string(),
+                    t.map_or(1, |t| t.line),
+                    t.map_or(1, |t| t.col),
+                ));
+            }
+        }
+
+        // 2. Every `WireCodec` impl anywhere in library code.
+        let mut impls: Vec<CodecImpl> = Vec::new();
+        for file in &input.files {
+            if file.role != FileRole::Library {
+                continue;
+            }
+            let code = Code::new(file);
+            for im in trait_impls(&code) {
+                if im.trait_name.as_deref() != Some("WireCodec") {
+                    continue;
+                }
+                let (open, close) = im.body;
+                let mut wire_kind = None;
+                let mut has_encode = false;
+                let mut has_decode = false;
+                for ci in open..=close {
+                    match code.text(ci) {
+                        "WIRE_KIND" if code.text(ci + 1) == ":" => {
+                            // `const WIRE_KIND: u8 = <path::>KIND_X;` —
+                            // take the last ident before the `;`.
+                            let mut j = ci + 2;
+                            let mut last = None;
+                            while j <= close && code.text(j) != ";" {
+                                if code.kind(j) == Some(TokenKind::Ident) {
+                                    last = Some(code.text(j).to_string());
+                                }
+                                j += 1;
+                            }
+                            wire_kind = last;
+                        }
+                        "fn" if code.text(ci + 1) == "encode_body" => has_encode = true,
+                        "fn" if code.text(ci + 1) == "decode_body" => has_decode = true,
+                        _ => {}
+                    }
+                }
+                impls.push(CodecImpl {
+                    type_name: im.type_name,
+                    wire_kind,
+                    has_encode,
+                    has_decode,
+                    file: file.rel_path.clone(),
+                    line: im.anchor.line,
+                    col: im.anchor.col,
+                });
+            }
+        }
+
+        // 3. Every kind constant must be wired to a complete impl …
+        for (kind, line, col) in &kinds {
+            let Some(im) = impls.iter().find(|i| i.wire_kind.as_deref() == Some(kind)) else {
+                diags.push(Diagnostic {
+                    rule: RULE_KIND_UNWIRED,
+                    file: codec.rel_path.clone(),
+                    line: *line,
+                    col: *col,
+                    message: format!(
+                        "`{kind}` has no `WireCodec` impl declaring `WIRE_KIND = {kind}` — \
+                         the service can route this kind but not decode it"
+                    ),
+                });
+                continue;
+            };
+            for (ok, arm) in [
+                (im.has_encode, "encode_body"),
+                (im.has_decode, "decode_body"),
+            ] {
+                if !ok {
+                    diags.push(Diagnostic {
+                        rule: RULE_KIND_UNWIRED,
+                        file: im.file.clone(),
+                        line: im.line,
+                        col: im.col,
+                        message: format!(
+                            "`WireCodec for {}` (kind `{kind}`) is missing `fn {arm}`",
+                            im.type_name
+                        ),
+                    });
+                }
+            }
+        }
+
+        // 4. … and its implementing type must hit the property tests.
+        let Some(tests) = input.file(&self.test_file) else {
+            diags.push(missing_file(RULE_KIND_UNTESTED, &self.test_file));
+            return;
+        };
+        let test_code = Code::new(tests);
+        for im in &impls {
+            let exercised = (0..test_code.len()).any(|ci| {
+                test_code.kind(ci) == Some(TokenKind::Ident) && test_code.text(ci) == im.type_name
+            });
+            if !exercised {
+                diags.push(Diagnostic {
+                    rule: RULE_KIND_UNTESTED,
+                    file: im.file.clone(),
+                    line: im.line,
+                    col: im.col,
+                    message: format!(
+                        "codec type `{}` never appears in {} — add a round-trip and a \
+                         corruption-rejection case",
+                        im.type_name, self.test_file
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// A diagnostic for a configured file that is absent from the input.
+fn missing_file(rule: &'static str, path: &str) -> Diagnostic {
+    Diagnostic {
+        rule,
+        file: path.to_string(),
+        line: 1,
+        col: 1,
+        message: "file configured for the codec-coverage pass is missing".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::SourceFile;
+
+    fn lib(path: &str, src: &str) -> SourceFile {
+        SourceFile::new(path, src.to_string(), FileRole::Library, "x", false, false)
+    }
+
+    fn test_file(path: &str, src: &str) -> SourceFile {
+        SourceFile::new(path, src.to_string(), FileRole::Test, "x", false, false)
+    }
+
+    fn pass() -> CodecCoverage {
+        CodecCoverage {
+            codec_file: "core/src/codec.rs".to_string(),
+            test_file: "tests/props.rs".to_string(),
+        }
+    }
+
+    const CODEC: &str = "pub const KIND_A: u8 = 1;\npub const KIND_B: u8 = 2;\n";
+
+    #[test]
+    fn unwired_kind_and_untested_type_fire() {
+        let input = AnalysisInput::from_files(vec![
+            lib("core/src/codec.rs", CODEC),
+            lib(
+                "core/src/a.rs",
+                "impl WireCodec for Alpha { const WIRE_KIND: u8 = KIND_A; fn encode_body(&self) {} fn decode_body() {} }",
+            ),
+            test_file("tests/props.rs", "fn t() { roundtrip::<Beta>(); }"),
+        ]);
+        let mut diags = Vec::new();
+        pass().run(&input, &mut diags);
+        // KIND_B unwired; Alpha untested.
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == RULE_KIND_UNWIRED && d.message.contains("KIND_B")));
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == RULE_KIND_UNTESTED && d.message.contains("Alpha")));
+    }
+
+    #[test]
+    fn missing_arm_fires() {
+        let input = AnalysisInput::from_files(vec![
+            lib("core/src/codec.rs", "pub const KIND_A: u8 = 1;\n"),
+            lib(
+                "core/src/a.rs",
+                "impl WireCodec for Alpha { const WIRE_KIND: u8 = KIND_A; fn encode_body(&self) {} }",
+            ),
+            test_file("tests/props.rs", "fn t() { roundtrip::<Alpha>(); }"),
+        ]);
+        let mut diags = Vec::new();
+        pass().run(&input, &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("decode_body"));
+    }
+
+    #[test]
+    fn fully_wired_and_tested_is_clean() {
+        let input = AnalysisInput::from_files(vec![
+            lib("core/src/codec.rs", "pub const KIND_A: u8 = 1;\n"),
+            lib(
+                "core/src/a.rs",
+                "impl WireCodec for Alpha { const WIRE_KIND: u8 = KIND_A; fn encode_body(&self) {} fn decode_body() {} }",
+            ),
+            test_file("tests/props.rs", "fn t() { roundtrip::<Alpha>(); corrupt::<Alpha>(); }"),
+        ]);
+        let mut diags = Vec::new();
+        pass().run(&input, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,137 @@
+//! SQS-U01/SQS-U02 — the no-unsafe guarantee.
+//!
+//! Every crate root in the workspace — libraries, binaries, the shims,
+//! xtask, this crate — must carry `#![forbid(unsafe_code)]`, and no
+//! scanned file may contain the `unsafe` keyword at all (the attribute
+//! makes rustc reject it, but the token check also covers integration
+//! tests, which sit outside the crate root's attribute reach).
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::passes::{Code, Pass};
+
+use crate::workspace::AnalysisInput;
+
+/// Rule ID: crate root missing `#![forbid(unsafe_code)]`.
+pub const RULE_MISSING_FORBID: &str = "SQS-U01";
+/// Rule ID: `unsafe` keyword anywhere in a scanned file.
+pub const RULE_UNSAFE_TOKEN: &str = "SQS-U02";
+
+/// The forbid-unsafe pass. See the module docs.
+pub struct ForbidUnsafe;
+
+impl Pass for ForbidUnsafe {
+    fn name(&self) -> &'static str {
+        "forbid-unsafe"
+    }
+
+    fn description(&self) -> &'static str {
+        "every crate root forbids unsafe_code; no file contains the unsafe keyword"
+    }
+
+    fn run(&self, input: &AnalysisInput, diags: &mut Vec<Diagnostic>) {
+        for file in &input.files {
+            let code = Code::new(file);
+            if file.is_crate_root && !has_forbid_unsafe(&code) {
+                diags.push(Diagnostic {
+                    rule: RULE_MISSING_FORBID,
+                    file: file.rel_path.clone(),
+                    line: 1,
+                    col: 1,
+                    message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+                });
+            }
+            for ci in 0..code.len() {
+                if code.kind(ci) == Some(TokenKind::Ident) && code.text(ci) == "unsafe" {
+                    diags.push(code.diag(
+                        RULE_UNSAFE_TOKEN,
+                        ci,
+                        "`unsafe` is banned workspace-wide — find a safe formulation".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Whether the file contains an inner `#![forbid(… unsafe_code …)]`
+/// attribute.
+fn has_forbid_unsafe(code: &Code<'_>) -> bool {
+    for ci in 0..code.len() {
+        if code.text(ci) != "forbid" || code.text(ci + 1) != "(" {
+            continue;
+        }
+        // Must be the attribute form `#![forbid(`.
+        let is_attr = ci >= 3
+            && code.text(ci - 1) == "["
+            && code.text(ci - 2) == "!"
+            && code.text(ci - 3) == "#";
+        if !is_attr {
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut j = ci + 1;
+        while j < code.len() {
+            match code.text(j) {
+                "(" => depth += 1,
+                ")" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "unsafe_code" => return true,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::{FileRole, SourceFile};
+
+    fn run_on(src: &str, is_crate_root: bool) -> Vec<Diagnostic> {
+        let f = SourceFile::new(
+            "x/src/lib.rs",
+            src.to_string(),
+            FileRole::Library,
+            "x",
+            false,
+            is_crate_root,
+        );
+        let input = AnalysisInput::from_files(vec![f]);
+        let mut diags = Vec::new();
+        ForbidUnsafe.run(&input, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn missing_attribute_on_crate_root_fires() {
+        let diags = run_on("//! docs\npub fn f() {}\n", true);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RULE_MISSING_FORBID);
+    }
+
+    #[test]
+    fn attribute_satisfies_the_rule_and_non_roots_are_exempt() {
+        assert!(run_on("#![forbid(unsafe_code)]\npub fn f() {}\n", true).is_empty());
+        assert!(run_on("pub fn f() {}\n", false).is_empty());
+    }
+
+    #[test]
+    fn combined_forbid_list_counts() {
+        assert!(run_on("#![forbid(unsafe_code, missing_docs)]\n", true).is_empty());
+    }
+
+    #[test]
+    fn unsafe_token_fires_even_in_tests_but_not_in_strings() {
+        let src = "#![forbid(unsafe_code)]\nconst DOC: &str = \"unsafe\";\n#[cfg(test)]\nmod t { fn f() { let _x = unsafe { 1 }; } }\n";
+        let diags = run_on(src, true);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, RULE_UNSAFE_TOKEN);
+    }
+}

@@ -1,0 +1,178 @@
+//! SQS-I01/SQS-I02 — invariant-audit coverage for mergeable summaries.
+//!
+//! Anything that can be merged can be *corrupted by a merge*, so the
+//! repo's rule is: every `MergeableSummary` impl must also implement
+//! `CheckInvariants` (`SQS-I01`) — the trait bound is deliberately not
+//! baked into `MergeableSummary` itself, so this pass is the thing
+//! that proves the pairing — and every mergeable type must be
+//! exercised by the structural audit suite `tests/invariant_audit.rs`
+//! (`SQS-I02`), which drives ingest/merge cycles and asserts the
+//! invariants after each step.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::passes::{trait_impls, Code, Pass, TraitImpl};
+use crate::workspace::{AnalysisInput, FileRole};
+
+/// Rule ID: `MergeableSummary` impl without a `CheckInvariants` impl.
+pub const RULE_UNAUDITABLE_MERGE: &str = "SQS-I01";
+/// Rule ID: mergeable type not exercised by the invariant audit suite.
+pub const RULE_UNAUDITED_MERGE: &str = "SQS-I02";
+
+/// The invariant-coverage pass. See the module docs.
+pub struct InvariantCoverage {
+    /// The audit-test file every mergeable type must appear in.
+    pub audit_test_file: String,
+}
+
+impl Default for InvariantCoverage {
+    fn default() -> Self {
+        Self {
+            audit_test_file: "tests/invariant_audit.rs".to_string(),
+        }
+    }
+}
+
+impl Pass for InvariantCoverage {
+    fn name(&self) -> &'static str {
+        "invariant-coverage"
+    }
+
+    fn description(&self) -> &'static str {
+        "every MergeableSummary impl has a CheckInvariants impl and an audit-suite test"
+    }
+
+    fn run(&self, input: &AnalysisInput, diags: &mut Vec<Diagnostic>) {
+        // Gather (file, impl) pairs for both traits across the tree.
+        let mut mergeable: Vec<(String, TraitImpl)> = Vec::new();
+        let mut checked: Vec<String> = Vec::new();
+        for file in &input.files {
+            if file.role != FileRole::Library {
+                continue;
+            }
+            let code = Code::new(file);
+            for im in trait_impls(&code) {
+                match im.trait_name.as_deref() {
+                    Some("MergeableSummary") => mergeable.push((file.rel_path.clone(), im)),
+                    Some("CheckInvariants") => checked.push(im.type_name),
+                    _ => {}
+                }
+            }
+        }
+
+        let audit = input.file(&self.audit_test_file);
+        if audit.is_none() {
+            diags.push(Diagnostic {
+                rule: RULE_UNAUDITED_MERGE,
+                file: self.audit_test_file.clone(),
+                line: 1,
+                col: 1,
+                message: "audit-test file configured for the invariant-coverage pass is missing"
+                    .to_string(),
+            });
+        }
+
+        for (file, im) in &mergeable {
+            if !checked.iter().any(|t| t == &im.type_name) {
+                diags.push(Diagnostic {
+                    rule: RULE_UNAUDITABLE_MERGE,
+                    file: file.clone(),
+                    line: im.anchor.line,
+                    col: im.anchor.col,
+                    message: format!(
+                        "`{}` implements MergeableSummary but not CheckInvariants — a \
+                         merge bug in it is structurally undetectable",
+                        im.type_name
+                    ),
+                });
+            }
+            if let Some(audit) = audit {
+                let code = Code::new(audit);
+                let exercised = (0..code.len()).any(|ci| {
+                    code.kind(ci) == Some(TokenKind::Ident) && code.text(ci) == im.type_name
+                });
+                if !exercised {
+                    diags.push(Diagnostic {
+                        rule: RULE_UNAUDITED_MERGE,
+                        file: file.clone(),
+                        line: im.anchor.line,
+                        col: im.anchor.col,
+                        message: format!(
+                            "mergeable type `{}` never appears in {} — drive it through \
+                             the ingest/merge audit",
+                            im.type_name, self.audit_test_file
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::SourceFile;
+
+    fn lib(path: &str, src: &str) -> SourceFile {
+        SourceFile::new(path, src.to_string(), FileRole::Library, "x", false, false)
+    }
+
+    fn run_with(files: Vec<SourceFile>) -> Vec<Diagnostic> {
+        let pass = InvariantCoverage {
+            audit_test_file: "tests/audit.rs".to_string(),
+        };
+        let input = AnalysisInput::from_files(files);
+        let mut diags = Vec::new();
+        pass.run(&input, &mut diags);
+        diags
+    }
+
+    fn audit_file(src: &str) -> SourceFile {
+        SourceFile::new(
+            "tests/audit.rs",
+            src.to_string(),
+            FileRole::Test,
+            "x",
+            false,
+            false,
+        )
+    }
+
+    #[test]
+    fn missing_check_invariants_and_missing_audit_fire() {
+        let diags = run_with(vec![
+            lib("src/a.rs", "impl MergeableSummary<u64> for Sketch { }"),
+            audit_file("fn t() { drive(Other::new()); }"),
+        ]);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().any(|d| d.rule == RULE_UNAUDITABLE_MERGE));
+        assert!(diags.iter().any(|d| d.rule == RULE_UNAUDITED_MERGE));
+    }
+
+    #[test]
+    fn paired_and_audited_is_clean() {
+        let diags = run_with(vec![
+            lib(
+                "src/a.rs",
+                "impl MergeableSummary<u64> for Sketch { }\nimpl CheckInvariants for Sketch { }",
+            ),
+            audit_file("fn t() { drive(Sketch::new()); }"),
+        ]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn generic_bounds_are_not_impls() {
+        // `S: MergeableSummary<T>` in a generic parameter list must not
+        // count as an impl of the trait.
+        let diags = run_with(vec![
+            lib(
+                "src/engine.rs",
+                "impl<T, S: MergeableSummary<T>> Engine<T, S> { fn go(&self) {} }",
+            ),
+            audit_file("fn t() {}"),
+        ]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,174 @@
+//! SQS-P01/SQS-P02 — panic discipline in library code.
+//!
+//! `.unwrap()` is forbidden outright in non-test, first-party library
+//! code, and `.expect("…")` must name an invariant (the message has to
+//! contain the word `invariant`, mirroring the
+//! `sqs_util::audit::InvariantViolation` discipline: a panic is only
+//! acceptable when it reports a *broken structural invariant*, never
+//! an "I didn't feel like handling this" shortcut). The old grep
+//! version of this rule could not tell a call from the same characters
+//! inside a string, comment, or doc example, and exempted everything
+//! below the first `#[cfg(test)]` line; this pass works on real tokens
+//! and structural test regions.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::passes::{Code, Pass};
+use crate::workspace::{AnalysisInput, FileRole};
+
+/// Rule ID: `.unwrap()` in non-test library code.
+pub const RULE_UNWRAP: &str = "SQS-P01";
+/// Rule ID: `.expect(…)` whose message does not name an invariant.
+pub const RULE_EXPECT: &str = "SQS-P02";
+
+/// The panic-discipline pass. See the module docs.
+pub struct PanicDiscipline;
+
+impl Pass for PanicDiscipline {
+    fn name(&self) -> &'static str {
+        "panic-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "no .unwrap() in library code; .expect() messages must name an invariant"
+    }
+
+    fn run(&self, input: &AnalysisInput, diags: &mut Vec<Diagnostic>) {
+        for file in &input.files {
+            if file.role != FileRole::Library || file.is_shim {
+                continue;
+            }
+            let code = Code::new(file);
+            for ci in 0..code.len() {
+                if code.is_test(ci) || code.text(ci) != "." {
+                    continue;
+                }
+                let callee = code.text(ci + 1);
+                if code.kind(ci + 1) != Some(TokenKind::Ident) || code.text(ci + 2) != "(" {
+                    continue;
+                }
+                match callee {
+                    "unwrap" => diags.push(
+                        code.diag(
+                            RULE_UNWRAP,
+                            ci + 1,
+                            "`.unwrap()` in library code — propagate the error, or use \
+                         `.expect(\"… invariant: …\")` if this genuinely cannot fail"
+                                .to_string(),
+                        ),
+                    ),
+                    "expect" if !expect_message_names_invariant(&code, ci + 2) => diags.push(
+                        code.diag(
+                            RULE_EXPECT,
+                            ci + 1,
+                            "`.expect()` message must name the broken invariant \
+                             (contain the word \"invariant\"), e.g. \
+                             `expect(\"QDigest invariant: root covers universe\")`"
+                                .to_string(),
+                        ),
+                    ),
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Whether the argument list opening at code index `open` (the `(`)
+/// contains a string literal naming an invariant.
+fn expect_message_names_invariant(code: &Code<'_>, open: usize) -> bool {
+    let mut depth = 0usize;
+    let mut ci = open;
+    while ci < code.len() {
+        match code.text(ci) {
+            "(" => depth += 1,
+            ")" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return false;
+                }
+            }
+            _ => {
+                if code.kind(ci) == Some(TokenKind::StrLit) && code.text(ci).contains("invariant") {
+                    return true;
+                }
+            }
+        }
+        ci += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::SourceFile;
+
+    fn run_on(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new(
+            "x/src/a.rs",
+            src.to_string(),
+            FileRole::Library,
+            "x",
+            false,
+            false,
+        );
+        let input = AnalysisInput::from_files(vec![f]);
+        let mut diags = Vec::new();
+        PanicDiscipline.run(&input, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn unwrap_call_fires_but_string_and_comment_do_not() {
+        let src = r#"
+fn f(x: Option<u32>) -> u32 {
+    let msg = "docs say .unwrap() is fine"; // .unwrap() in a comment
+    let _ = msg;
+    x.unwrap()
+}
+"#;
+        let diags = run_on(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, RULE_UNWRAP);
+        assert_eq!(diags[0].line, 5);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        assert!(run_on("fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }").is_empty());
+    }
+
+    #[test]
+    fn expect_requires_invariant_wording() {
+        let bad = run_on(r#"fn f(x: Option<u32>) -> u32 { x.expect("should work") }"#);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, RULE_EXPECT);
+        let good =
+            run_on(r#"fn f(x: Option<u32>) -> u32 { x.expect("engine invariant: set in new()") }"#);
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn expect_message_via_format_is_scanned() {
+        let good = run_on(
+            r#"fn f(x: Option<u32>, i: usize) -> u32 { x.expect(&format!("shard {i} invariant: non-empty")) }"#,
+        );
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1).unwrap();
+        Some(1).expect("anything goes in tests");
+    }
+}
+"#;
+        assert!(run_on(src).is_empty());
+    }
+}

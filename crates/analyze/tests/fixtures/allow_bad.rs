@@ -1,0 +1,8 @@
+//! Allow-audit fixture: a justified but unlisted module-level pedantic
+//! allow, plus an unjustified item-level allow.
+
+#![allow(clippy::cast_possible_truncation)]
+// ^ audited: fixture module — deliberately absent from the allowlist.
+
+#[allow(clippy::too_many_lines)]
+pub fn unjustified() {}

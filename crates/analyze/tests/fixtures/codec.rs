@@ -1,0 +1,26 @@
+//! Codec fixture: `KIND_A` fully wired and tested, `KIND_B` missing
+//! its decode arm, `KIND_C` not wired to any impl at all.
+
+pub const KIND_A: u8 = 1;
+pub const KIND_B: u8 = 2;
+pub const KIND_C: u8 = 3;
+
+impl WireCodec for Alpha {
+    const WIRE_KIND: u8 = KIND_A;
+
+    fn encode_body(&mut self, out: &mut Vec<u8>) {
+        out.push(1);
+    }
+
+    fn decode_body(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Alpha)
+    }
+}
+
+impl WireCodec for Beta {
+    const WIRE_KIND: u8 = KIND_B;
+
+    fn encode_body(&mut self, out: &mut Vec<u8>) {
+        out.push(2);
+    }
+}

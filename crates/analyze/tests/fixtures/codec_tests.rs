@@ -1,0 +1,7 @@
+//! Codec property-test fixture: exercises `Alpha` only.
+
+#[test]
+fn alpha_roundtrips() {
+    let a = Alpha;
+    let _ = a;
+}

@@ -1,0 +1,7 @@
+//! Audit-suite fixture: drives `Covered` only.
+
+#[test]
+fn covered_is_driven() {
+    let c = Covered;
+    let _ = c;
+}

@@ -1,0 +1,27 @@
+//! Invariant-coverage fixture: `Covered` is audited, `Quiet` has the
+//! impl but no audit-suite test, `Naked` lacks `CheckInvariants`
+//! entirely.
+
+impl MergeableSummary<u64> for Covered {
+    fn merge_from(&mut self, other: Self) {}
+}
+
+impl CheckInvariants for Covered {
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        Ok(())
+    }
+}
+
+impl MergeableSummary<u64> for Quiet {
+    fn merge_from(&mut self, other: Self) {}
+}
+
+impl CheckInvariants for Quiet {
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        Ok(())
+    }
+}
+
+impl MergeableSummary<u64> for Naked {
+    fn merge_from(&mut self, other: Self) {}
+}

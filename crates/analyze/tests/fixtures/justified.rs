@@ -1,0 +1,15 @@
+//! Justification fixture: suppression, unused, malformed.
+
+pub fn suppressed(v: Option<u32>) -> u32 {
+    // analyze:allow(SQS-P01): fixture demonstrates suppression.
+    v.unwrap()
+}
+
+pub fn unused_justification() {
+    // analyze:allow(SQS-P02): nothing on this or the next line fires.
+}
+
+pub fn malformed(v: Option<u32>) -> u32 {
+    // analyze:allow(SQS-P01) reason lacks the leading colon
+    v.unwrap()
+}

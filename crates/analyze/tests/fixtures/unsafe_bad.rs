@@ -1,0 +1,6 @@
+//! Forbid-unsafe fixture: a crate root with no `#![forbid(unsafe_code)]`
+//! attribute and an unsafe block in a function body.
+
+pub fn peek(xs: &[u32]) -> u32 {
+    unsafe { *xs.as_ptr() }
+}

@@ -17,8 +17,15 @@
 //!
 //! Three layers keep the hot path cheap:
 //!
-//! 1. **Striped locks** — each shard is its own `Mutex<S>`; writers on
-//!    different shards never contend.
+//! 1. **Striped locks** — each shard is its own
+//!    [`OrderedMutex<S>`](sqs_util::sync::OrderedMutex); writers on
+//!    different shards never contend. The mutex is rank-badged with the
+//!    shard index, so debug builds panic the moment any path would
+//!    acquire shard locks out of ascending order — the runtime half of
+//!    the lock discipline `sqs-analyze` checks statically. A shard
+//!    whose holder panicked is *recovered*, not abandoned: the next
+//!    acquisition audits the summary's invariants, clears the poison,
+//!    and counts the event in [`EngineStats::lock_recoveries`].
 //! 2. **Bounded ingest buffers** — producers write through an
 //!    [`IngestHandle`], which batches `batch_capacity` elements in a
 //!    plain `Vec` and takes the shard lock once per batch, feeding the
@@ -37,11 +44,12 @@
 
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::PoisonError;
 use std::time::Instant;
 
 use sqs_core::MergeableSummary;
 use sqs_util::audit::{ensure, CheckInvariants, InvariantViolation};
+use sqs_util::sync::{next_domain, OrderedMutex, OrderedMutexGuard};
 
 /// Default ingest-buffer capacity (elements per [`IngestHandle`]
 /// between shard-lock acquisitions). 1024 amortizes the lock and the
@@ -65,6 +73,13 @@ pub struct EngineStats {
     /// Wall-clock nanoseconds spent building the most recent snapshot
     /// (clone + merge tree; 0 before the first snapshot).
     pub last_snapshot_nanos: u64,
+    /// Number of poisoned shard locks recovered so far: a producer
+    /// panicked while holding a shard, and a later acquisition audited
+    /// the summary's invariants, cleared the poison, and carried on.
+    /// Nonzero values mean some producer thread died mid-stream — the
+    /// engine survived, but whatever that producer still buffered is
+    /// gone.
+    pub lock_recoveries: u64,
 }
 
 /// A concurrent quantile-ingestion engine: `k` striped shards, each a
@@ -96,7 +111,7 @@ pub struct EngineStats {
 /// assert!((q as f64 - 20_000.0).abs() <= 0.05 * 40_000.0);
 /// ```
 pub struct ShardedEngine<T, S> {
-    shards: Vec<Mutex<S>>,
+    shards: Vec<OrderedMutex<S>>,
     router: AtomicUsize,
     batch_capacity: usize,
     items: AtomicU64,
@@ -104,10 +119,11 @@ pub struct ShardedEngine<T, S> {
     snapshots: AtomicU64,
     last_merge_depth: AtomicU64,
     last_snapshot_nanos: AtomicU64,
+    lock_recoveries: AtomicU64,
     _elem: PhantomData<fn(T)>,
 }
 
-impl<T: Ord + Copy, S: MergeableSummary<T>> ShardedEngine<T, S> {
+impl<T: Ord + Copy, S: MergeableSummary<T> + CheckInvariants> ShardedEngine<T, S> {
     /// Builds an engine with `shard_count` shards, constructing each
     /// shard's summary via `make(shard_index)` — the closure is where
     /// per-shard seeds diverge for randomized summaries.
@@ -121,8 +137,14 @@ impl<T: Ord + Copy, S: MergeableSummary<T>> ShardedEngine<T, S> {
     ) -> Self {
         assert!(shard_count > 0, "ShardedEngine needs at least one shard");
         assert!(batch_capacity > 0, "batch_capacity must be positive");
+        // One ordering domain per engine, shard index as rank: debug
+        // builds enforce "shard locks only in ascending order" at
+        // runtime, and locks of unrelated engines stay independent.
+        let domain = next_domain();
         Self {
-            shards: (0..shard_count).map(|i| Mutex::new(make(i))).collect(),
+            shards: (0..shard_count)
+                .map(|i| OrderedMutex::new(domain, i, make(i)))
+                .collect(),
             router: AtomicUsize::new(0),
             batch_capacity,
             items: AtomicU64::new(0),
@@ -130,6 +152,7 @@ impl<T: Ord + Copy, S: MergeableSummary<T>> ShardedEngine<T, S> {
             snapshots: AtomicU64::new(0),
             last_merge_depth: AtomicU64::new(0),
             last_snapshot_nanos: AtomicU64::new(0),
+            lock_recoveries: AtomicU64::new(0),
             _elem: PhantomData,
         }
     }
@@ -192,14 +215,28 @@ impl<T: Ord + Copy, S: MergeableSummary<T>> ShardedEngine<T, S> {
             last_merge_depth: u32::try_from(self.last_merge_depth.load(Ordering::Acquire))
                 .unwrap_or(u32::MAX),
             last_snapshot_nanos: self.last_snapshot_nanos.load(Ordering::Acquire),
+            lock_recoveries: self.lock_recoveries.load(Ordering::Acquire),
         }
     }
 
-    fn lock_shard(&self, shard: usize) -> MutexGuard<'_, S> {
-        self.shards
+    fn lock_shard(&self, shard: usize) -> OrderedMutexGuard<'_, S> {
+        let m = self
+            .shards
             .get(shard)
-            .and_then(|m| m.lock().ok())
-            .expect("Engine invariant: shard lock held without panic")
+            .expect("Engine invariant: shard index within shard count");
+        m.lock().unwrap_or_else(|poisoned| {
+            // A holder panicked mid-update — necessarily inside the
+            // summary's own insert/merge code, since the engine does
+            // nothing else under the guard. The summary is safe to keep
+            // only if its structural invariants survived the unwind;
+            // audit it (panicking loudly if not), then clear the poison
+            // so later acquisitions stop paying this path.
+            let guard = poisoned.into_inner();
+            guard.assert_invariants();
+            m.clear_poison();
+            self.lock_recoveries.fetch_add(1, Ordering::AcqRel);
+            guard
+        })
     }
 
     /// Flushes one producer batch into its shard (called by
@@ -255,7 +292,7 @@ impl<T: Ord + Copy, S: MergeableSummary<T>> ShardedEngine<T, S> {
     }
 }
 
-impl<T: Ord + Copy, S: MergeableSummary<T> + Clone> ShardedEngine<T, S> {
+impl<T: Ord + Copy, S: MergeableSummary<T> + CheckInvariants + Clone> ShardedEngine<T, S> {
     /// Folds the current shard summaries into one queryable summary.
     ///
     /// Each shard lock is held only long enough to clone that shard;
@@ -357,13 +394,13 @@ pub fn merge_tree<T: Ord + Copy, S: MergeableSummary<T>>(mut layer: Vec<S>) -> (
 /// Handles are cheap; create one per producer thread.
 ///
 /// [`insert_batch`]: sqs_core::QuantileSummary::insert_batch
-pub struct IngestHandle<'a, T: Ord + Copy, S: MergeableSummary<T>> {
+pub struct IngestHandle<'a, T: Ord + Copy, S: MergeableSummary<T> + CheckInvariants> {
     engine: &'a ShardedEngine<T, S>,
     shard: usize,
     buf: Vec<T>,
 }
 
-impl<T: Ord + Copy, S: MergeableSummary<T>> IngestHandle<'_, T, S> {
+impl<T: Ord + Copy, S: MergeableSummary<T> + CheckInvariants> IngestHandle<'_, T, S> {
     /// Buffers one element, flushing to the shard when the buffer
     /// fills.
     #[inline]
@@ -399,7 +436,7 @@ impl<T: Ord + Copy, S: MergeableSummary<T>> IngestHandle<'_, T, S> {
     }
 }
 
-impl<T: Ord + Copy, S: MergeableSummary<T>> Drop for IngestHandle<'_, T, S> {
+impl<T: Ord + Copy, S: MergeableSummary<T> + CheckInvariants> Drop for IngestHandle<'_, T, S> {
     fn drop(&mut self) {
         self.flush();
     }
@@ -433,14 +470,12 @@ where
             },
         )?;
         let mut shard_mass = 0u64;
-        for (i, m) in self.shards.iter().enumerate() {
-            let guard = m.lock().map_err(|_| {
-                InvariantViolation::new(
-                    "ShardedEngine",
-                    "engine.shard_lock",
-                    format!("shard {i} lock poisoned by a panicking writer"),
-                )
-            })?;
+        for m in &self.shards {
+            // Poison alone is not a violation — `lock_shard` recovers
+            // from it by design; what matters is whether the summary's
+            // own invariants survived the holder's panic, which the
+            // audit below reports directly.
+            let guard = m.lock().unwrap_or_else(PoisonError::into_inner);
             guard.check_invariants()?;
             shard_mass = shard_mass.saturating_add(guard.n());
         }
@@ -680,6 +715,51 @@ mod tests {
         assert_eq!(snap, direct, "sharded != direct");
         assert_eq!(e.n(), 8_000);
         e.assert_invariants();
+    }
+
+    #[test]
+    fn poisoned_shard_is_recovered_and_counted() {
+        let e = random_engine(2, 16);
+        let mut h = e.handle_for(0);
+        h.insert_slice(&(0..100u64).collect::<Vec<_>>());
+        h.flush();
+        // Kill a "producer" while it holds shard 0: the unwind poisons
+        // the shard mutex.
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = e.lock_shard(0);
+            panic!("producer dies while holding shard 0");
+        }));
+        assert!(died.is_err());
+        assert_eq!(e.stats().lock_recoveries, 0, "nothing recovered yet");
+        // The next acquisition audits the summary, clears the poison,
+        // and counts the recovery — then ingestion continues as if
+        // nothing happened.
+        h.insert_slice(&(100..200u64).collect::<Vec<_>>());
+        h.flush();
+        assert_eq!(e.stats().lock_recoveries, 1);
+        assert_eq!(e.n(), 200, "no mass lost to the recovery");
+        e.assert_invariants();
+        // Poison was cleared: the recovery path ran once, not per lock.
+        let _ = e.snapshot();
+        assert!(e.quantile(0.5).is_some());
+        assert_eq!(e.stats().lock_recoveries, 1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock order")]
+    fn out_of_order_shard_locks_panic_in_debug() {
+        let e = random_engine(2, 16);
+        let _hi = e.lock_shard(1);
+        let _lo = e.lock_shard(0); // descending: OrderedMutex trips
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn ascending_shard_locks_are_legal() {
+        let e = random_engine(3, 16);
+        let _a = e.lock_shard(0);
+        let _b = e.lock_shard(2); // ascending: the sanctioned exception
     }
 
     #[test]

@@ -149,6 +149,8 @@ fn sample_quantile(sorted: &[u64], q: f64) -> u64 {
         return 0;
     }
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    // ^ audited: q is clamped to [0, 1] first, so the product is a
+    // non-negative index within `sorted` (and `.min()` re-caps it).
     let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
     sorted.get(idx.min(sorted.len() - 1)).copied().unwrap_or(0)
 }
@@ -202,6 +204,8 @@ fn spawn_local(eps: f64, seed: u64) -> std::io::Result<ServerHandle<RandomSketch
 }
 
 #[allow(clippy::too_many_lines)]
+// ^ audited: linear CLI dispatch — parse, spawn, drive phases, report;
+// splitting it would just scatter the one-shot control flow.
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {

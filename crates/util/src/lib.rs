@@ -22,6 +22,10 @@
 //! * [`audit`] — the [`audit::CheckInvariants`] trait every summary
 //!   implements so its §2/§3 structural invariants are
 //!   machine-checkable (see `docs/ANALYSIS.md`).
+//! * [`sync`] — [`sync::OrderedMutex`], the rank-badged mutex whose
+//!   debug builds panic on out-of-order (or re-entrant) acquisition;
+//!   the runtime half of the lock discipline `sqs-analyze` checks
+//!   statically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +37,7 @@ pub mod hash;
 pub mod ordkey;
 pub mod rng;
 pub mod space;
+pub mod sync;
 
 pub use audit::{CheckInvariants, InvariantViolation};
 pub use space::SpaceUsage;

@@ -8,6 +8,17 @@ cd "$(dirname "$0")/.."
 echo "== cargo xtask check =="
 cargo xtask check
 
+# The analyze step already ran inside `xtask check`; running it alone
+# here keeps a zero-findings transcript line even when someone edits
+# the gate above, and the fixture suite proves every pass still
+# recognizes its violations (golden diagnostics + clean-tree
+# self-test).
+echo "== cargo xtask analyze =="
+cargo xtask analyze
+
+echo "== analyzer fixture tests (cargo test -p sqs-analyze) =="
+cargo test -q -p sqs-analyze
+
 echo "== cargo test -q =="
 cargo test -q
 

@@ -13,6 +13,7 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use streaming_quantiles::prelude::*;
 use streaming_quantiles::sqs_core::codec::WireCodec;
+use streaming_quantiles::sqs_sketch::CountSketch;
 use streaming_quantiles::sqs_util::exact::probe_phis;
 
 /// Ranks agree at every probe φ (and at a fixed grid for good measure).
@@ -103,6 +104,17 @@ fn filled_reservoir(eps: f64, seed: u64, data: &[u64]) -> ReservoirQuantiles<u64
     s
 }
 
+/// A DCS turnstile summary over a small universe: `eps = 0.2`,
+/// `log_u = 12` keeps the dense per-level counters to a few KB so the
+/// exhaustive truncation loop stays cheap.
+fn filled_dcs(seed: u64, data: &[u64]) -> TurnstileSummary<CountSketch> {
+    let mut s = TurnstileSummary::dcs(0.2, 12, seed);
+    for &x in data {
+        s.insert(x & ((1 << 12) - 1));
+    }
+    s
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -133,6 +145,15 @@ proptest! {
     }
 
     #[test]
+    fn turnstile_dcs_roundtrips_rank_identical(
+        data in vec(0u64..(1 << 12), 1..2_000),
+        suffix in vec(0u64..(1 << 12), 0..500),
+        seed in 0u64..1_000,
+    ) {
+        roundtrip_then_extend(filled_dcs(seed, &data), &suffix, 0.2);
+    }
+
+    #[test]
     fn random_sketch_rejects_corruption(data in vec(0u64..(1 << 24), 1..4_000)) {
         corruption_rejected(filled_random(0.05, 7, &data));
     }
@@ -146,6 +167,11 @@ proptest! {
     fn reservoir_rejects_corruption(data in vec(0u64..(1 << 24), 1..4_000)) {
         corruption_rejected(filled_reservoir(0.05, 7, &data));
     }
+
+    #[test]
+    fn turnstile_dcs_rejects_corruption(data in vec(0u64..(1 << 12), 1..1_000)) {
+        corruption_rejected(filled_dcs(7, &data));
+    }
 }
 
 #[test]
@@ -153,6 +179,7 @@ fn empty_summaries_roundtrip() {
     roundtrip_then_extend(RandomSketch::<u64>::new(0.05, 1), &[1, 2, 3], 0.05);
     roundtrip_then_extend(QDigest::new(0.05, 16), &[1, 2, 3], 0.05);
     roundtrip_then_extend(ReservoirQuantiles::<u64>::new(0.05, 1), &[1, 2, 3], 0.05);
+    roundtrip_then_extend(TurnstileSummary::dcs(0.2, 12, 1), &[1, 2, 3], 0.2);
 }
 
 #[test]

@@ -116,6 +116,26 @@ fn extension_summaries_hold_invariants_on_all_streams() {
     }
 }
 
+/// The turnstile adapter on the insert-only interface: the DCS / DCM
+/// structures behind [`TurnstileSummary`] ride the cash-register
+/// engine, so they must survive the same stream matrix as the native
+/// cash-register summaries.
+#[test]
+fn turnstile_summaries_hold_invariants_on_all_streams() {
+    for (name, data) in streams() {
+        drive(
+            TurnstileSummary::dcs(EPS, 20, 45),
+            &data,
+            &format!("TurnstileDCS/{name}"),
+        );
+        drive(
+            TurnstileSummary::dcm(EPS, 20, 46),
+            &data,
+            &format!("TurnstileDCM/{name}"),
+        );
+    }
+}
+
 /// The engine pass: every stream of the matrix, fed through a sharded
 /// engine round-robin across producers' handles; the engine's own
 /// invariants (shard structure + mass conservation) are audited at

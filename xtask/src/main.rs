@@ -1,25 +1,23 @@
-//! `cargo xtask check` — the workspace's offline static-analysis gate.
+//! `cargo xtask check` — the workspace's offline quality gate.
 //!
-//! Four steps, all hermetic (no network, no extra tooling beyond the
+//! Three steps, all hermetic (no network, no extra tooling beyond the
 //! pinned Rust toolchain):
 //!
 //! 1. `cargo fmt --all -- --check` — formatting drift fails the build.
-//! 2. `cargo clippy` over the first-party crates (shims excluded) with
-//!    the curated deny-list below; `clippy::cast_possible_truncation`
-//!    and `clippy::indexing_slicing` are denied globally and allowed
-//!    only in the modules on [`LINT_ALLOWLIST`], each of which carries
-//!    a module-level `#![allow]` with a justification comment.
-//! 3. A source lint asserting `#![forbid(unsafe_code)]` in every crate
-//!    root (including the shims and this crate).
-//! 4. A grep lint over non-test library code: `.unwrap()` is forbidden
-//!    outright, and `.expect("...")` must name an invariant
-//!    (`"<Algorithm> invariant: <state>"`), mirroring the
-//!    `InvariantViolation` discipline of `sqs-util::audit`.
+//! 2. `cargo clippy` over the first-party packages (derived from the
+//!    workspace manifest, shims excluded) with the curated deny-list
+//!    below.
+//! 3. `cargo xtask analyze` — the `sqs-analyze` static-analysis
+//!    engine: a token-level scan of the whole workspace enforcing
+//!    panic discipline, the no-unsafe guarantee, lock discipline in
+//!    the engine/service layers, the `#[allow]` audit, and the
+//!    codec/invariant coverage proofs. Rule catalog and justification
+//!    codes are documented in `docs/ANALYSIS.md`.
 //!
 //! Run it as `cargo xtask check` (alias in `.cargo/config.toml`) or
 //! `scripts/check.sh`. Steps run in order and the process exits
-//! non-zero on the first failure, printing the offending file/line for
-//! the source lints.
+//! non-zero on the first failure, printing `file:line:col: RULE:`
+//! diagnostics for analyzer findings.
 //!
 //! `cargo xtask bench-check` is the companion perf gate: it re-runs
 //! the `turnstile-perf` experiment at CI scale (`--quick`, release
@@ -32,24 +30,6 @@
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
-
-/// First-party packages the clippy gate covers. The `shims/*` crates
-/// are vendored stand-ins for third-party dev-dependencies (criterion,
-/// proptest) and are exempt from the pedantic deny-list, though not
-/// from `forbid(unsafe_code)`.
-const FIRST_PARTY: &[&str] = &[
-    "sqs-util",
-    "sqs-data",
-    "sqs-sketch",
-    "sqs-core",
-    "sqs-engine",
-    "sqs-service",
-    "sqs-turnstile",
-    "sqs-harness",
-    "sqs-bench",
-    "streaming-quantiles",
-    "xtask",
-];
 
 /// Lints denied on every first-party lib/bin target. `-D warnings`
 /// promotes the default warning set; the named lints are allow-by-
@@ -64,63 +44,15 @@ const DENY: &[&str] = &[
     "clippy::unimplemented",
 ];
 
-/// Modules permitted a `#![allow(clippy::cast_possible_truncation,
-/// clippy::indexing_slicing)]` attribute. Each entry is a conscious
-/// decision that the module's index arithmetic and narrowing casts are
-/// bounded by structural invariants (enforced dynamically by its
-/// `CheckInvariants` impl — see docs/ANALYSIS.md). Adding a module
-/// here requires editing this list *and* annotating the file, so the
-/// exemption shows up in review twice.
-const LINT_ALLOWLIST: &[&str] = &[
-    "crates/core/src/biased.rs",
-    "crates/core/src/buffers.rs",
-    "crates/core/src/gk/adaptive.rs",
-    "crates/core/src/gk/array.rs",
-    "crates/core/src/gk/mod.rs",
-    "crates/core/src/gk/theory.rs",
-    "crates/core/src/mrl98.rs",
-    "crates/core/src/mrl99.rs",
-    "crates/core/src/qdigest.rs",
-    "crates/core/src/random.rs",
-    "crates/core/src/sampled.rs",
-    "crates/core/src/sliding.rs",
-    "crates/data/src/lidar.rs",
-    "crates/data/src/mpcat.rs",
-    "crates/data/src/synthetic.rs",
-    "crates/data/src/turnstile.rs",
-    "crates/harness/src/experiments/claims.rs",
-    "crates/harness/src/experiments/fig4.rs",
-    "crates/harness/src/experiments/fig9.rs",
-    "crates/harness/src/plot.rs",
-    "crates/sketch/src/countmin.rs",
-    "crates/sketch/src/countsketch.rs",
-    "crates/sketch/src/crprecis.rs",
-    "crates/sketch/src/exactlevel.rs",
-    "crates/sketch/src/subsetsum.rs",
-    "crates/turnstile/src/dcm.rs",
-    "crates/turnstile/src/dcs.rs",
-    "crates/turnstile/src/dgm.rs",
-    "crates/turnstile/src/dyadic.rs",
-    "crates/turnstile/src/exact.rs",
-    "crates/turnstile/src/post.rs",
-    "crates/turnstile/src/rss.rs",
-    "crates/util/src/exact.rs",
-    "crates/util/src/hash.rs",
-    "crates/util/src/ordkey.rs",
-    "crates/util/src/rng.rs",
-];
-
-/// The attribute the allowlist governs (matched as a line prefix).
-const ALLOW_ATTR: &str = "#![allow(clippy::cast_possible_truncation";
-
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("check");
     match cmd {
         "check" => check(),
+        "analyze" => analyze(),
         "bench-check" => bench_check(),
         other => {
-            eprintln!("unknown xtask `{other}`; available: check, bench-check");
+            eprintln!("unknown xtask `{other}`; available: check, analyze, bench-check");
             ExitCode::FAILURE
         }
     }
@@ -133,8 +65,7 @@ fn check() -> ExitCode {
     let steps: &[(&str, Step)] = &[
         ("fmt", step_fmt),
         ("clippy", step_clippy),
-        ("forbid-unsafe", step_forbid_unsafe),
-        ("panic-lint", step_panic_lint),
+        ("analyze", step_analyze),
     ];
     for (name, step) in steps {
         println!("xtask check: {name} ...");
@@ -345,9 +276,18 @@ fn step_fmt(root: &Path) -> Result<(), String> {
     run_cargo(root, &["fmt", "--all", "--", "--check"])
 }
 
+/// Clippy over every first-party package. The package list is derived
+/// from the workspace manifest's `members` globs (shims excluded), so
+/// a newly added crate is gated from its first commit without editing
+/// a hand-maintained list.
 fn step_clippy(root: &Path) -> Result<(), String> {
+    let first_party: Vec<String> = sqs_analyze::workspace::workspace_members(root)?
+        .into_iter()
+        .filter(|m| !m.is_shim)
+        .map(|m| m.name)
+        .collect();
     let mut args: Vec<&str> = vec!["clippy", "--offline"];
-    for p in FIRST_PARTY {
+    for p in &first_party {
         args.push("-p");
         args.push(p);
     }
@@ -357,145 +297,40 @@ fn step_clippy(root: &Path) -> Result<(), String> {
     run_cargo(root, &args)
 }
 
-/// Every crate root (lib.rs of each workspace member, plus this
-/// binary's main.rs) must carry `#![forbid(unsafe_code)]`.
-fn step_forbid_unsafe(root: &Path) -> Result<(), String> {
-    let mut roots: Vec<PathBuf> = vec![root.join("src/lib.rs"), root.join("xtask/src/main.rs")];
-    for dir in ["crates", "shims"] {
-        for entry in list_dir(&root.join(dir))? {
-            let lib = entry.join("src/lib.rs");
-            if lib.is_file() {
-                roots.push(lib);
-            }
-        }
-    }
-    let mut missing = Vec::new();
-    for path in roots {
-        let src = read(&path)?;
-        if !src.lines().any(|l| l.trim() == "#![forbid(unsafe_code)]") {
-            missing.push(path.display().to_string());
-        }
-    }
-    if missing.is_empty() {
-        Ok(())
-    } else {
-        Err(format!(
-            "crate roots missing `#![forbid(unsafe_code)]`:\n  {}",
-            missing.join("\n  ")
-        ))
-    }
-}
-
-/// Grep lint over non-test library code (first-party crates only):
-///
-/// * `.unwrap()` is forbidden;
-/// * `.expect("...")` must carry an invariant-style message containing
-///   the word "invariant" (e.g. `"GK invariant: compress output stays
-///   nonempty"`), so every residual panic site names the algorithm and
-///   the violated state;
-/// * the pedantic-lint `#![allow]` attribute appears exactly on the
-///   modules in [`LINT_ALLOWLIST`].
-///
-/// "Non-test" means everything above the first line starting with
-/// `#[cfg(test)]` — by workspace convention test modules sit at the
-/// bottom of each file. Doc-comment lines (`///`, `//!`) are skipped:
-/// doc examples are test code.
-fn step_panic_lint(root: &Path) -> Result<(), String> {
-    let mut files = Vec::new();
-    for entry in list_dir(&root.join("crates"))? {
-        collect_rs(&entry.join("src"), &mut files)?;
-    }
-    collect_rs(&root.join("src"), &mut files)?;
-    files.sort();
-
-    let mut problems = Vec::new();
-    let mut allowed_seen = Vec::new();
-    for path in &files {
-        let rel = path
-            .strip_prefix(root)
-            .map_err(|e| e.to_string())?
-            .display()
-            .to_string()
-            .replace('\\', "/");
-        let src = read(path)?;
-        if src.lines().any(|l| l.starts_with(ALLOW_ATTR)) {
-            allowed_seen.push(rel.clone());
-            if !LINT_ALLOWLIST.contains(&rel.as_str()) {
-                problems.push(format!(
-                    "{rel}: carries the pedantic-lint allow attribute but is not on the xtask allowlist"
-                ));
-            }
-        }
-        for (i, line) in src.lines().enumerate() {
-            if line.trim_start().starts_with("#[cfg(test)]") {
-                break;
-            }
-            let t = line.trim_start();
-            if t.starts_with("//") {
-                continue;
-            }
-            if line.contains(".unwrap()") {
-                problems.push(format!(
-                    "{rel}:{}: `.unwrap()` in library code — return a Result or use a documented invariant `.expect`",
-                    i + 1
-                ));
-            }
-            if let Some(pos) = line.find(".expect(") {
-                // rustfmt may push the message string to the next line.
-                let tail = line.get(pos..).unwrap_or("");
-                let msg = if tail.contains('"') {
-                    tail.to_string()
-                } else {
-                    src.lines().nth(i + 1).unwrap_or("").to_string()
-                };
-                if !msg.contains("invariant") {
-                    problems.push(format!(
-                        "{rel}:{}: `.expect` message must name an invariant (\"<Algorithm> invariant: <state>\")",
-                        i + 1
-                    ));
-                }
-            }
-        }
-    }
-    for entry in LINT_ALLOWLIST {
-        if !allowed_seen.iter().any(|s| s == entry) {
-            problems.push(format!(
-                "{entry}: on the xtask allowlist but missing the `#![allow]` attribute (stale entry?)"
-            ));
-        }
-    }
-    if problems.is_empty() {
-        Ok(())
-    } else {
-        Err(format!(
-            "panic-lint violations:\n  {}",
-            problems.join("\n  ")
-        ))
-    }
-}
-
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
-    if !dir.is_dir() {
+/// The `analyze` step of `cargo xtask check`: runs the `sqs-analyze`
+/// pass roster in-process and reports findings as
+/// `file:line:col: RULE: message` lines.
+fn step_analyze(root: &Path) -> Result<(), String> {
+    let diags = sqs_analyze::analyze_workspace(root)?;
+    if diags.is_empty() {
         return Ok(());
     }
-    for entry in list_dir(dir)? {
-        if entry.is_dir() {
-            collect_rs(&entry, out)?;
-        } else if entry.extension().is_some_and(|e| e == "rs") {
-            out.push(entry);
-        }
-    }
-    Ok(())
+    let rendered: Vec<String> = diags.iter().map(ToString::to_string).collect();
+    Err(format!(
+        "{} finding(s):\n  {}\nrule catalog: docs/ANALYSIS.md; false positives are silenced \
+         at the site with `// analyze:allow(SQS-XXX): reason`",
+        diags.len(),
+        rendered.join("\n  ")
+    ))
 }
 
-fn list_dir(dir: &Path) -> Result<Vec<PathBuf>, String> {
-    let mut out = Vec::new();
-    let iter = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
-    for entry in iter {
-        out.push(entry.map_err(|e| e.to_string())?.path());
+/// `cargo xtask analyze` — the standalone entry point: prints the pass
+/// roster and every finding, exits non-zero if any.
+fn analyze() -> ExitCode {
+    let root = workspace_root();
+    for pass in sqs_analyze::default_passes() {
+        println!("xtask analyze: {:<20} {}", pass.name(), pass.description());
     }
-    out.sort();
-    Ok(out)
+    match step_analyze(&root) {
+        Ok(()) => {
+            println!("xtask analyze: no findings");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn read(path: &Path) -> Result<String, String> {
