@@ -60,6 +60,19 @@ pub trait QuantileSummary<T: Ord + Copy>: SpaceUsage {
         }
     }
 
+    /// Folds several batches through [`insert_batch`] in one call —
+    /// the bulk path a propagation stage uses to drain a whole run of
+    /// handed-off producer buffers while it holds a shard exactly
+    /// once (`sqs-engine`'s propagator). The default simply loops;
+    /// summaries that can pre-size for the combined mass may override.
+    ///
+    /// [`insert_batch`]: QuantileSummary::insert_batch
+    fn insert_batches(&mut self, batches: &[&[T]]) {
+        for xs in batches {
+            self.insert_batch(xs);
+        }
+    }
+
     /// Answers the standard probe grid φ = ε, 2ε, …, 1−ε in one call,
     /// returning `(φ, answer)` pairs (empty if the stream is empty).
     fn quantile_grid(&mut self, eps: f64) -> Vec<(f64, T)> {

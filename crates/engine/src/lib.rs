@@ -1,95 +1,253 @@
-//! A sharded, concurrent ingestion engine over the mergeable quantile
-//! summaries of `sqs-core`.
+//! A wait-free-ingest, epoch-snapshotting concurrent engine over the
+//! mergeable quantile summaries of `sqs-core`.
 //!
 //! The paper studies single-threaded summaries; production collectors
 //! ingest from many threads at once. The mergeable-summary property
 //! (Agarwal et al., PODS'12 — see `PAPERS.md`) makes the standard
 //! scale-out construction sound: run `k` independent ε-summaries, one
-//! per *shard*, route each producer thread at a shard, and answer
-//! queries by folding the shards with a merge tree. Because merging two
-//! ε-summaries yields an ε-summary of the union (for
-//! [`RandomSketch`](sqs_core::random::RandomSketch) and
-//! [`QDigest`](sqs_core::qdigest::QDigest) this holds at any merge-tree
-//! depth),
-//! the engine's answers carry the *same* ε guarantee as a single
-//! summary over the whole stream — sharding buys concurrency without
-//! spending accuracy. See `docs/ENGINE.md` for the error analysis.
+//! per *shard*, and answer queries by folding the shards with a merge
+//! tree — sharding buys concurrency without spending accuracy.
 //!
-//! Three layers keep the hot path cheap:
+//! Earlier revisions of this crate took a striped-lock approach:
+//! producers batched locally, then flushed **inline** under the shard
+//! mutex, and every query sweep re-folded the shards under their
+//! locks. That makes the shard mutex the write-throughput ceiling and
+//! puts readers on the writers' critical path. This revision rebuilds
+//! the ingest pipeline along the lines of **Quancurrent**
+//! (Elias-Zada, Rinberg, Keidar — see `PAPERS.md`): thread-local
+//! buffers, a propagation stage with brief synchronized handoffs, and
+//! relaxed-semantics snapshots versioned by a monotonic epoch. In safe
+//! stable Rust (`forbid(unsafe_code)`, atomics + mutex leaves only):
 //!
-//! 1. **Striped locks** — each shard is its own
-//!    [`OrderedMutex<S>`](sqs_util::sync::OrderedMutex); writers on
-//!    different shards never contend. The mutex is rank-badged with the
-//!    shard index, so debug builds panic the moment any path would
-//!    acquire shard locks out of ascending order — the runtime half of
-//!    the lock discipline `sqs-analyze` checks statically. A shard
-//!    whose holder panicked is *recovered*, not abandoned: the next
-//!    acquisition audits the summary's invariants, clears the poison,
-//!    and counts the event in [`EngineStats::lock_recoveries`].
-//! 2. **Bounded ingest buffers** — producers write through an
-//!    [`IngestHandle`], which batches `batch_capacity` elements in a
-//!    plain `Vec` and takes the shard lock once per batch, feeding the
-//!    summary through its [`insert_batch`] bulk path. Lock traffic
-//!    drops by the batch factor.
-//! 3. **Merge-on-query snapshots** — [`ShardedEngine::snapshot`]
-//!    clones the shard summaries (holding each lock only for the
-//!    clone) and folds the clones with a balanced merge tree off the
-//!    ingest path, using the consuming
-//!    [`merge_from`](sqs_core::MergeableSummary::merge_from) so no
-//!    intermediate is re-compressed needlessly.
+//! 1. **Owned ingest buffers** — [`IngestHandle::insert`] appends to a
+//!    buffer the handle *owns*; the hot path touches no shared state
+//!    at all. A full buffer is **handed off** whole: one brief push
+//!    onto its shard's propagation queue, no folding on the producer's
+//!    path.
+//! 2. **Per-shard propagation rounds** — each shard has a propagation
+//!    token (`AtomicBool`); whoever holds it (a dedicated
+//!    [`spawn_propagator`](ShardedEngine::spawn_propagator) thread, or
+//!    a producer *cooperatively stealing* the round at handoff) drains
+//!    that shard's queue and folds the buffers through
+//!    [`insert_batches`], holding the shard's [`OrderedMutex`] once
+//!    per round — a short, bounded critical section. Rounds on
+//!    different shards run in parallel; folding scales with the shard
+//!    count instead of funnelling through one lock. After folding, the
+//!    round **publishes** an `Arc` clone of the shard's summary — one
+//!    atomic slot swap — and ticks the engine epoch.
+//! 3. **Epoch / seqlock snapshots** — the monotonic engine epoch
+//!    (`AtomicU64`) counts publications. Readers collect the published
+//!    `Arc`s between two equal epoch reads — no publication landed
+//!    mid-collection, so the cut is a consistent point in time — and
+//!    never touch a shard's live lock, so queries cannot stall
+//!    ingestion (nor wait out a fold: the epoch moves only at the
+//!    instant of publication). The merged snapshot is cached keyed on
+//!    that epoch: repeated query sweeps between writes cost one
+//!    cache-mutex acquisition. See `docs/ENGINE.md` for the
+//!    memory-ordering argument and the error analysis.
 //!
-//! [`insert_batch`]: sqs_core::QuantileSummary::insert_batch
+//! [`insert_batches`]: sqs_core::QuantileSummary::insert_batches
 
 #![forbid(unsafe_code)]
 
+use std::collections::VecDeque;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::PoisonError;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use sqs_core::MergeableSummary;
 use sqs_util::audit::{ensure, CheckInvariants, InvariantViolation};
+use sqs_util::pad::CachePadded;
 use sqs_util::sync::{next_domain, OrderedMutex, OrderedMutexGuard};
 
 /// Default ingest-buffer capacity (elements per [`IngestHandle`]
-/// between shard-lock acquisitions). 1024 amortizes the lock and the
-/// summary's per-batch bookkeeping well below a nanosecond per element
-/// while keeping at most a few KiB of in-flight data per producer.
-pub const DEFAULT_BATCH_CAPACITY: usize = 1024;
+/// between handoffs to the propagation queue). Swept 256..8192
+/// against the sketch crate's 1024-element `CHUNK` on the reference
+/// box (`results/batch_sweep.csv`, written by `sqs-exp engine`):
+/// throughput climbs steeply up to 1024 and then flattens within
+/// run-to-run noise; 2048 sits on that plateau while halving
+/// queue/handoff traffic vs 1024, at 16 KiB of in-flight `u64`s per
+/// producer. Going further (8192) buys ≲10% single-producer
+/// throughput for 4× the per-producer memory and 4× the snapshot
+/// staleness window (buffered items are invisible to queries until
+/// handoff). See docs/PERF.md §4.
+pub const DEFAULT_BATCH_CAPACITY: usize = 2048;
+
+/// Most handed-off buffers a single propagation round folds — bounds
+/// the shard critical section a round may hold.
+const MAX_ROUND_BUFFERS: usize = 32;
+
+/// Per-shard queue depth at which a producer *must* help propagate
+/// before continuing, even with a background propagator attached — the
+/// engine's bound on handed-off-but-unfolded memory per shard
+/// (`MAX_QUEUE_BUFFERS × batch_capacity` elements).
+const MAX_QUEUE_BUFFERS: usize = 64;
+
+/// Seqlock read attempts before a reader accepts a possibly-mixed
+/// (multi-epoch) cut — the relaxed-semantics escape hatch that keeps
+/// readers wait-free under a continuous stream of publications.
+const SNAPSHOT_RETRY_LIMIT: usize = 16;
 
 /// A point-in-time copy of the engine's operational counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
-    /// Elements flushed into shard summaries so far (excludes elements
-    /// still buffered in live [`IngestHandle`]s).
+    /// Elements propagated into shard summaries so far (excludes
+    /// elements buffered in live [`IngestHandle`]s and elements handed
+    /// off but not yet folded — see [`queued_items`]).
+    ///
+    /// [`queued_items`]: EngineStats::queued_items
     pub items: u64,
-    /// Number of shard-lock acquisitions taken by buffer flushes.
-    pub flushes: u64,
-    /// Number of snapshots folded so far.
+    /// Elements handed off to the propagation queues and not yet
+    /// folded into a shard summary.
+    pub queued_items: u64,
+    /// Buffers handed off to the propagation queues so far.
+    pub handoffs: u64,
+    /// Publications so far: propagation rounds plus direct folds
+    /// ([`ingest_batch`](ShardedEngine::ingest_batch) /
+    /// [`try_absorb`](ShardedEngine::try_absorb)). Equals the epoch at
+    /// quiescence.
+    pub propagations: u64,
+    /// Handed-off buffers folded by propagation rounds so far.
+    pub propagated_buffers: u64,
+    /// Buffers folded by the most recent round — the observed
+    /// propagation depth.
+    pub last_round_buffers: u64,
+    /// Deepest any shard's propagation queue has ever been (buffers).
+    pub max_queue_depth: u64,
+    /// Queue-to-fold latency of the last buffer propagated:
+    /// wall-clock nanoseconds between its handoff and its fold.
+    pub last_handoff_latency_nanos: u64,
+    /// The engine epoch: one tick per publication. The snapshot
+    /// cache's invalidation signal.
+    pub epoch: u64,
+    /// Merged snapshots rebuilt so far (snapshot-cache misses).
     pub snapshots: u64,
-    /// Merge-tree depth of the most recent snapshot
-    /// (`⌈log₂ shards⌉`; 0 before the first snapshot).
+    /// Query sweeps answered from the epoch-keyed snapshot cache
+    /// without re-merging.
+    pub snapshot_cache_hits: u64,
+    /// Seqlock retries readers have paid waiting out concurrent
+    /// publications.
+    pub snapshot_retries: u64,
+    /// Snapshots that gave up retrying and accepted a mixed-epoch
+    /// (relaxed-consistency) cut. Zero in every quiescent workload.
+    pub snapshots_torn: u64,
+    /// Merge-tree depth of the most recent snapshot rebuild
+    /// (`⌈log₂ shards⌉`; 0 before the first).
     pub last_merge_depth: u32,
-    /// Wall-clock nanoseconds spent building the most recent snapshot
-    /// (clone + merge tree; 0 before the first snapshot).
+    /// Wall-clock nanoseconds spent on the most recent snapshot
+    /// rebuild (publication reads + merge tree; 0 before the first).
     pub last_snapshot_nanos: u64,
-    /// Number of poisoned shard locks recovered so far: a producer
-    /// panicked while holding a shard, and a later acquisition audited
-    /// the summary's invariants, cleared the poison, and carried on.
-    /// Nonzero values mean some producer thread died mid-stream — the
-    /// engine survived, but whatever that producer still buffered is
-    /// gone.
+    /// Number of poisoned shard locks recovered so far: a propagating
+    /// thread panicked while folding into a shard, and a later
+    /// acquisition audited the summary's invariants, cleared the
+    /// poison, and carried on. Nonzero values mean some thread died
+    /// mid-fold — the engine survived, but whatever that thread was
+    /// folding and had not yet folded is gone.
     pub lock_recoveries: u64,
 }
 
-/// A concurrent quantile-ingestion engine: `k` striped shards, each a
-/// mergeable ε-summary, folded on demand into a queryable snapshot.
+/// One handed-off producer buffer awaiting propagation.
+struct Handoff<T> {
+    data: Vec<T>,
+    enqueued: Instant,
+}
+
+/// One shard: the live summary rounds fold into, the last published
+/// clone readers merge from, and the shard's own propagation pipeline.
+/// The whole struct sits inside one [`CachePadded`] slot so
+/// neighbouring shards' hot words never false-share a cache line.
+struct Shard<S, T> {
+    live: OrderedMutex<S>,
+    published: Mutex<Arc<S>>,
+    queue: Mutex<VecDeque<Handoff<T>>>,
+    /// Single-propagator-per-shard token: rounds on one shard
+    /// serialize; rounds on different shards run in parallel.
+    token: AtomicBool,
+    /// Buffers handed off to this shard so far (the handoff sequence
+    /// number assigned under the queue lock, so it matches FIFO
+    /// order).
+    handoffs: AtomicU64,
+    /// Buffers folded so far. FIFO + serialized rounds make
+    /// `completed ≥ seq` exactly "handoff `seq` is folded and
+    /// published".
+    completed: AtomicU64,
+    /// Elements currently sitting in `queue`.
+    queued_items: AtomicU64,
+}
+
+impl<S, T> Shard<S, T> {
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<Handoff<T>>> {
+        // Nothing queue-structural can be torn by a holder's panic
+        // (push/drain are the only mutations); recover and carry on.
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The published clone, without touching the live lock.
+    fn published(&self) -> Arc<S> {
+        Arc::clone(
+            &self
+                .published
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+
+    /// Replaces the published clone — the single atomic slot swap that
+    /// makes a round's effects visible to readers.
+    fn publish(&self, snap: Arc<S>) {
+        *self
+            .published
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = snap;
+    }
+}
+
+/// The merged snapshot the read path caches between ingest epochs.
+struct CachedSnapshot<S> {
+    epoch: u64,
+    summary: S,
+}
+
+/// RAII over one shard's propagation token. On drop — normal
+/// completion *or* an unwind out of a panicking summary fold — the
+/// token is released, so a dying propagator can never wedge its
+/// shard's pipeline.
+struct TokenGuard<'a> {
+    token: &'a AtomicBool,
+}
+
+impl<'a> TokenGuard<'a> {
+    /// Tries to become the shard's propagator. `None` if another
+    /// thread holds the token.
+    fn acquire(token: &'a AtomicBool) -> Option<Self> {
+        if token.swap(true, Ordering::Acquire) {
+            return None;
+        }
+        Some(Self { token })
+    }
+}
+
+impl Drop for TokenGuard<'_> {
+    fn drop(&mut self) {
+        self.token.store(false, Ordering::Release);
+    }
+}
+
+/// A concurrent quantile-ingestion engine: `k` cache-padded shards,
+/// each a mergeable ε-summary with its own propagation pipeline, fed
+/// by wait-free owned-buffer handoffs and folded on demand into an
+/// epoch-versioned queryable snapshot.
 ///
 /// Shared by reference across producer threads; all methods take
 /// `&self`. Producers obtain an [`IngestHandle`] (one shard each,
 /// assigned round-robin) and push elements through it; readers call
-/// [`snapshot`](Self::snapshot) / [`quantile`](Self::quantile) at any
-/// time.
+/// [`snapshot`](Self::snapshot) / [`quantile`](Self::quantile) /
+/// [`quantiles`](Self::quantiles) at any time. Optionally, wrap the
+/// engine in an [`Arc`] and call
+/// [`spawn_propagator`](Self::spawn_propagator) to move folding onto a
+/// background thread.
 ///
 /// ```
 /// use sqs_core::random::RandomSketch;
@@ -111,19 +269,40 @@ pub struct EngineStats {
 /// assert!((q as f64 - 20_000.0).abs() <= 0.05 * 40_000.0);
 /// ```
 pub struct ShardedEngine<T, S> {
-    shards: Vec<OrderedMutex<S>>,
-    router: AtomicUsize,
-    batch_capacity: usize,
-    items: AtomicU64,
-    flushes: AtomicU64,
+    shards: Vec<CachePadded<Shard<S, T>>>,
+    /// The seqlock epoch: one tick per publication, read by snapshots
+    /// as the consistency check and the cache key.
+    epoch: CachePadded<AtomicU64>,
+    /// Round-robin shard router for new handles / direct batches.
+    router: CachePadded<AtomicUsize>,
+    /// Propagator-side counters (written once per round / fold).
+    items: CachePadded<AtomicU64>,
+    propagations: AtomicU64,
+    propagated_buffers: AtomicU64,
+    last_round_buffers: AtomicU64,
+    max_queue_depth: AtomicU64,
+    last_handoff_latency_nanos: AtomicU64,
+    /// Read-side stats + the epoch-keyed merged-snapshot cache.
     snapshots: AtomicU64,
+    cache_hits: AtomicU64,
+    snapshot_retries: AtomicU64,
+    snapshots_torn: AtomicU64,
     last_merge_depth: AtomicU64,
     last_snapshot_nanos: AtomicU64,
     lock_recoveries: AtomicU64,
+    cache: Mutex<Option<CachedSnapshot<S>>>,
+    /// Background propagators currently attached (producers steal
+    /// eagerly only when this is zero).
+    propagator_count: AtomicUsize,
+    batch_capacity: usize,
     _elem: PhantomData<fn(T)>,
 }
 
-impl<T: Ord + Copy, S: MergeableSummary<T> + CheckInvariants> ShardedEngine<T, S> {
+impl<T, S> ShardedEngine<T, S>
+where
+    T: Ord + Copy,
+    S: MergeableSummary<T> + CheckInvariants + Clone,
+{
     /// Builds an engine with `shard_count` shards, constructing each
     /// shard's summary via `make(shard_index)` — the closure is where
     /// per-shard seeds diverge for randomized summaries.
@@ -143,16 +322,38 @@ impl<T: Ord + Copy, S: MergeableSummary<T> + CheckInvariants> ShardedEngine<T, S
         let domain = next_domain();
         Self {
             shards: (0..shard_count)
-                .map(|i| OrderedMutex::new(domain, i, make(i)))
+                .map(|i| {
+                    let live = make(i);
+                    let published = Mutex::new(Arc::new(live.clone()));
+                    CachePadded::new(Shard {
+                        live: OrderedMutex::new(domain, i, live),
+                        published,
+                        queue: Mutex::new(VecDeque::new()),
+                        token: AtomicBool::new(false),
+                        handoffs: AtomicU64::new(0),
+                        completed: AtomicU64::new(0),
+                        queued_items: AtomicU64::new(0),
+                    })
+                })
                 .collect(),
-            router: AtomicUsize::new(0),
-            batch_capacity,
-            items: AtomicU64::new(0),
-            flushes: AtomicU64::new(0),
+            epoch: CachePadded::new(AtomicU64::new(0)),
+            router: CachePadded::new(AtomicUsize::new(0)),
+            items: CachePadded::new(AtomicU64::new(0)),
+            propagations: AtomicU64::new(0),
+            propagated_buffers: AtomicU64::new(0),
+            last_round_buffers: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+            last_handoff_latency_nanos: AtomicU64::new(0),
             snapshots: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            snapshot_retries: AtomicU64::new(0),
+            snapshots_torn: AtomicU64::new(0),
             last_merge_depth: AtomicU64::new(0),
             last_snapshot_nanos: AtomicU64::new(0),
             lock_recoveries: AtomicU64::new(0),
+            cache: Mutex::new(None),
+            propagator_count: AtomicUsize::new(0),
+            batch_capacity,
             _elem: PhantomData,
         }
     }
@@ -162,16 +363,16 @@ impl<T: Ord + Copy, S: MergeableSummary<T> + CheckInvariants> ShardedEngine<T, S
         self.shards.len()
     }
 
-    /// Elements each [`IngestHandle`] buffers between flushes.
+    /// Elements each [`IngestHandle`] buffers between handoffs.
     pub fn batch_capacity(&self) -> usize {
         self.batch_capacity
     }
 
     /// Creates a producer handle bound to the next shard in round-robin
-    /// order. One `fetch_add` — producers on different shards never
-    /// touch shared state again until their buffers flush. Spawning one
-    /// handle per thread gives thread-affine shards whenever the thread
-    /// count divides the shard count.
+    /// order. One `fetch_add` — producers never touch shared state
+    /// again until a buffer handoff. Spawning one handle per thread
+    /// gives thread-affine shards whenever the thread count divides the
+    /// shard count.
     pub fn handle(&self) -> IngestHandle<'_, T, S> {
         let shard = self.router.fetch_add(1, Ordering::Relaxed) % self.shards.len();
         self.handle_for(shard)
@@ -193,25 +394,47 @@ impl<T: Ord + Copy, S: MergeableSummary<T> + CheckInvariants> ShardedEngine<T, S
             engine: self,
             shard,
             buf: Vec::with_capacity(self.batch_capacity),
+            last_seq: 0,
         }
     }
 
-    /// Elements flushed into shard summaries so far. Elements still
-    /// buffered in live handles are *not* counted until their flush —
-    /// callers wanting an exact count drop (or [`flush`]) their handles
-    /// first.
+    /// Elements propagated into shard summaries so far. Elements still
+    /// buffered in live handles (or handed off but not yet folded) are
+    /// *not* counted — callers wanting an exact count drop (or
+    /// [`flush`]) their handles first; both wait for propagation.
     ///
     /// [`flush`]: IngestHandle::flush
     pub fn n(&self) -> u64 {
         self.items.load(Ordering::Acquire)
     }
 
+    /// The current engine epoch (one tick per publication).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
     /// A copy of the engine's operational counters.
     pub fn stats(&self) -> EngineStats {
+        let mut handoffs = 0u64;
+        let mut queued_items = 0u64;
+        for s in &self.shards {
+            handoffs += s.handoffs.load(Ordering::Acquire);
+            queued_items += s.queued_items.load(Ordering::Acquire);
+        }
         EngineStats {
             items: self.items.load(Ordering::Acquire),
-            flushes: self.flushes.load(Ordering::Acquire),
+            queued_items,
+            handoffs,
+            propagations: self.propagations.load(Ordering::Acquire),
+            propagated_buffers: self.propagated_buffers.load(Ordering::Acquire),
+            last_round_buffers: self.last_round_buffers.load(Ordering::Acquire),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Acquire),
+            last_handoff_latency_nanos: self.last_handoff_latency_nanos.load(Ordering::Acquire),
+            epoch: self.epoch.load(Ordering::Acquire),
             snapshots: self.snapshots.load(Ordering::Acquire),
+            snapshot_cache_hits: self.cache_hits.load(Ordering::Acquire),
+            snapshot_retries: self.snapshot_retries.load(Ordering::Acquire),
+            snapshots_torn: self.snapshots_torn.load(Ordering::Acquire),
             last_merge_depth: u32::try_from(self.last_merge_depth.load(Ordering::Acquire))
                 .unwrap_or(u32::MAX),
             last_snapshot_nanos: self.last_snapshot_nanos.load(Ordering::Acquire),
@@ -219,13 +442,16 @@ impl<T: Ord + Copy, S: MergeableSummary<T> + CheckInvariants> ShardedEngine<T, S
         }
     }
 
-    fn lock_shard(&self, shard: usize) -> OrderedMutexGuard<'_, S> {
-        let m = self
-            .shards
+    fn shard(&self, shard: usize) -> &Shard<S, T> {
+        self.shards
             .get(shard)
-            .expect("Engine invariant: shard index within shard count");
+            .expect("Engine invariant: shard index within shard count")
+    }
+
+    fn lock_shard(&self, shard: usize) -> OrderedMutexGuard<'_, S> {
+        let m = &self.shard(shard).live;
         m.lock().unwrap_or_else(|poisoned| {
-            // A holder panicked mid-update — necessarily inside the
+            // A holder panicked mid-fold — necessarily inside the
             // summary's own insert/merge code, since the engine does
             // nothing else under the guard. The summary is safe to keep
             // only if its structural invariants survived the unwind;
@@ -239,100 +465,304 @@ impl<T: Ord + Copy, S: MergeableSummary<T> + CheckInvariants> ShardedEngine<T, S
         })
     }
 
-    /// Flushes one producer batch into its shard (called by
-    /// [`IngestHandle`]); one lock acquisition per call.
-    fn flush_batch(&self, shard: usize, batch: &[T]) {
-        if batch.is_empty() {
-            return;
+    /// Hands one full producer buffer to `shard`'s propagation queue
+    /// and returns its handoff sequence number (rounds complete FIFO —
+    /// [`wait_propagated`](Self::wait_propagated) on the returned
+    /// number waits for exactly this buffer).
+    ///
+    /// This is the only producer-side synchronization: one brief queue
+    /// push. Folding happens on whichever thread runs the shard's next
+    /// propagation round — a background propagator if attached,
+    /// otherwise a producer stealing the round cooperatively right
+    /// here.
+    fn handoff(&self, shard: usize, data: Vec<T>) -> u64 {
+        let len = data.len() as u64;
+        debug_assert!(len > 0, "empty buffers are never handed off");
+        let sh = self.shard(shard);
+        let (seq, depth) = {
+            let mut q = sh.lock_queue();
+            q.push_back(Handoff {
+                data,
+                enqueued: Instant::now(),
+            });
+            // Sequence numbers are assigned under the queue lock so
+            // they match FIFO queue order exactly.
+            sh.queued_items.fetch_add(len, Ordering::AcqRel);
+            (sh.handoffs.fetch_add(1, Ordering::AcqRel) + 1, q.len())
+        };
+        self.max_queue_depth
+            .fetch_max(depth as u64, Ordering::AcqRel);
+        if self.propagator_count.load(Ordering::Acquire) == 0 || depth >= MAX_QUEUE_BUFFERS {
+            // No background propagator (or it has fallen too far
+            // behind): fold cooperatively so queued memory stays
+            // bounded. A no-op if another thread already holds this
+            // shard's token.
+            self.propagate_shard(shard);
         }
-        self.lock_shard(shard).insert_batch(batch);
-        self.items.fetch_add(batch.len() as u64, Ordering::AcqRel);
-        self.flushes.fetch_add(1, Ordering::Relaxed);
+        seq
+    }
+
+    /// Blocks (helping) until `shard`'s buffer with handoff sequence
+    /// number `seq` has been folded and published.
+    fn wait_propagated(&self, shard: usize, seq: u64) {
+        let sh = self.shard(shard);
+        while sh.completed.load(Ordering::Acquire) < seq {
+            if !self.propagate_shard(shard) {
+                // Another thread holds this shard's round; let it
+                // finish rather than burning the core.
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Runs one propagation round on `shard`: drains up to
+    /// [`MAX_ROUND_BUFFERS`] handed-off buffers, folds them into the
+    /// shard summary under one short critical section, publishes the
+    /// shard's new clone, and ticks the epoch. Returns `false` without
+    /// folding if another thread holds the shard's token or its queue
+    /// is empty.
+    ///
+    /// Rounds on *different* shards run concurrently — folding
+    /// throughput scales with the shard count.
+    pub fn propagate_shard(&self, shard: usize) -> bool {
+        let sh = self.shard(shard);
+        let Some(_token) = TokenGuard::acquire(&sh.token) else {
+            return false;
+        };
+        let batch: Vec<Handoff<T>> = {
+            let mut q = sh.lock_queue();
+            let take = q.len().min(MAX_ROUND_BUFFERS);
+            q.drain(..take).collect()
+        };
+        if batch.is_empty() {
+            return false; // token guard drop releases the token
+        }
+        let folded = batch.len() as u64;
+        let mass: u64 = batch.iter().map(|h| h.data.len() as u64).sum();
+        let slices: Vec<&[T]> = batch.iter().map(|h| h.data.as_slice()).collect();
+        let published = {
+            let mut guard = self.lock_shard(shard);
+            guard.insert_batches(&slices);
+            Arc::new(guard.clone())
+        };
+        // The live guard is gone (the temporary died with the block);
+        // publish and account outside the shard's critical section.
+        sh.publish(published);
+        self.items.fetch_add(mass, Ordering::AcqRel);
+        sh.queued_items.fetch_sub(mass, Ordering::AcqRel);
+        let latency = batch
+            .iter()
+            .map(|h| h.enqueued.elapsed().as_nanos())
+            .max()
+            .unwrap_or(0);
+        self.last_handoff_latency_nanos.store(
+            u64::try_from(latency).unwrap_or(u64::MAX),
+            Ordering::Release,
+        );
+        self.last_round_buffers.store(folded, Ordering::Release);
+        self.propagations.fetch_add(1, Ordering::AcqRel);
+        self.propagated_buffers.fetch_add(folded, Ordering::AcqRel);
+        // Completion order: publish first, then `completed`, then the
+        // epoch tick. A waiter that sees `completed ≥ seq` therefore
+        // sees its data folded *and* published; a reader that sees the
+        // epoch tick sees the publication (Release/Acquire pairs on
+        // the slot mutex and the counters).
+        sh.completed.fetch_add(folded, Ordering::AcqRel);
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        true
+    }
+
+    /// Runs one propagation round on every shard with queued work.
+    /// Returns `true` if any round folded anything — the background
+    /// propagator's main loop, also handy in tests.
+    pub fn propagate_all(&self) -> bool {
+        let mut any = false;
+        for i in 0..self.shards.len() {
+            any |= self.propagate_shard(i);
+        }
+        any
+    }
+
+    /// Spins until this thread holds `shard`'s token — the entry point
+    /// for the *direct* fold paths ([`ingest_batch`](Self::ingest_batch),
+    /// [`try_absorb`](Self::try_absorb)) that must mutate a shard
+    /// outside the queue pipeline.
+    fn acquire_token_blocking(&self, shard: usize) -> TokenGuard<'_> {
+        loop {
+            if let Some(guard) = TokenGuard::acquire(&self.shard(shard).token) {
+                return guard;
+            }
+            std::thread::yield_now();
+        }
     }
 
     /// Ingests one caller-assembled batch directly: picks the next
-    /// shard round-robin and feeds the whole slice through the shard's
-    /// [`insert_batch`] under a single lock acquisition.
+    /// shard round-robin and folds the whole slice under a single
+    /// critical section, publishing before returning.
     ///
     /// This is the *request-scoped* ingest path: unlike an
-    /// [`IngestHandle`], nothing stays buffered engine-side afterwards
-    /// — every element is visible to the next snapshot the moment the
-    /// call returns. `sqs-service` uses it so a server never holds
-    /// client data in limbo (its `INSERT_BATCH` reply means "merged"),
-    /// and so graceful shutdown has nothing left to flush.
-    ///
-    /// [`insert_batch`]: sqs_core::QuantileSummary::insert_batch
+    /// [`IngestHandle`], nothing stays buffered or queued engine-side
+    /// afterwards — every element is visible to the next snapshot the
+    /// moment the call returns. `sqs-service` uses it so a server never
+    /// holds client data in limbo (its `INSERT_BATCH` reply means
+    /// "merged"), and so graceful shutdown has nothing left to flush.
     pub fn ingest_batch(&self, xs: &[T]) {
         if xs.is_empty() {
             return;
         }
         let shard = self.router.fetch_add(1, Ordering::Relaxed) % self.shards.len();
-        self.flush_batch(shard, xs);
+        let _token = self.acquire_token_blocking(shard);
+        let published = {
+            let mut guard = self.lock_shard(shard);
+            guard.insert_batch(xs);
+            Arc::new(guard.clone())
+        };
+        self.shard(shard).publish(published);
+        self.items.fetch_add(xs.len() as u64, Ordering::AcqRel);
+        self.propagations.fetch_add(1, Ordering::AcqRel);
+        self.last_round_buffers.store(1, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Merges an externally-built summary (e.g. one decoded off the
-    /// wire) into shard 0, adding its mass to the engine's totals.
-    /// Returns the summary back as `Err` without touching anything if
-    /// its accuracy configuration is incompatible with this engine's
-    /// shards — the panic-free gate remote `MERGE_SNAPSHOT` traffic
-    /// goes through.
+    /// wire) into shard 0 under a single critical section, adding its
+    /// mass to the engine's totals. Returns the summary back as `Err`
+    /// without touching anything if its accuracy configuration is
+    /// incompatible with this engine's shards — the panic-free gate
+    /// remote `MERGE_SNAPSHOT` traffic goes through.
     pub fn try_absorb(&self, other: S) -> Result<(), S> {
         let mass = other.n();
-        {
-            let mut shard = self.lock_shard(0);
-            if !shard.merge_compatible(&other) {
-                return Err(other);
+        let _token = self.acquire_token_blocking(0);
+        let published = {
+            let mut guard = self.lock_shard(0);
+            if !guard.merge_compatible(&other) {
+                return Err(other); // token guard drop releases the token
             }
-            shard.merge_from(other);
-        }
+            guard.merge_from(other);
+            Arc::new(guard.clone())
+        };
+        self.shard(0).publish(published);
         // Count the absorbed mass so `engine.mass_conservation`
         // (Σ shard.n() == items) keeps holding.
         self.items.fetch_add(mass, Ordering::AcqRel);
+        self.propagations.fetch_add(1, Ordering::AcqRel);
+        self.epoch.fetch_add(1, Ordering::AcqRel);
         Ok(())
     }
-}
 
-impl<T: Ord + Copy, S: MergeableSummary<T> + CheckInvariants + Clone> ShardedEngine<T, S> {
-    /// Folds the current shard summaries into one queryable summary.
+    /// Collects a consistent cut of the per-shard published clones —
+    /// the seqlock read protocol. Returns the `Arc`s plus the epoch
+    /// they correspond to, or `None` as the epoch if the reader
+    /// exhausted its retries and accepted a possibly mixed-epoch cut
+    /// (relaxed semantics; see `docs/ENGINE.md` §3).
     ///
-    /// Each shard lock is held only long enough to clone that shard;
-    /// the balanced merge tree then runs entirely off the ingest path.
-    /// The result is an ε-summary of every element flushed so far
-    /// (elements still buffered in live handles are invisible until
-    /// they flush).
-    pub fn snapshot(&self) -> S {
+    /// Never touches a shard's live lock: readers cannot stall
+    /// ingestion, and folding cannot stall readers — the epoch moves
+    /// only at the instant a round publishes, so a reader retries only
+    /// if a publication actually landed mid-collection.
+    fn published_cut(&self) -> (Vec<Arc<S>>, Option<u64>) {
+        let mut attempts = 0usize;
+        loop {
+            let e1 = self.epoch.load(Ordering::Acquire);
+            let cut: Vec<Arc<S>> = self.shards.iter().map(|s| s.published()).collect();
+            let e2 = self.epoch.load(Ordering::Acquire);
+            if e1 == e2 {
+                return (cut, Some(e1));
+            }
+            if attempts >= SNAPSHOT_RETRY_LIMIT {
+                self.snapshots_torn.fetch_add(1, Ordering::AcqRel);
+                return (cut, None);
+            }
+            attempts += 1;
+            self.snapshot_retries.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Rebuilds the merged snapshot from the published cut. Returns
+    /// the merge and the epoch it is consistent with (`None` for a
+    /// torn cut, which is never cached).
+    fn rebuild_snapshot(&self) -> (S, Option<u64>) {
         let start = Instant::now();
-        let clones: Vec<S> = (0..self.shards.len())
-            .map(|i| self.lock_shard(i).clone())
-            .collect();
+        let (cut, epoch) = self.published_cut();
+        let clones: Vec<S> = cut.iter().map(|a| S::clone(a)).collect();
         let (merged, depth) = merge_tree(clones);
-        self.snapshots.fetch_add(1, Ordering::Relaxed);
+        self.snapshots.fetch_add(1, Ordering::AcqRel);
         self.last_merge_depth
             .store(u64::from(depth), Ordering::Release);
         self.last_snapshot_nanos.store(
             u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
             Ordering::Release,
         );
-        merged
+        (merged, epoch)
     }
 
-    /// An ε-approximate φ-quantile of everything flushed so far, via a
-    /// fresh [`snapshot`](Self::snapshot). `None` while empty.
+    /// Runs `f` against the merged snapshot for the current epoch,
+    /// reusing the cached merge when no publication has happened since
+    /// it was built — the epoch counter is the invalidation signal, so
+    /// repeated query sweeps between writes cost one mutex acquisition
+    /// and zero merging.
+    fn with_snapshot<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        let now = self.epoch.load(Ordering::Acquire);
+        {
+            let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(cached) = cache.as_mut() {
+                if cached.epoch == now {
+                    self.cache_hits.fetch_add(1, Ordering::AcqRel);
+                    return f(&mut cached.summary);
+                }
+            }
+        }
+        // Rebuild outside the cache lock (the seqlock cut takes the
+        // published-slot locks; holding the cache lock across them
+        // would nest guards). A concurrent rebuild racing us is
+        // harmless — both are valid snapshots; the newer epoch wins
+        // the cache slot.
+        let (mut merged, epoch) = self.rebuild_snapshot();
+        let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(e) = epoch {
+            let newer = cache.as_ref().is_some_and(|c| c.epoch > e);
+            if !newer {
+                *cache = Some(CachedSnapshot {
+                    epoch: e,
+                    summary: merged,
+                });
+                let cached = cache
+                    .as_mut()
+                    .expect("Engine invariant: cache slot just filled");
+                return f(&mut cached.summary);
+            }
+        }
+        // Torn cut (or a newer cache already present): answer from our
+        // private merge without caching it.
+        drop(cache);
+        f(&mut merged)
+    }
+
+    /// Folds the current published shard summaries into one queryable
+    /// summary (an ε-summary of every element propagated so far).
     ///
-    /// Answering *many* ranks? Use [`quantiles`](Self::quantiles),
-    /// which folds the merge tree once instead of once per rank.
+    /// Reads the per-shard publications under the seqlock protocol —
+    /// never the shard live locks — and reuses the epoch-keyed cache,
+    /// so a burst of snapshots between writes costs one merge.
+    /// Elements still buffered in live handles, or handed off but not
+    /// yet propagated, are invisible until folded.
+    pub fn snapshot(&self) -> S {
+        self.with_snapshot(|s| s.clone())
+    }
+
+    /// An ε-approximate φ-quantile of everything propagated so far,
+    /// answered from the epoch-cached snapshot. `None` while empty.
+    ///
+    /// Answering *many* ranks? [`quantiles`](Self::quantiles) answers
+    /// a whole sweep against one snapshot read.
     pub fn quantile(&self, phi: f64) -> Option<T> {
-        self.snapshot().quantile(phi)
+        self.with_snapshot(|s| s.quantile(phi))
     }
 
-    /// Answers a whole rank sweep from **one** merged snapshot.
-    ///
-    /// [`quantile`](Self::quantile) rebuilds the merge tree per call,
-    /// so a 100-point sweep pays 100 clone-and-fold rounds; this
-    /// materializes the snapshot once and reads every φ from it. The
-    /// answers are also mutually consistent — they all describe the
-    /// same instant of a live stream, which per-call snapshots cannot
-    /// guarantee.
+    /// Answers a whole rank sweep from **one** epoch-consistent
+    /// snapshot: every φ reads the same merged summary, so the
+    /// answers are mutually consistent, and a sweep between writes
+    /// costs no merging at all (cache hit).
     ///
     /// # Panics
     /// Panics if any `φ ∉ (0, 1)`, matching
@@ -341,14 +771,85 @@ impl<T: Ord + Copy, S: MergeableSummary<T> + CheckInvariants + Clone> ShardedEng
         if phis.is_empty() {
             return Vec::new();
         }
-        let mut snap = self.snapshot();
-        phis.iter().map(|&phi| snap.quantile(phi)).collect()
+        self.with_snapshot(|s| phis.iter().map(|&phi| s.quantile(phi)).collect())
     }
 
-    /// Estimated rank of `x` over everything flushed so far, via a
-    /// fresh [`snapshot`](Self::snapshot).
+    /// Estimated rank of `x` over everything propagated so far,
+    /// answered from the epoch-cached snapshot.
     pub fn rank_estimate(&self, x: T) -> u64 {
-        self.snapshot().rank_estimate(x)
+        self.with_snapshot(|s| s.rank_estimate(x))
+    }
+}
+
+impl<T, S> ShardedEngine<T, S>
+where
+    T: Ord + Copy + Send + 'static,
+    S: MergeableSummary<T> + CheckInvariants + Clone + Send + Sync + 'static,
+{
+    /// Starts a background propagation thread that sweeps the shard
+    /// queues so producers almost never fold. Requires the engine in
+    /// an [`Arc`] (the thread co-owns it). Several propagators may be
+    /// attached; per-shard rounds still serialize on each shard's
+    /// token.
+    ///
+    /// The returned [`PropagatorHandle`] stops and joins the thread on
+    /// [`stop`](PropagatorHandle::stop) or drop, draining the queues
+    /// on the way out so a stopped propagator never strands handed-off
+    /// data. Producers detect the detachment and fall back to
+    /// cooperative stealing — the engine keeps working through any
+    /// kill/restart sequence.
+    pub fn spawn_propagator(self: &Arc<Self>) -> PropagatorHandle {
+        let engine = Arc::clone(self);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        self.propagator_count.fetch_add(1, Ordering::AcqRel);
+        let thread = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Acquire) {
+                if !engine.propagate_all() {
+                    // Idle: nap briefly instead of spinning. Producers
+                    // fold for themselves if a queue hits its depth
+                    // bound before the next sweep.
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+            // Drain on the way out: nothing handed off before the stop
+            // is left to strand.
+            while engine.propagate_all() {}
+            engine.propagator_count.fetch_sub(1, Ordering::AcqRel);
+        });
+        PropagatorHandle {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// A running background propagator (see
+/// [`ShardedEngine::spawn_propagator`]). Dropping it stops and joins
+/// the thread.
+pub struct PropagatorHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl PropagatorHandle {
+    /// Signals the propagator to stop, waits for it to drain the
+    /// queues and exit. Idempotent with drop.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for PropagatorHandle {
+    fn drop(&mut self) {
+        self.halt();
     }
 }
 
@@ -385,44 +886,76 @@ pub fn merge_tree<T: Ord + Copy, S: MergeableSummary<T>>(mut layer: Vec<S>) -> (
 /// A producer-side ingest buffer bound to one shard of a
 /// [`ShardedEngine`].
 ///
-/// `insert` appends to a plain `Vec`; when the buffer reaches the
-/// engine's `batch_capacity` it flushes — one shard-lock acquisition
-/// feeding the summary's [`insert_batch`] bulk path. Dropping the
-/// handle flushes the remainder, so no element is ever lost; call
+/// `insert` appends to a buffer this handle *owns* — the hot path
+/// performs no shared-state synchronization of any kind. When the
+/// buffer reaches the engine's `batch_capacity` it is **handed off**
+/// whole to the shard's propagation queue (one brief queue push; the
+/// replacement buffer is a fresh allocation) and the producer
+/// continues immediately — folding happens on the propagation stage.
+/// Dropping the handle flushes the remainder *and waits for its
+/// propagation*, so no element is ever lost and everything a dropped
+/// handle ingested is visible to the next snapshot; call
 /// [`flush`](Self::flush) explicitly to publish early.
 ///
 /// Handles are cheap; create one per producer thread.
-///
-/// [`insert_batch`]: sqs_core::QuantileSummary::insert_batch
-pub struct IngestHandle<'a, T: Ord + Copy, S: MergeableSummary<T> + CheckInvariants> {
+pub struct IngestHandle<'a, T, S>
+where
+    T: Ord + Copy,
+    S: MergeableSummary<T> + CheckInvariants + Clone,
+{
     engine: &'a ShardedEngine<T, S>,
     shard: usize,
     buf: Vec<T>,
+    /// Handoff sequence number of this handle's most recent handoff
+    /// (0 before the first) — what `flush` waits on.
+    last_seq: u64,
 }
 
-impl<T: Ord + Copy, S: MergeableSummary<T> + CheckInvariants> IngestHandle<'_, T, S> {
-    /// Buffers one element, flushing to the shard when the buffer
-    /// fills.
+impl<T, S> IngestHandle<'_, T, S>
+where
+    T: Ord + Copy,
+    S: MergeableSummary<T> + CheckInvariants + Clone,
+{
+    /// Buffers one element, handing the buffer off to the propagation
+    /// stage when it fills.
     #[inline]
     pub fn insert(&mut self, x: T) {
         self.buf.push(x);
         if self.buf.len() >= self.engine.batch_capacity {
-            self.flush();
+            self.handoff();
         }
     }
 
-    /// Buffers a slice, flushing at each capacity boundary.
+    /// Buffers a slice, handing off at each capacity boundary.
     pub fn insert_slice(&mut self, xs: &[T]) {
         for &x in xs {
             self.insert(x);
         }
     }
 
-    /// Publishes everything buffered so far to the shard (one lock
-    /// acquisition) and empties the buffer. A no-op when empty.
+    /// Hands the owned buffer to the shard's propagation queue and
+    /// replaces it with a fresh one. Does not wait for the fold.
+    fn handoff(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let full = std::mem::replace(
+            &mut self.buf,
+            Vec::with_capacity(self.engine.batch_capacity),
+        );
+        self.last_seq = self.engine.handoff(self.shard, full);
+    }
+
+    /// Publishes everything this handle has buffered **and waits until
+    /// it is folded into the shard summaries** — after `flush`
+    /// returns, every element inserted through this handle is visible
+    /// to snapshots. The wait is cooperative: if no propagator is
+    /// running, this thread folds the queue itself.
     pub fn flush(&mut self) {
-        self.engine.flush_batch(self.shard, &self.buf);
-        self.buf.clear();
+        self.handoff();
+        if self.last_seq > 0 {
+            self.engine.wait_propagated(self.shard, self.last_seq);
+        }
     }
 
     /// Index of the shard this handle feeds.
@@ -430,13 +963,17 @@ impl<T: Ord + Copy, S: MergeableSummary<T> + CheckInvariants> IngestHandle<'_, T
         self.shard
     }
 
-    /// Elements buffered but not yet visible to snapshots.
+    /// Elements buffered in this handle and not yet handed off.
     pub fn buffered(&self) -> usize {
         self.buf.len()
     }
 }
 
-impl<T: Ord + Copy, S: MergeableSummary<T> + CheckInvariants> Drop for IngestHandle<'_, T, S> {
+impl<T, S> Drop for IngestHandle<'_, T, S>
+where
+    T: Ord + Copy,
+    S: MergeableSummary<T> + CheckInvariants + Clone,
+{
     fn drop(&mut self) {
         self.flush();
     }
@@ -445,17 +982,30 @@ impl<T: Ord + Copy, S: MergeableSummary<T> + CheckInvariants> Drop for IngestHan
 impl<T, S> CheckInvariants for ShardedEngine<T, S>
 where
     T: Ord + Copy,
-    S: MergeableSummary<T> + CheckInvariants,
+    S: MergeableSummary<T> + CheckInvariants + Clone,
 {
     /// Engine-level invariants on top of each shard's own:
     ///
     /// * `engine.shard_structure` — at least one shard exists and the
     ///   batch capacity is positive (construction-time guarantees that
     ///   must survive);
-    /// * every shard's `CheckInvariants` (first violation wins);
-    /// * `engine.mass_conservation` — the shards' element counts sum
-    ///   exactly to the engine's flushed-items counter: no flush lost
-    ///   or double-counted an element.
+    /// * every shard's `CheckInvariants`, live **and** published
+    ///   (first violation wins);
+    /// * `engine.mass_conservation` — the live shards' element counts
+    ///   sum exactly to the engine's propagated-items counter: no fold
+    ///   lost or double-counted an element;
+    /// * `engine.queue_accounting` — per shard, the handed-off mass
+    ///   sitting in the propagation queue matches the shard's
+    ///   `queued_items` counter, and its completed-buffers counter
+    ///   never exceeds its handoffs (checked only when the shard's
+    ///   round token is free);
+    /// * `engine.epoch_accounting` — the epoch equals the publication
+    ///   count (checked only when every token is free);
+    /// * `engine.cache_coherence` — a cached snapshot claiming the
+    ///   current epoch carries exactly the propagated mass.
+    ///
+    /// Meaningful at quiescence (as the audit tests use it): counters
+    /// race benignly while rounds are actively folding.
     fn check_invariants(&self) -> Result<(), InvariantViolation> {
         ensure(
             !self.shards.is_empty() && self.batch_capacity > 0,
@@ -470,14 +1020,39 @@ where
             },
         )?;
         let mut shard_mass = 0u64;
-        for m in &self.shards {
+        let mut all_tokens_free = true;
+        for s in &self.shards {
             // Poison alone is not a violation — `lock_shard` recovers
             // from it by design; what matters is whether the summary's
             // own invariants survived the holder's panic, which the
             // audit below reports directly.
-            let guard = m.lock().unwrap_or_else(PoisonError::into_inner);
+            let guard = s.live.lock().unwrap_or_else(PoisonError::into_inner);
             guard.check_invariants()?;
             shard_mass = shard_mass.saturating_add(guard.n());
+            drop(guard);
+            s.published().check_invariants()?;
+            if s.token.load(Ordering::Acquire) {
+                all_tokens_free = false;
+                continue;
+            }
+            let queue_mass: u64 = s.lock_queue().iter().map(|h| h.data.len() as u64).sum();
+            let queued = s.queued_items.load(Ordering::Acquire);
+            ensure(
+                queue_mass == queued,
+                "ShardedEngine",
+                "engine.queue_accounting",
+                || format!("queue holds {queue_mass} elements but queued_items = {queued}"),
+            )?;
+            let (done, sent) = (
+                s.completed.load(Ordering::Acquire),
+                s.handoffs.load(Ordering::Acquire),
+            );
+            ensure(
+                done <= sent,
+                "ShardedEngine",
+                "engine.queue_accounting",
+                || format!("completed {done} buffers but only {sent} handed off"),
+            )?;
         }
         let counted = self.items.load(Ordering::Acquire);
         ensure(
@@ -485,7 +1060,37 @@ where
             "ShardedEngine",
             "engine.mass_conservation",
             || format!("Σ shard.n() = {shard_mass} but items counter = {counted}"),
-        )
+        )?;
+        if all_tokens_free {
+            let (epoch, pubs) = (
+                self.epoch.load(Ordering::Acquire),
+                self.propagations.load(Ordering::Acquire),
+            );
+            ensure(
+                epoch == pubs,
+                "ShardedEngine",
+                "engine.epoch_accounting",
+                || format!("epoch {epoch} but {pubs} publications at quiescence"),
+            )?;
+        }
+        let cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(cached) = cache.as_ref() {
+            if cached.epoch == self.epoch.load(Ordering::Acquire) {
+                let cached_n = cached.summary.n();
+                ensure(
+                    cached_n == counted,
+                    "ShardedEngine",
+                    "engine.cache_coherence",
+                    || {
+                        format!(
+                            "cached snapshot at current epoch holds {cached_n} \
+                             elements but items counter = {counted}"
+                        )
+                    },
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -509,7 +1114,7 @@ mod tests {
     }
 
     #[test]
-    fn drop_flushes_partial_buffer() {
+    fn drop_flushes_and_propagates_partial_buffer() {
         let e = random_engine(2, 1000);
         {
             let mut h = e.handle();
@@ -519,13 +1124,16 @@ mod tests {
             assert_eq!(h.buffered(), 7);
             assert_eq!(e.n(), 0, "nothing visible before flush");
         }
-        assert_eq!(e.n(), 7, "drop publishes the remainder");
-        assert_eq!(e.stats().flushes, 1);
+        assert_eq!(e.n(), 7, "drop hands off and waits for propagation");
+        let stats = e.stats();
+        assert_eq!(stats.handoffs, 1);
+        assert_eq!(stats.propagations, 1);
+        assert_eq!(stats.queued_items, 0);
         e.assert_invariants();
     }
 
     #[test]
-    fn flush_cadence_matches_batch_capacity() {
+    fn handoff_cadence_matches_batch_capacity() {
         let e = random_engine(1, 64);
         let mut h = e.handle_for(0);
         for x in 0..256u64 {
@@ -535,7 +1143,25 @@ mod tests {
         drop(h);
         let stats = e.stats();
         assert_eq!(stats.items, 256);
-        assert_eq!(stats.flushes, 4, "256 elements / 64 per batch");
+        assert_eq!(stats.handoffs, 4, "256 elements / 64 per buffer");
+        assert_eq!(stats.propagated_buffers, 4);
+        assert!(stats.propagations >= 1, "at least one round folded them");
+        assert_eq!(stats.epoch, stats.propagations, "one tick per round");
+    }
+
+    #[test]
+    fn epoch_ticks_once_per_publication() {
+        let e = random_engine(2, 16);
+        assert_eq!(e.epoch(), 0);
+        e.ingest_batch(&[1, 2, 3]);
+        assert_eq!(e.epoch(), 1, "one direct fold = one publication");
+        let mut h = e.handle_for(1);
+        h.insert_slice(&(0..64u64).collect::<Vec<_>>());
+        h.flush();
+        let stats = e.stats();
+        assert!(stats.epoch >= 2, "epoch {}", stats.epoch);
+        assert_eq!(stats.epoch, stats.propagations);
+        e.assert_invariants();
     }
 
     #[test]
@@ -556,7 +1182,7 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_sees_all_flushed_mass() {
+    fn snapshot_sees_all_propagated_mass() {
         let e = random_engine(4, 16);
         for t in 0..4 {
             let mut h = e.handle_for(t);
@@ -569,6 +1195,29 @@ mod tests {
         assert_eq!(snap.n(), e.n());
         let q = snap.quantile(0.5).expect("test invariant: nonempty");
         assert!(q.abs_diff(2_000) <= 200, "median {q}");
+        e.assert_invariants();
+    }
+
+    #[test]
+    fn snapshot_cache_hits_between_writes_and_invalidates_on_ingest() {
+        let e = random_engine(4, 64);
+        e.ingest_batch(&(0..4_000u64).collect::<Vec<_>>());
+        let _ = e.snapshot();
+        let s1 = e.stats();
+        assert_eq!(s1.snapshots, 1);
+        assert_eq!(s1.snapshot_cache_hits, 0);
+        // Repeated reads between writes: all cache hits, no re-merge.
+        let _ = e.quantile(0.5);
+        let _ = e.quantiles(&[0.25, 0.5, 0.75]);
+        let _ = e.rank_estimate(2_000);
+        let s2 = e.stats();
+        assert_eq!(s2.snapshots, 1, "no rebuild between writes");
+        assert_eq!(s2.snapshot_cache_hits, 3);
+        // A write bumps the epoch; the next read rebuilds.
+        e.ingest_batch(&[9_999]);
+        let _ = e.quantile(0.5);
+        let s3 = e.stats();
+        assert_eq!(s3.snapshots, 2, "epoch change invalidates the cache");
         e.assert_invariants();
     }
 
@@ -626,11 +1275,26 @@ mod tests {
         }
         drop(h);
         e.assert_invariants();
-        // Corrupt the flushed-items counter behind the shards' backs.
+        // Corrupt the propagated-items counter behind the shards' backs.
         e.items.fetch_add(5, Ordering::AcqRel);
         let err = e.check_invariants().expect_err("corruption must be caught");
         assert_eq!(err.invariant, "engine.mass_conservation");
         assert_eq!(err.algorithm, "ShardedEngine");
+        e.items.fetch_sub(5, Ordering::AcqRel);
+        // Corrupt the queue accounting the same way.
+        let sh = e.shard(0);
+        sh.queued_items.fetch_add(3, Ordering::AcqRel);
+        let err = e
+            .check_invariants()
+            .expect_err("queue drift must be caught");
+        assert_eq!(err.invariant, "engine.queue_accounting");
+        sh.queued_items.fetch_sub(3, Ordering::AcqRel);
+        // And the epoch/publication ledger.
+        e.epoch.fetch_add(1, Ordering::AcqRel);
+        let err = e
+            .check_invariants()
+            .expect_err("epoch drift must be caught");
+        assert_eq!(err.invariant, "engine.epoch_accounting");
     }
 
     #[test]
@@ -649,10 +1313,10 @@ mod tests {
         let mut snap = e.snapshot();
         let direct: Vec<Option<u64>> = phis.iter().map(|&p| snap.quantile(p)).collect();
         assert_eq!(swept, direct);
-        // And it costs exactly one snapshot, not one per φ.
+        // And repeat sweeps between writes never re-merge.
         let before = e.stats().snapshots;
         let _ = e.quantiles(&phis);
-        assert_eq!(e.stats().snapshots, before + 1);
+        assert_eq!(e.stats().snapshots, before, "cache hit, no rebuild");
         assert_eq!(e.quantiles(&[]), Vec::<Option<u64>>::new());
     }
 
@@ -663,7 +1327,7 @@ mod tests {
         e.ingest_batch(&batch);
         assert_eq!(e.n(), 1_000, "no engine-side buffering");
         e.ingest_batch(&[]);
-        assert_eq!(e.stats().flushes, 1, "empty batches don't count");
+        assert_eq!(e.stats().propagations, 1, "empty batches don't count");
         e.ingest_batch(&batch);
         assert_eq!(e.n(), 2_000);
         e.assert_invariants();
@@ -688,11 +1352,15 @@ mod tests {
     fn try_absorb_rejects_incompatible_config() {
         let e = random_engine(2, 16);
         e.ingest_batch(&[1, 2, 3]);
+        let epoch_before = e.epoch();
         let mut donor = RandomSketch::new(0.2, 7); // different eps
         donor.insert(9);
         let back = e.try_absorb(donor).expect_err("eps mismatch must bounce");
         assert_eq!(back.n(), 1, "donor returned untouched");
         assert_eq!(e.n(), 3, "engine untouched");
+        assert_eq!(e.epoch(), epoch_before, "no epoch tick on rejection");
+        let token_free = !e.shard(0).token.load(Ordering::Acquire);
+        assert!(token_free, "token released");
         e.assert_invariants();
     }
 
@@ -723,11 +1391,11 @@ mod tests {
         let mut h = e.handle_for(0);
         h.insert_slice(&(0..100u64).collect::<Vec<_>>());
         h.flush();
-        // Kill a "producer" while it holds shard 0: the unwind poisons
-        // the shard mutex.
+        // Kill a "propagator" while it holds shard 0: the unwind
+        // poisons the shard mutex.
         let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _g = e.lock_shard(0);
-            panic!("producer dies while holding shard 0");
+            panic!("propagating thread dies while holding shard 0");
         }));
         assert!(died.is_err());
         assert_eq!(e.stats().lock_recoveries, 0, "nothing recovered yet");
@@ -743,6 +1411,22 @@ mod tests {
         let _ = e.snapshot();
         assert!(e.quantile(0.5).is_some());
         assert_eq!(e.stats().lock_recoveries, 1);
+    }
+
+    #[test]
+    fn token_guard_unwind_releases_the_token() {
+        let e = random_engine(1, 16);
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _token = e.acquire_token_blocking(0);
+            panic!("propagator dies mid-round");
+        }));
+        assert!(died.is_err());
+        let token_free = !e.shard(0).token.load(Ordering::Acquire);
+        assert!(token_free, "unwind released the token");
+        // The engine still ingests and snapshots normally.
+        e.ingest_batch(&[1, 2, 3]);
+        assert_eq!(e.n(), 3);
+        e.assert_invariants();
     }
 
     #[cfg(debug_assertions)]
@@ -775,5 +1459,29 @@ mod tests {
     fn handle_for_checks_bounds() {
         let e = random_engine(2, 8);
         let _ = e.handle_for(2);
+    }
+
+    #[test]
+    fn background_propagator_folds_without_producer_help() {
+        let e = Arc::new(random_engine(2, 32));
+        let prop = e.spawn_propagator();
+        {
+            let mut h = e.handle_for(0);
+            for x in 0..10_000u64 {
+                h.insert(x);
+            }
+            // Wait for the propagator to drain everything handed off
+            // so far, without this thread ever stealing a round.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while e.stats().propagated_buffers < e.stats().handoffs {
+                assert!(Instant::now() < deadline, "propagator never caught up");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            assert!(e.n() > 0, "propagator folded handed-off buffers");
+        }
+        prop.stop();
+        assert_eq!(e.n(), 10_000);
+        assert_eq!(e.stats().queued_items, 0, "stop drained the queues");
+        e.assert_invariants();
     }
 }

@@ -39,7 +39,7 @@ fn stream(shards: usize, t: usize) -> Vec<u64> {
 /// against the exact oracle at the probe grid φ = ε, 2ε, …, 1−ε.
 fn drive<S, F>(eps: f64, label: &str, make: F)
 where
-    S: MergeableSummary<u64> + CheckInvariants + Clone + Send,
+    S: MergeableSummary<u64> + CheckInvariants + Clone + Send + Sync,
     F: Fn(usize) -> S,
 {
     for &shards in &SHARD_COUNTS {
@@ -78,10 +78,15 @@ where
         let stats = engine.stats();
         assert_eq!(stats.items, expected_n);
         assert_eq!(
-            stats.flushes,
+            stats.handoffs,
             (shards * PER_THREAD.div_ceil(BATCH)) as u64,
-            "{label}/{shards}: each thread flushes ⌈{PER_THREAD}/{BATCH}⌉ times"
+            "{label}/{shards}: each thread hands off ⌈{PER_THREAD}/{BATCH}⌉ buffers"
         );
+        assert_eq!(
+            stats.propagated_buffers, stats.handoffs,
+            "{label}/{shards}: every handoff was folded"
+        );
+        assert_eq!(stats.queued_items, 0, "{label}/{shards}: queues drained");
         assert!(stats.snapshots >= 1);
         assert_eq!(
             stats.last_merge_depth,
@@ -138,4 +143,150 @@ fn contended_round_robin_conserves_mass() {
     let snap = engine.snapshot();
     snap.assert_invariants();
     assert_eq!(snap.n(), engine.n());
+}
+
+/// Adversarial handoff sizes: batch capacities chosen to never divide
+/// the stream lengths (primes, 1, capacity > stream), plus interleaved
+/// explicit flushes, so partial buffers, empty-flush calls, and
+/// capacity-boundary handoffs all hit. Mass conservation must be exact
+/// and `CheckInvariants` clean at every quiescent point.
+#[test]
+fn adversarial_buffer_sizes_conserve_mass() {
+    for &cap in &[1usize, 3, 127, 257, 1023, 60_001] {
+        let engine = ShardedEngine::new_with(3, cap, |i| RandomSketch::new(0.05, 31 + i as u64));
+        let mut expected = 0u64;
+        for t in 0..3usize {
+            let data = stream(3, t);
+            let mut h = engine.handle_for(t);
+            // Flush at awkward interior points, including back-to-back
+            // flushes with nothing buffered.
+            for (i, chunk) in data.chunks(997).enumerate() {
+                h.insert_slice(chunk);
+                if i % 3 == 0 {
+                    h.flush();
+                    h.flush();
+                }
+            }
+            expected += data.len() as u64;
+        }
+        assert_eq!(engine.n(), expected, "cap {cap}: mass conserved");
+        engine.assert_invariants();
+        let stats = engine.stats();
+        assert_eq!(stats.queued_items, 0, "cap {cap}: queues drained");
+        assert_eq!(stats.propagated_buffers, stats.handoffs, "cap {cap}");
+    }
+}
+
+/// Readers snapshotting *while* producers ingest and rounds propagate:
+/// every mid-flight snapshot must be internally sound (audited), carry
+/// a plausible prefix mass, and answer ranks monotonically; after the
+/// producers join, the final answers must match the oracle within ε.
+#[test]
+fn snapshots_mid_propagation_are_sound() {
+    let eps = 0.05;
+    let engine = ShardedEngine::new_with(4, 257, |i| RandomSketch::new(eps, 0x51A9 + i as u64));
+    let total: u64 = 4 * PER_THREAD as u64;
+    std::thread::scope(|scope| {
+        for t in 0..4usize {
+            let engine = &engine;
+            scope.spawn(move || {
+                let mut h = engine.handle_for(t);
+                h.insert_slice(&stream(4, t));
+            });
+        }
+        // Reader thread: hammer snapshots while ingestion runs.
+        let engine = &engine;
+        scope.spawn(move || {
+            let mut last_n = 0u64;
+            while engine.n() < total {
+                let mut snap = engine.snapshot();
+                snap.assert_invariants();
+                let n = snap.n();
+                assert!(n >= last_n, "published mass went backwards: {last_n} → {n}");
+                assert!(n <= total, "snapshot mass {n} exceeds stream total {total}");
+                if n > 0 {
+                    let med = snap
+                        .quantile(0.5)
+                        .expect("stress invariant: nonempty snapshot answers");
+                    let _ = snap.rank_estimate(med);
+                }
+                last_n = n;
+            }
+        });
+    });
+    engine.assert_invariants();
+    let all: Vec<u64> = (0..4).flat_map(|t| stream(4, t)).collect();
+    let oracle = ExactQuantiles::new(all);
+    let mut snap = engine.snapshot();
+    for phi in probe_phis(eps) {
+        let ans = snap
+            .quantile(phi)
+            .expect("stress invariant: nonempty snapshot answers");
+        assert!(
+            oracle.quantile_error(phi, ans) <= eps,
+            "mid-propagation run drifted at phi {phi}"
+        );
+    }
+    let stats = engine.stats();
+    assert!(stats.snapshots >= 1);
+    assert_eq!(stats.snapshots_torn, 0, "quiescent final snapshot torn");
+}
+
+/// Kill/restart of the background propagator mid-stream: producers
+/// must fall back to cooperative folding while no propagator is
+/// attached, a restarted propagator must pick the queues back up, and
+/// no handed-off buffer may be lost across either transition.
+#[test]
+fn propagator_kill_restart_loses_nothing() {
+    use std::sync::Arc;
+    let eps = 0.05;
+    let engine = Arc::new(ShardedEngine::new_with(2, 64, |i| {
+        RandomSketch::new(eps, 0xDEAD + i as u64)
+    }));
+    let data_a = stream(2, 0);
+    let data_b = stream(2, 1);
+
+    // Phase 1: ingest under a live propagator.
+    let prop = engine.spawn_propagator();
+    let mut h = engine.handle_for(0);
+    h.insert_slice(&data_a);
+    // Kill it mid-stream (drop = stop + join + drain).
+    prop.stop();
+    assert_eq!(
+        engine.stats().queued_items,
+        0,
+        "stopped propagator drained its queues"
+    );
+
+    // Phase 2: no propagator attached — cooperative stealing carries.
+    h.insert_slice(&data_b);
+    h.flush();
+    assert_eq!(engine.n(), (data_a.len() + data_b.len()) as u64);
+    engine.assert_invariants();
+
+    // Phase 3: restart; a fresh propagator serves new traffic.
+    let prop = engine.spawn_propagator();
+    let mut h2 = engine.handle_for(1);
+    h2.insert_slice(&data_a);
+    drop(h2);
+    prop.stop();
+    let expected = (2 * data_a.len() + data_b.len()) as u64;
+    assert_eq!(engine.n(), expected, "no mass lost across kill/restart");
+    engine.assert_invariants();
+
+    // Accuracy survived the churn.
+    let mut all = data_a.clone();
+    all.extend_from_slice(&data_b);
+    all.extend_from_slice(&data_a);
+    let oracle = ExactQuantiles::new(all);
+    let mut snap = engine.snapshot();
+    for phi in probe_phis(eps) {
+        let ans = snap
+            .quantile(phi)
+            .expect("stress invariant: nonempty snapshot answers");
+        assert!(
+            oracle.quantile_error(phi, ans) <= eps,
+            "kill/restart run drifted at phi {phi}"
+        );
+    }
 }

@@ -1,22 +1,31 @@
-//! Concurrent-ingestion baseline for the sharded engine (`sqs-engine`).
+//! Concurrent-ingestion experiments for the sharded engine
+//! (`sqs-engine`): the shard-count baseline grid, the producer-thread
+//! scaling sweep, and the ingest-buffer capacity sweep.
 //!
-//! Not a paper figure: the paper's study is single-threaded, and this
-//! experiment documents what the mergeable-summary property buys when
-//! the same summaries are run behind the engine's sharded front end.
-//! For each backend (Random, q-digest) and shard count ∈ {1, 2, 4, 8}
-//! it drives `shards` producer threads through buffered
-//! [`IngestHandle`](sqs_engine::IngestHandle)s and records:
+//! Not paper figures: the paper's study is single-threaded, and these
+//! experiments document what the mergeable-summary property buys when
+//! the same summaries are run behind the engine's buffered,
+//! epoch-snapshotting front end.
 //!
-//! * ingestion throughput (million elements/s, wall clock across all
-//!   threads — on a multi-core host this scales with shards, on a
-//!   single hardware thread it stays flat);
-//! * snapshot latency and merge-tree depth;
-//! * the observed max rank error of the merged snapshot against an
-//!   exact oracle — the accuracy column is the point: it must stay
-//!   within the single-summary ε at *every* shard count.
+//! Three outputs:
 //!
-//! Besides the usual CSV, `run` writes `engine_baseline.json` so later
-//! optimization PRs can diff against a machine-readable baseline.
+//! * `engine_baseline.json` + the `engine_scaling` table — the
+//!   backend × shard-count grid (throughput, snapshot latency,
+//!   merge-tree depth, handoff counts, max rank error vs the exact
+//!   oracle — the accuracy column is the point: it must stay within
+//!   the single-summary ε at *every* shard count).
+//! * `engine_scaling.json` + the `engine_thread_scaling` table — the
+//!   backend × producer-thread sweep at a fixed shard count, with each
+//!   cell's throughput ratio against the same backend's 1-thread cell.
+//!   The JSON records `host_parallelism` so `cargo xtask bench-check`
+//!   can hold the sweep to a *machine-independent* floor: near-linear
+//!   scaling where the hardware has the cores, graceful no-collapse
+//!   behaviour where it does not (the reference CI box is
+//!   single-core — see docs/PERF.md §4).
+//! * the `batch_sweep` table (auto-emitted as `batch_sweep.csv`) — a
+//!   single-producer sweep of the handle buffer capacity around the
+//!   sketch crate's 1024-element `CHUNK`, the evidence behind
+//!   `DEFAULT_BATCH_CAPACITY`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -32,9 +41,17 @@ use sqs_util::exact::{probe_phis, ExactQuantiles};
 use sqs_util::rng::Xoshiro256pp;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
-const BATCH: usize = 1024;
+/// Producer-thread sweep of the scaling experiment.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Shards used by the thread sweep: the max thread count, so every
+/// producer owns a shard and folding can parallelize fully.
+const SCALING_SHARDS: usize = 8;
+/// Handle-buffer capacities swept by `batch_sweep` (bracketing the
+/// sketch crate's 1024-element `CHUNK` by 4× in both directions).
+const BATCH_CAPACITIES: [usize; 6] = [256, 512, 1024, 2048, 4096, 8192];
+const BATCH: usize = sqs_engine::DEFAULT_BATCH_CAPACITY;
 
-/// One measured cell of the baseline grid.
+/// One measured cell of the shard-count baseline grid.
 struct Cell {
     backend: &'static str,
     shards: usize,
@@ -42,7 +59,19 @@ struct Cell {
     ingest_melems_per_s: f64,
     snapshot_ms: f64,
     merge_depth: u32,
-    flushes: u64,
+    handoffs: u64,
+    max_rank_err: f64,
+    eps: f64,
+}
+
+/// One measured cell of the thread-scaling sweep.
+struct ScaleCell {
+    backend: &'static str,
+    threads: usize,
+    n: u64,
+    ingest_melems_per_s: f64,
+    /// Throughput ratio vs the same backend's 1-thread cell.
+    ratio_vs_1: f64,
     max_rank_err: f64,
     eps: f64,
 }
@@ -54,10 +83,33 @@ fn stream(seed: u64, t: usize, len: usize) -> Vec<u64> {
     (0..len).map(|_| rng.next_below(width)).collect()
 }
 
-/// Drives one backend across the shard sweep.
-fn measure<S, F>(backend: &'static str, eps: f64, cfg: &ExpConfig, make: F, out: &mut Vec<Cell>)
+/// Max rank error of the engine's merged snapshot over the probe grid
+/// vs an exact oracle of `all`.
+fn oracle_err<S>(engine: &ShardedEngine<u64, S>, all: Vec<u64>, eps: f64) -> f64
 where
-    S: MergeableSummary<u64> + CheckInvariants + Clone + Send,
+    S: MergeableSummary<u64> + CheckInvariants + Clone,
+{
+    let oracle = ExactQuantiles::new(all);
+    let phis = probe_phis(eps);
+    let mut max_err = 0.0f64;
+    for (phi, ans) in phis.iter().zip(engine.quantiles(&phis)) {
+        if let Some(ans) = ans {
+            max_err = max_err.max(oracle.quantile_error(*phi, ans));
+        }
+    }
+    max_err
+}
+
+/// Drives one backend across the shard sweep (threads == shards, the
+/// original baseline grid).
+fn measure_shards<S, F>(
+    backend: &'static str,
+    eps: f64,
+    cfg: &ExpConfig,
+    make: F,
+    out: &mut Vec<Cell>,
+) where
+    S: MergeableSummary<u64> + CheckInvariants + Clone + Send + Sync,
     F: Fn(usize) -> S,
 {
     // Per-thread share so total work (and the oracle) stays ~cfg.n
@@ -86,18 +138,7 @@ where
         let snapshot_ms = snap_start.elapsed().as_secs_f64() * 1e3;
         snap.assert_invariants();
 
-        let all: Vec<u64> = streams.into_iter().flatten().collect();
-        let oracle = ExactQuantiles::new(all);
-        // One merged snapshot serves the whole sweep (engine.quantiles
-        // batches the ranks instead of re-merging per φ).
-        let phis = probe_phis(eps);
-        let mut max_err = 0.0f64;
-        for (phi, ans) in phis.iter().zip(engine.quantiles(&phis)) {
-            if let Some(ans) = ans {
-                max_err = max_err.max(oracle.quantile_error(*phi, ans));
-            }
-        }
-
+        let max_err = oracle_err(&engine, streams.into_iter().flatten().collect(), eps);
         let stats = engine.stats();
         out.push(Cell {
             backend,
@@ -106,16 +147,71 @@ where
             ingest_melems_per_s: stats.items as f64 / ingest_s / 1e6,
             snapshot_ms,
             merge_depth: stats.last_merge_depth,
-            flushes: stats.flushes,
+            handoffs: stats.handoffs,
             max_rank_err: max_err,
             eps,
         });
     }
 }
 
-/// Renders the grid as JSON by hand (the workspace builds offline — no
-/// serde), stable key order, one object per cell.
-fn to_json(cells: &[Cell], cfg: &ExpConfig) -> String {
+/// Drives one backend across the producer-thread sweep at a fixed
+/// shard count (`SCALING_SHARDS`).
+fn measure_threads<S, F>(
+    backend: &'static str,
+    eps: f64,
+    cfg: &ExpConfig,
+    make: F,
+    out: &mut Vec<ScaleCell>,
+) where
+    S: MergeableSummary<u64> + CheckInvariants + Clone + Send + Sync,
+    F: Fn(usize) -> S,
+{
+    let mut base_rate = 0.0f64;
+    for &threads in &THREAD_COUNTS {
+        let per_thread = cfg.n / threads;
+        let engine = ShardedEngine::new_with(SCALING_SHARDS, BATCH, &make);
+        let streams: Vec<Vec<u64>> = (0..threads)
+            .map(|t| stream(cfg.seed, threads * 1_000 + t, per_thread))
+            .collect();
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for (t, data) in streams.iter().enumerate() {
+                let engine = &engine;
+                scope.spawn(move || {
+                    // Threads ≤ shards: each producer owns a shard, so
+                    // cooperative folding parallelizes across threads.
+                    let mut h = engine.handle_for(t % SCALING_SHARDS);
+                    h.insert_slice(data);
+                });
+            }
+        });
+        let ingest_s = start.elapsed().as_secs_f64();
+        engine.assert_invariants();
+        let stats = engine.stats();
+        let rate = stats.items as f64 / ingest_s / 1e6;
+        if threads == 1 {
+            base_rate = rate;
+        }
+        let max_err = oracle_err(&engine, streams.into_iter().flatten().collect(), eps);
+        out.push(ScaleCell {
+            backend,
+            threads,
+            n: stats.items,
+            ingest_melems_per_s: rate,
+            ratio_vs_1: if base_rate > 0.0 {
+                rate / base_rate
+            } else {
+                0.0
+            },
+            max_rank_err: max_err,
+            eps,
+        });
+    }
+}
+
+/// Renders the shard grid as JSON by hand (the workspace builds
+/// offline — no serde), stable key order, one object per cell.
+fn baseline_json(cells: &[Cell], cfg: &ExpConfig) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"experiment\": \"engine_scaling\",");
@@ -129,7 +225,7 @@ fn to_json(cells: &[Cell], cfg: &ExpConfig) -> String {
             s,
             "    {{\"backend\": \"{}\", \"shards\": {}, \"eps\": {}, \"n\": {}, \
              \"ingest_melems_per_s\": {:.4}, \"snapshot_ms\": {:.4}, \
-             \"merge_depth\": {}, \"flushes\": {}, \"max_rank_err\": {:.6}}}{}",
+             \"merge_depth\": {}, \"handoffs\": {}, \"max_rank_err\": {:.6}}}{}",
             c.backend,
             c.shards,
             c.eps,
@@ -137,7 +233,7 @@ fn to_json(cells: &[Cell], cfg: &ExpConfig) -> String {
             c.ingest_melems_per_s,
             c.snapshot_ms,
             c.merge_depth,
-            c.flushes,
+            c.handoffs,
             c.max_rank_err,
             comma
         );
@@ -147,18 +243,144 @@ fn to_json(cells: &[Cell], cfg: &ExpConfig) -> String {
     s
 }
 
-/// Runs the engine-scaling baseline: one table plus
-/// `engine_baseline.json` in the output directory.
-pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+/// Renders the thread sweep as JSON: one cell object per line (the
+/// `xtask` gate parses line-by-line), `host_parallelism` up front so
+/// the scaling floor can adapt to the machine.
+fn scaling_json(cells: &[ScaleCell], cfg: &ExpConfig, host_parallelism: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"experiment\": \"engine_thread_scaling\",");
+    let _ = writeln!(s, "  \"n\": {},", cfg.n);
+    let _ = writeln!(s, "  \"shards\": {SCALING_SHARDS},");
+    let _ = writeln!(s, "  \"batch_capacity\": {BATCH},");
+    let _ = writeln!(s, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(s, "  \"host_parallelism\": {host_parallelism},");
+    let _ = writeln!(s, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"backend\": \"{}\", \"threads\": {}, \"eps\": {}, \"n\": {}, \
+             \"ingest_melems_per_s\": {:.4}, \"ratio_vs_1\": {:.4}, \
+             \"max_rank_err\": {:.6}}}{}",
+            c.backend,
+            c.threads,
+            c.eps,
+            c.n,
+            c.ingest_melems_per_s,
+            c.ratio_vs_1,
+            c.max_rank_err,
+            comma
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// The thread-scaling sweep alone: the `engine_thread_scaling` table
+/// plus `engine_scaling.json` in the output directory. This is what
+/// `sqs-exp engine-scaling` runs (CI's scaling gate re-runs it fresh
+/// via `cargo xtask bench-check`).
+pub fn run_scaling(cfg: &ExpConfig) -> Vec<Table> {
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut cells = Vec::new();
-    measure(
+    measure_threads(
         "Random",
         0.05,
         cfg,
         |i| RandomSketch::new(0.05, cfg.seed ^ i as u64),
         &mut cells,
     );
-    measure("QDigest", 0.01, cfg, |_| QDigest::new(0.01, 24), &mut cells);
+    measure_threads("QDigest", 0.01, cfg, |_| QDigest::new(0.01, 24), &mut cells);
+
+    let mut t = Table::new(
+        "engine_thread_scaling",
+        "Sharded engine: ingest throughput vs producer-thread count (fixed 8 shards)",
+        &[
+            "backend",
+            "threads",
+            "eps",
+            "n",
+            "ingest_Melem_s",
+            "ratio_vs_1",
+            "max_rank_err",
+        ],
+    );
+    for c in &cells {
+        t.push_row(vec![
+            c.backend.to_string(),
+            c.threads.to_string(),
+            fnum(c.eps),
+            c.n.to_string(),
+            fnum(c.ingest_melems_per_s),
+            fnum(c.ratio_vs_1),
+            fnum(c.max_rank_err),
+        ]);
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&cfg.out_dir) {
+        eprintln!(
+            "engine_scaling: cannot create {}: {e}",
+            cfg.out_dir.display()
+        );
+    } else if let Err(e) = std::fs::write(
+        cfg.out_dir.join("engine_scaling.json"),
+        scaling_json(&cells, cfg, host_parallelism),
+    ) {
+        eprintln!("engine_scaling: cannot write engine_scaling.json: {e}");
+    }
+
+    vec![t]
+}
+
+/// Single-producer sweep of the handle buffer capacity: the evidence
+/// behind `DEFAULT_BATCH_CAPACITY` (see docs/PERF.md §4). Emitted as
+/// `batch_sweep.csv` by the harness.
+fn run_batch_sweep(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "batch_sweep",
+        "Handle buffer capacity vs single-producer ingest throughput",
+        &["backend", "capacity", "n", "ingest_Melem_s", "handoffs"],
+    );
+    let data = stream(cfg.seed, 0, cfg.n);
+    for &cap in &BATCH_CAPACITIES {
+        // Random backend: the cheapest fold, so buffer overhead (the
+        // thing being swept) is the largest fraction of the runtime.
+        let engine: ShardedEngine<u64, RandomSketch<u64>> =
+            ShardedEngine::new_with(1, cap, |i| RandomSketch::new(0.05, cfg.seed ^ i as u64));
+        let start = Instant::now();
+        let mut h = engine.handle_for(0);
+        h.insert_slice(&data);
+        h.flush();
+        drop(h);
+        let ingest_s = start.elapsed().as_secs_f64();
+        engine.assert_invariants();
+        let stats = engine.stats();
+        t.push_row(vec![
+            "Random".to_string(),
+            cap.to_string(),
+            stats.items.to_string(),
+            fnum(stats.items as f64 / ingest_s / 1e6),
+            stats.handoffs.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Runs the full engine experiment suite: the shard-count baseline
+/// grid (+ `engine_baseline.json`), the thread-scaling sweep
+/// (+ `engine_scaling.json`), and the batch-capacity sweep.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut cells = Vec::new();
+    measure_shards(
+        "Random",
+        0.05,
+        cfg,
+        |i| RandomSketch::new(0.05, cfg.seed ^ i as u64),
+        &mut cells,
+    );
+    measure_shards("QDigest", 0.01, cfg, |_| QDigest::new(0.01, 24), &mut cells);
 
     let mut t = Table::new(
         "engine_scaling",
@@ -171,7 +393,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             "ingest_Melem_s",
             "snapshot_ms",
             "merge_depth",
-            "flushes",
+            "handoffs",
             "max_rank_err",
         ],
     );
@@ -184,7 +406,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             fnum(c.ingest_melems_per_s),
             fnum(c.snapshot_ms),
             c.merge_depth.to_string(),
-            c.flushes.to_string(),
+            c.handoffs.to_string(),
             fnum(c.max_rank_err),
         ]);
     }
@@ -196,12 +418,15 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         );
     } else if let Err(e) = std::fs::write(
         cfg.out_dir.join("engine_baseline.json"),
-        to_json(&cells, cfg),
+        baseline_json(&cells, cfg),
     ) {
         eprintln!("engine_scaling: cannot write engine_baseline.json: {e}");
     }
 
-    vec![t]
+    let mut tables = vec![t];
+    tables.extend(run_scaling(cfg));
+    tables.push(run_batch_sweep(cfg));
+    tables
 }
 
 #[cfg(test)]
@@ -219,17 +444,51 @@ mod tests {
             quick: true,
         };
         let tables = run(&cfg);
-        assert_eq!(tables.len(), 1);
-        let t = &tables[0];
+        assert_eq!(tables.len(), 3);
+        let t = tables.first().expect("grid table present");
         assert_eq!(t.rows.len(), 2 * SHARD_COUNTS.len());
         for row in &t.rows {
-            let eps: f64 = row[2].parse().expect("eps cell parses");
-            let err: f64 = row[8].parse().expect("err cell parses");
+            let eps: f64 = row.get(2).and_then(|c| c.parse().ok()).expect("eps cell");
+            let err: f64 = row.get(8).and_then(|c| c.parse().ok()).expect("err cell");
             assert!(err <= eps, "row {row:?}: err {err} > eps {eps}");
         }
         let json = std::fs::read_to_string(cfg.out_dir.join("engine_baseline.json"))
             .expect("baseline json written");
         assert!(json.contains("\"experiment\": \"engine_scaling\""));
         assert!(json.contains("\"backend\": \"QDigest\""));
+        let sweep = tables.get(2).expect("batch sweep table present");
+        assert_eq!(sweep.rows.len(), BATCH_CAPACITIES.len());
+    }
+
+    #[test]
+    fn thread_scaling_sweep_is_accurate_and_ratioed() {
+        let cfg = ExpConfig {
+            n: 40_000,
+            trials: 1,
+            out_dir: std::env::temp_dir().join("sqs_engine_thread_scaling_test"),
+            seed: 9,
+            max_stream_len: 40_000,
+            quick: true,
+        };
+        let tables = run_scaling(&cfg);
+        assert_eq!(tables.len(), 1);
+        let t = tables.first().expect("scaling table present");
+        assert_eq!(t.rows.len(), 2 * THREAD_COUNTS.len());
+        for row in &t.rows {
+            let threads: usize = row.get(1).and_then(|c| c.parse().ok()).expect("threads");
+            let eps: f64 = row.get(2).and_then(|c| c.parse().ok()).expect("eps cell");
+            let ratio: f64 = row.get(5).and_then(|c| c.parse().ok()).expect("ratio");
+            let err: f64 = row.get(6).and_then(|c| c.parse().ok()).expect("err cell");
+            assert!(err <= eps, "row {row:?}: err {err} > eps {eps}");
+            assert!(ratio > 0.0, "row {row:?}: ratio not positive");
+            if threads == 1 {
+                assert!((ratio - 1.0).abs() < 1e-9, "1-thread ratio is the unit");
+            }
+        }
+        let json = std::fs::read_to_string(cfg.out_dir.join("engine_scaling.json"))
+            .expect("scaling json written");
+        assert!(json.contains("\"experiment\": \"engine_thread_scaling\""));
+        assert!(json.contains("\"host_parallelism\""));
+        assert!(json.contains("\"ratio_vs_1\""));
     }
 }

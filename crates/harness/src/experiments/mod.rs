@@ -82,7 +82,7 @@ impl ExpConfig {
 }
 
 /// Every experiment id, in DESIGN.md order.
-pub const ALL_EXPERIMENTS: [&str; 15] = [
+pub const ALL_EXPERIMENTS: [&str; 16] = [
     "fig4",
     "fig5",
     "fig6",
@@ -97,6 +97,7 @@ pub const ALL_EXPERIMENTS: [&str; 15] = [
     "ablation",
     "claims",
     "engine",
+    "engine-scaling",
     "turnstile-perf",
 ];
 
@@ -120,6 +121,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Vec<Table> {
         "ablation" => ablation::run(cfg),
         "claims" => claims::run(cfg),
         "engine" => engine_scaling::run(cfg),
+        "engine-scaling" => engine_scaling::run_scaling(cfg),
         "turnstile-perf" => turnstile_perf::run(cfg),
         other => panic!("unknown experiment id: {other}"),
     }

@@ -201,7 +201,7 @@ fn main() -> ExitCode {
 
 fn run<S>(addr: std::net::SocketAddr, handle: sqs_service::ServerHandle<S>) -> ExitCode
 where
-    S: sqs_core::MergeableSummary<u64> + sqs_core::codec::WireCodec + Clone + Send + 'static,
+    S: sqs_core::MergeableSummary<u64> + sqs_core::codec::WireCodec + Clone + Send + Sync + 'static,
 {
     println!("listening on {addr}");
     // Park until a client's SHUTDOWN op stops the server; the handle's

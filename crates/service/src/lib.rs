@@ -28,6 +28,6 @@ pub mod proto;
 pub mod server;
 
 pub use client::{Client, ClientError};
-pub use metrics::{LatencyHistogram, Metrics};
+pub use metrics::{EngineTotals, LatencyHistogram, Metrics};
 pub use proto::{Op, ProtoError, Request, Response, Status};
 pub use server::{spawn, ServerConfig, ServerHandle};

@@ -80,6 +80,44 @@ impl LatencyHistogram {
     }
 }
 
+/// Aggregated ingest-engine counters across every tenant's
+/// [`ShardedEngine`](sqs_engine::ShardedEngine) — the engine section
+/// of the `STATS` reply. Summed from each engine's
+/// [`EngineStats`](sqs_engine::EngineStats) at query time; the server
+/// keeps no separate ledger, so these can never drift from the
+/// engines' own accounting.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineTotals {
+    /// Elements folded into shard summaries across all tenants.
+    pub items: u64,
+    /// Elements handed off and not yet folded (0 at quiescence: the
+    /// request-scoped ingest path queues nothing engine-side).
+    pub queued_items: u64,
+    /// Producer buffers handed off to propagation queues.
+    pub handoffs: u64,
+    /// Publications (propagation rounds + direct folds).
+    pub propagations: u64,
+    /// Sum of every tenant engine's epoch.
+    pub epoch: u64,
+    /// Merged snapshots rebuilt (query-path cache misses).
+    pub snapshots: u64,
+    /// Query sweeps served from the epoch-keyed snapshot cache.
+    pub snapshot_cache_hits: u64,
+}
+
+impl EngineTotals {
+    /// Folds one engine's stats into the totals.
+    pub fn absorb(&mut self, s: &sqs_engine::EngineStats) {
+        self.items += s.items;
+        self.queued_items += s.queued_items;
+        self.handoffs += s.handoffs;
+        self.propagations += s.propagations;
+        self.epoch += s.epoch;
+        self.snapshots += s.snapshots;
+        self.snapshot_cache_hits += s.snapshot_cache_hits;
+    }
+}
+
 /// Counters and histograms for one running server.
 #[derive(Debug)]
 pub struct Metrics {
@@ -150,9 +188,10 @@ impl Metrics {
     }
 
     /// Renders everything as one JSON object (hand-rolled — the build
-    /// is offline, no serde), the `STATS` reply body.
+    /// is offline, no serde), the `STATS` reply body. `engine` is the
+    /// cross-tenant aggregate of the ingest engines' own counters.
     #[must_use]
-    pub fn to_json(&self, tenants: usize) -> String {
+    pub fn to_json(&self, tenants: usize, engine: &EngineTotals) -> String {
         use std::fmt::Write as _;
         let uptime = self.started.elapsed().as_secs_f64().max(1e-9);
         let rows = self.rows();
@@ -172,6 +211,19 @@ impl Metrics {
             "  \"proto_errors\": {},",
             self.proto_errors.load(Ordering::Relaxed)
         );
+        out.push_str("  \"engine\": {\n");
+        let _ = writeln!(out, "    \"items\": {},", engine.items);
+        let _ = writeln!(out, "    \"queued_items\": {},", engine.queued_items);
+        let _ = writeln!(out, "    \"handoffs\": {},", engine.handoffs);
+        let _ = writeln!(out, "    \"propagations\": {},", engine.propagations);
+        let _ = writeln!(out, "    \"epoch\": {},", engine.epoch);
+        let _ = writeln!(out, "    \"snapshots\": {},", engine.snapshots);
+        let _ = writeln!(
+            out,
+            "    \"snapshot_cache_hits\": {}",
+            engine.snapshot_cache_hits
+        );
+        out.push_str("  },\n");
         out.push_str("  \"ops\": {\n");
         for (i, op) in Op::ALL.iter().enumerate() {
             let Some(h) = self.per_op.get(op.index()) else {
@@ -235,13 +287,25 @@ mod tests {
         m.record_op(Op::InsertBatch, 2_000);
         m.record_op(Op::QueryQuantiles, 40_000);
         m.note_busy();
-        let json = m.to_json(3);
+        let engine = EngineTotals {
+            items: 5_000,
+            queued_items: 0,
+            handoffs: 12,
+            propagations: 9,
+            epoch: 9,
+            snapshots: 2,
+            snapshot_cache_hits: 7,
+        };
+        let json = m.to_json(3, &engine);
         for op in Op::ALL {
             assert!(json.contains(op.name()), "missing {}", op.name());
         }
         assert!(json.contains("\"ingest_rows\": 5000"));
         assert!(json.contains("\"busy_shed\": 1"));
         assert!(json.contains("\"tenants\": 3"));
+        assert!(json.contains("\"items\": 5000"));
+        assert!(json.contains("\"snapshot_cache_hits\": 7"));
+        assert!(json.contains("\"propagations\": 9"));
         // Balanced braces (cheap well-formedness check, no serde here).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }

@@ -165,7 +165,7 @@ struct Shared<S> {
 
 impl<S> Shared<S>
 where
-    S: MergeableSummary<u64> + WireCodec + Clone + Send + 'static,
+    S: MergeableSummary<u64> + WireCodec + Clone + Send + Sync + 'static,
 {
     /// The tenant's engine, created on first touch.
     fn tenant(&self, id: u64) -> Arc<ShardedEngine<u64, S>> {
@@ -182,11 +182,20 @@ where
         }))
     }
 
-    fn tenant_count(&self) -> usize {
-        match self.tenants.lock() {
-            Ok(g) => g.len(),
-            Err(poisoned) => poisoned.into_inner().len(),
+    /// Tenant count plus the cross-tenant engine aggregate for the
+    /// `STATS` reply, read in one pass over the tenant map. The engine
+    /// `Arc`s are cloned out first so each engine's (brief) stat loads
+    /// happen without the map lock held.
+    fn stats_snapshot(&self) -> (usize, crate::metrics::EngineTotals) {
+        let engines: Vec<Arc<ShardedEngine<u64, S>>> = match self.tenants.lock() {
+            Ok(g) => g.values().cloned().collect(),
+            Err(poisoned) => poisoned.into_inner().values().cloned().collect(),
+        };
+        let mut totals = crate::metrics::EngineTotals::default();
+        for engine in &engines {
+            totals.absorb(&engine.stats());
         }
+        (engines.len(), totals)
     }
 
     /// Flips the stop flag, closes the queue, and nudges the blocked
@@ -210,7 +219,7 @@ pub struct ServerHandle<S> {
 
 impl<S> ServerHandle<S>
 where
-    S: MergeableSummary<u64> + WireCodec + Clone + Send + 'static,
+    S: MergeableSummary<u64> + WireCodec + Clone + Send + Sync + 'static,
 {
     /// The address the server actually bound (resolves port 0).
     #[must_use]
@@ -253,7 +262,7 @@ impl<S> Drop for ServerHandle<S> {
 /// Returns the bind error if the address is unavailable.
 pub fn spawn<S, F>(cfg: ServerConfig, factory: F) -> io::Result<ServerHandle<S>>
 where
-    S: MergeableSummary<u64> + WireCodec + Clone + Send + 'static,
+    S: MergeableSummary<u64> + WireCodec + Clone + Send + Sync + 'static,
     F: Fn(u64, usize) -> S + Send + Sync + 'static,
 {
     let listener = TcpListener::bind(&cfg.addr)?;
@@ -283,7 +292,7 @@ where
 
 fn accept_loop<S>(shared: &Shared<S>, listener: &TcpListener)
 where
-    S: MergeableSummary<u64> + WireCodec + Clone + Send + 'static,
+    S: MergeableSummary<u64> + WireCodec + Clone + Send + Sync + 'static,
 {
     for conn in listener.incoming() {
         if shared.stop.load(Ordering::Acquire) {
@@ -309,7 +318,7 @@ where
 
 fn worker_loop<S>(shared: &Shared<S>)
 where
-    S: MergeableSummary<u64> + WireCodec + Clone + Send + 'static,
+    S: MergeableSummary<u64> + WireCodec + Clone + Send + Sync + 'static,
 {
     while let Some(stream) = shared.queue.pop() {
         serve_connection(shared, stream);
@@ -320,7 +329,7 @@ where
 /// protocol violation, or server stop.
 fn serve_connection<S>(shared: &Shared<S>, mut stream: TcpStream)
 where
-    S: MergeableSummary<u64> + WireCodec + Clone + Send + 'static,
+    S: MergeableSummary<u64> + WireCodec + Clone + Send + Sync + 'static,
 {
     loop {
         if shared.stop.load(Ordering::Acquire) {
@@ -378,7 +387,7 @@ fn err(msg: String) -> Response {
 /// incompatible snapshots must never panic a worker.
 fn dispatch<S>(shared: &Shared<S>, req: &Request) -> Response
 where
-    S: MergeableSummary<u64> + WireCodec + Clone + Send + 'static,
+    S: MergeableSummary<u64> + WireCodec + Clone + Send + Sync + 'static,
 {
     match req.op {
         Op::InsertBatch => {
@@ -443,7 +452,10 @@ where
             }
             Err(e) => err(format!("merge snapshot rejected: {e}")),
         },
-        Op::Stats => ok(shared.metrics.to_json(shared.tenant_count()).into_bytes()),
+        Op::Stats => {
+            let (tenants, engine_totals) = shared.stats_snapshot();
+            ok(shared.metrics.to_json(tenants, &engine_totals).into_bytes())
+        }
         Op::Shutdown => ok(Vec::new()),
     }
 }

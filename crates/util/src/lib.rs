@@ -22,6 +22,9 @@
 //! * [`audit`] — the [`audit::CheckInvariants`] trait every summary
 //!   implements so its §2/§3 structural invariants are
 //!   machine-checkable (see `docs/ANALYSIS.md`).
+//! * [`pad`] — [`pad::CachePadded`], the cache-line-alignment wrapper
+//!   the engine uses to keep per-shard hot state (and hot counters)
+//!   out of each other's cache lines.
 //! * [`sync`] — [`sync::OrderedMutex`], the rank-badged mutex whose
 //!   debug builds panic on out-of-order (or re-entrant) acquisition;
 //!   the runtime half of the lock discipline `sqs-analyze` checks
@@ -35,6 +38,7 @@ pub mod dyadic;
 pub mod exact;
 pub mod hash;
 pub mod ordkey;
+pub mod pad;
 pub mod rng;
 pub mod space;
 pub mod sync;

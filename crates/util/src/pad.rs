@@ -1,0 +1,110 @@
+//! [`CachePadded`] — align a value to its own cache-line block so
+//! neighbouring slots in an array never share a line.
+//!
+//! The engine stripes hot state per shard (`sqs-engine`) and per
+//! counter; without padding, two shards' lock words or two counters
+//! updated by different cores land on the same 64-byte line and every
+//! write by one core invalidates the other's cached copy (*false
+//! sharing*). The turnstile sketches already pad their counter rows to
+//! whole cache lines (`sqs-sketch`'s row `stride`); this wrapper is the
+//! same idea for individual struct-sized slots.
+//!
+//! Alignment is 128 bytes, not 64: recent Intel cores prefetch cache
+//! lines in adjacent pairs (the spatial prefetcher), so two slots 64
+//! bytes apart can still ping-pong. 128-byte alignment is what
+//! crossbeam's `CachePadded` settles on for x86-64, and it costs only
+//! padding memory.
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns `T` to 128 bytes so array neighbours never share a
+/// cache line (or an adjacent-line prefetch pair).
+///
+/// Transparent to use: `Deref`/`DerefMut` pass through to the value.
+///
+/// ```
+/// use sqs_util::pad::CachePadded;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let counters: Vec<CachePadded<AtomicU64>> =
+///     (0..4).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+/// counters[2].fetch_add(1, Ordering::Relaxed);
+/// assert_eq!(counters[2].load(Ordering::Relaxed), 1);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own cache-line block.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Unwraps the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn alignment_and_size_are_cache_line_multiples() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        assert_eq!(std::mem::size_of::<CachePadded<u8>>(), 128);
+        // A value larger than one block still rounds to a multiple.
+        assert_eq!(std::mem::size_of::<CachePadded<[u8; 130]>>() % 128, 0);
+    }
+
+    #[test]
+    fn array_neighbours_are_in_distinct_blocks() {
+        let v: Vec<CachePadded<AtomicU64>> = (0..3)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect();
+        let addrs: Vec<usize> = v
+            .iter()
+            .map(|c| std::ptr::from_ref(&**c) as usize)
+            .collect();
+        for w in addrs.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            assert!(b - a >= 128, "slots {a:#x} and {b:#x} share a block");
+            assert_eq!(a % 128, 0, "slot {a:#x} not block-aligned");
+        }
+    }
+
+    #[test]
+    fn deref_and_into_inner_pass_through() {
+        let mut c = CachePadded::new(41u64);
+        *c += 1;
+        assert_eq!(*c, 42);
+        assert_eq!(c.into_inner(), 42);
+        let from: CachePadded<u8> = 7u8.into();
+        assert_eq!(*from, 7);
+    }
+}

@@ -42,13 +42,23 @@ echo "== loadgen sanity (2s, throwaway output) =="
 cargo run --release -q -p sqs-harness --bin sqs-loadgen -- --secs 2 \
     --out "$(mktemp -d)/service_sanity.json" >/dev/null
 
-# Perf-regression gate for the batched turnstile hot path: re-runs
-# `sqs-exp turnstile-perf --quick` (release, ~3s) and compares against
-# the checked-in results/turnstile_perf_baseline.json. The 20% default
-# tolerance plus machine-independent speedup floors keep this stable
-# on shared hardware; widen with BENCH_CHECK_TOLERANCE=0.35 on noisy
-# boxes (see docs/PERF.md).
-echo "== cargo xtask bench-check (turnstile perf gate) =="
+# Thread-scaling smoke for the wait-free ingest engine: a fresh
+# `sqs-exp engine-scaling --quick` run proves the sweep completes and
+# stays within ε at every thread count on this box (the floor check on
+# its output is bench-check's job, below).
+echo "== engine scaling sweep (sqs-exp engine-scaling --quick) =="
+cargo run --release -q -p sqs-harness --bin sqs-exp -- engine-scaling \
+    --quick --out "$(mktemp -d)" >/dev/null
+
+# Perf-regression gate for the batched turnstile hot path and the
+# engine's thread scaling: re-runs `sqs-exp turnstile-perf --quick`
+# and `sqs-exp engine-scaling --quick` (release) and compares against
+# the checked-in results/*.json. The 20% default tolerance plus
+# machine-independent floors (speedup ratios for turnstile, a
+# host_parallelism-scaled ratio_vs_1 floor for scaling) keep this
+# stable on shared hardware; widen with BENCH_CHECK_TOLERANCE=0.35 on
+# noisy boxes (see docs/PERF.md).
+echo "== cargo xtask bench-check (turnstile perf + engine scaling gates) =="
 cargo xtask bench-check
 
 echo "== all checks passed =="

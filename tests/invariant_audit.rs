@@ -158,12 +158,30 @@ where
                 for h in &mut handles {
                     h.flush();
                 }
+                // Flush waits for propagation: the queues must be
+                // drained and the epoch/publication ledger settled —
+                // both are part of the engine's invariant set.
                 if let Err(v) = engine.check_invariants() {
                     panic!("{label}/{name} after {} inserts: {v}", i + 1);
                 }
+                let stats = engine.stats();
+                assert_eq!(
+                    stats.queued_items,
+                    0,
+                    "{label}/{name}: queued mass after flush at {}",
+                    i + 1
+                );
                 let snap = engine.snapshot();
                 if let Err(v) = snap.check_invariants() {
                     panic!("{label}/{name} post-merge snapshot at {}: {v}", i + 1);
+                }
+                // Exercise the epoch-keyed cache (a second read at the
+                // same epoch must hit), then re-audit: the cached
+                // summary is engine state now — `engine.cache_coherence`
+                // checks it carries exactly the propagated mass.
+                let _ = engine.quantile(0.5);
+                if let Err(v) = engine.check_invariants() {
+                    panic!("{label}/{name} after cached query at {}: {v}", i + 1);
                 }
             }
         }
@@ -188,6 +206,50 @@ fn engine_holds_invariants_on_all_streams() {
     drive_engine("Engine-Reservoir", |i| {
         ReservoirQuantiles::new(EPS, 91 + i as u64)
     });
+}
+
+/// The engine pass again, with a background propagator attached: the
+/// producer hands buffers off and the *propagator thread* folds them,
+/// so this drives the queue/epoch/publication machinery through its
+/// asynchronous path. Checkpoints flush (which waits for the
+/// propagator), audit the full invariant set, and exercise the epoch
+/// cache; the propagator is stopped and restarted mid-matrix so the
+/// detach/reattach transitions are audited too.
+#[test]
+fn engine_with_propagator_holds_invariants() {
+    use std::sync::Arc;
+    let engine = Arc::new(ShardedEngine::new_with(4, 257, |i| {
+        RandomSketch::new(EPS, 70 + i as u64)
+    }));
+    let mut expected = 0u64;
+    for (round, (name, data)) in streams().into_iter().enumerate() {
+        // Every other stream runs without the propagator: the matrix
+        // alternates kill/restart so both transitions are covered.
+        let prop = (round % 2 == 0).then(|| engine.spawn_propagator());
+        let mut h = engine.handle_for(round % 4);
+        for (i, &x) in data.iter().enumerate() {
+            h.insert(x);
+            if (i + 1) % CHECK_EVERY == 0 {
+                h.flush();
+                if let Err(v) = engine.check_invariants() {
+                    panic!("Engine-Propagator/{name} after {} inserts: {v}", i + 1);
+                }
+                let _ = engine.quantile(0.5);
+            }
+        }
+        h.flush();
+        drop(h);
+        drop(prop);
+        expected += data.len() as u64;
+        assert_eq!(
+            engine.n(),
+            expected,
+            "Engine-Propagator/{name}: lost mass across propagator churn"
+        );
+        if let Err(v) = engine.check_invariants() {
+            panic!("Engine-Propagator/{name} at stream end: {v}");
+        }
+    }
 }
 
 /// Turnstile workloads: random churn plus the §1.2.2 adversary

@@ -224,6 +224,12 @@ fn stats_reports_ingest_and_tenants() {
     assert!(json.contains("\"ingest_rows\": 150"), "stats: {json}");
     assert!(json.contains("\"tenants\": 2"), "stats: {json}");
     assert!(json.contains("\"insert_batch\""), "stats: {json}");
+    // The engine aggregate rides along: the request-scoped ingest path
+    // folds before replying, so every row is propagated (items) and
+    // nothing sits queued.
+    assert!(json.contains("\"engine\""), "stats: {json}");
+    assert!(json.contains("\"items\": 150"), "stats: {json}");
+    assert!(json.contains("\"queued_items\": 0"), "stats: {json}");
     server.shutdown();
     server.join();
 }
