@@ -303,6 +303,7 @@ mod tests {
             "sqs-core",
             "sqs-engine",
             "sqs-service",
+            "sqs-store",
             "sqs-analyze",
             "xtask",
             "streaming-quantiles",

@@ -73,6 +73,21 @@ fn panic_fixture_yields_the_golden_diagnostics() {
 }
 
 #[test]
+fn io_panic_fixture_yields_the_golden_diagnostics() {
+    let fx = lib_file(
+        "fx/src/io_panic_bad.rs",
+        include_str!("fixtures/io_panic_bad.rs"),
+        false,
+    );
+    assert_eq!(
+        findings(Box::new(PanicDiscipline), vec![fx]),
+        vec![(RULE_UNWRAP, 9), (RULE_EXPECT, 13)],
+        "I/O results must propagate as errors (the sqs-store rule): \
+         only the unwrap and the non-invariant expect are findings"
+    );
+}
+
+#[test]
 fn unsafe_fixture_yields_the_golden_diagnostics() {
     let fx = lib_file(
         "fx/src/lib.rs",

@@ -226,6 +226,36 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Reads the summary-kind tag out of a frame without decoding it:
+/// validates the magic, version and trailing checksum, then returns
+/// the `KIND_*` byte. This is how kind-generic layers (the durable
+/// store, routing code) sanity-check a frame they cannot yet decode —
+/// the typed [`WireCodec::from_bytes`] still re-validates everything
+/// when the frame is finally consumed.
+///
+/// # Errors
+/// The same structural errors `from_bytes` would report: truncation,
+/// bad magic, unsupported version, checksum mismatch.
+pub fn frame_kind(bytes: &[u8]) -> Result<u8, CodecError> {
+    let framed_len = bytes.len().checked_sub(8).ok_or(CodecError::Truncated)?;
+    let (framed, sum_bytes) = bytes
+        .split_at_checked(framed_len)
+        .ok_or(CodecError::Truncated)?;
+    let declared: [u8; 8] = sum_bytes.try_into().map_err(|_| CodecError::Truncated)?;
+    if fnv1a64(framed) != u64::from_le_bytes(declared) {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    let mut r = Reader::new(framed);
+    if r.bytes(4)? != WIRE_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    r.u8()
+}
+
 /// Appends a length-prefixed `u64` vector (count, then the words) —
 /// the encoder dual of [`Reader::u64_vec`].
 pub fn put_u64_slice(out: &mut Vec<u8>, xs: &[u64]) {

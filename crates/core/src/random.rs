@@ -200,6 +200,51 @@ impl<T: Ord + Copy> RandomSketch<T> {
         }
     }
 
+    /// Ensures the sampler has a fill target. Normally some buffer is
+    /// empty, but `merge_from` can pack pooled samples into *every*
+    /// slot: resume the lowest-level partial at its own level (the
+    /// sampler thins each group of `2^level` arrivals to one sample,
+    /// exactly that buffer's weight), or — with every slot truly full —
+    /// compact once to free one.
+    fn ensure_fill_target(&mut self) {
+        if self.fill.is_some() {
+            return;
+        }
+        if let Some(idx) = self
+            .buffers
+            .iter()
+            .position(|b| !b.full && b.data.is_empty())
+        {
+            let lvl = self.active_level();
+            self.buffers[idx].level = lvl;
+            self.fill = Some(idx);
+            self.start_group(lvl);
+            return;
+        }
+        let partial = self
+            .buffers
+            .iter()
+            .enumerate()
+            .filter(|&(_, b)| !b.full)
+            .min_by_key(|&(_, b)| b.level)
+            .map(|(i, _)| i);
+        if let Some(idx) = partial {
+            self.fill = Some(idx);
+            self.start_group(self.buffers[idx].level);
+            return;
+        }
+        self.merge_once();
+        let idx = self
+            .buffers
+            .iter()
+            .position(|b| !b.full && b.data.is_empty())
+            .expect("RandomSketch invariant: merge_once frees a buffer");
+        let lvl = self.active_level();
+        self.buffers[idx].level = lvl;
+        self.fill = Some(idx);
+        self.start_group(lvl);
+    }
+
     /// The live weighted buffers (including the partial fill buffer and
     /// the committed part of the in-progress group).
     fn live_buffers(&self) -> Vec<(&[T], u64)> {
@@ -601,17 +646,7 @@ impl<T: Ord + Copy> sqs_util::audit::CheckInvariants for RandomSketch<T> {
 impl<T: Ord + Copy> QuantileSummary<T> for RandomSketch<T> {
     fn insert(&mut self, x: T) {
         // Ensure a fill target exists before consuming the element.
-        if self.fill.is_none() {
-            let idx = self
-                .buffers
-                .iter()
-                .position(|b| !b.full && b.data.is_empty())
-                .expect("RandomSketch invariant: an empty buffer exists after merging");
-            let lvl = self.active_level();
-            self.buffers[idx].level = lvl;
-            self.fill = Some(idx);
-            self.start_group(lvl);
-        }
+        self.ensure_fill_target();
         self.n += 1;
 
         if self.group_pos == self.group_target {
@@ -655,17 +690,7 @@ impl<T: Ord + Copy> QuantileSummary<T> for RandomSketch<T> {
     fn insert_batch(&mut self, xs: &[T]) {
         let mut rest = xs;
         while !rest.is_empty() {
-            if self.fill.is_none() {
-                let idx = self
-                    .buffers
-                    .iter()
-                    .position(|b| !b.full && b.data.is_empty())
-                    .expect("RandomSketch invariant: an empty buffer exists after merging");
-                let lvl = self.active_level();
-                self.buffers[idx].level = lvl;
-                self.fill = Some(idx);
-                self.start_group(lvl);
-            }
+            self.ensure_fill_target();
             if self.group_size != 1 {
                 // Sampled regime: fall back to the itemwise sampler.
                 let (&x, tail) = rest
@@ -986,6 +1011,37 @@ mod tests {
         assert_eq!(donor.n(), 0);
         donor.insert(7);
         assert_eq!(donor.quantile(0.5), Some(7));
+    }
+
+    #[test]
+    fn insert_compacts_when_merge_left_no_buffer_empty() {
+        // `merge_from` may pack pooled samples into every slot (the
+        // last one partial). Reconstruct that post-merge state and
+        // check inserts compact instead of panicking (regression: the
+        // durable-store recovery path absorbs a checkpoint and then
+        // replays WAL batches into the same sketch).
+        let mut s = RandomSketch::new(0.05, 11);
+        for x in 0..40_000u64 {
+            s.insert((x * 2654435761) % 100_000);
+        }
+        s.fill = None;
+        s.group_size = 1;
+        s.group_pos = 0;
+        s.group_target = 0;
+        s.group_choice = None;
+        for b in &mut s.buffers {
+            if b.data.is_empty() {
+                b.data.push(7);
+                b.full = false;
+                b.level = 0;
+                s.n += 1;
+            }
+        }
+        let before = s.n();
+        s.insert(9);
+        s.insert_batch(&[1, 2, 3]);
+        assert_eq!(s.n(), before + 4);
+        assert!(s.quantile(0.5).is_some());
     }
 }
 

@@ -172,7 +172,8 @@ fn verify_cross_server_merge(src_addr: &str, eps: f64, seed: u64) -> Result<(), 
         .map_err(|e| format!("verify: connect dest: {e}"))?;
     let merged_n = dst
         .merge_snapshot(tenant, frame)
-        .map_err(|e| format!("verify: merge snapshot: {e}"))?;
+        .map_err(|e| format!("verify: merge snapshot: {e}"))?
+        .n;
     if merged_n == 0 {
         return Err("verify: merged snapshot carried no mass".to_owned());
     }

@@ -20,9 +20,21 @@
 //! * `--batch N` — engine batch capacity (default `1024`).
 //! * `--seed N` — base RNG seed; per-tenant/per-shard seeds are
 //!   derived from it (default `42`).
+//! * `--data-dir PATH` — durable mode: write-ahead-log every
+//!   acknowledged ingest under `PATH` and checkpoint periodically;
+//!   on startup, recover state from `PATH` (absent ⇒ in-memory, the
+//!   hot path pays nothing).
+//! * `--fsync always|interval:MS|never` — WAL sync policy in durable
+//!   mode (default `always`).
+//! * `--segment-bytes N` — WAL segment rotation threshold (default
+//!   `67108864`, i.e. 64 MiB).
+//! * `--checkpoint-secs N` — background checkpoint interval (default
+//!   `30`).
 //!
 //! The process prints `listening on ADDR` once bound and runs until a
-//! client sends `SHUTDOWN` (or the process is killed).
+//! client sends `SHUTDOWN` (or the process is killed). In durable mode
+//! a recovery summary line (`recovered ...`) is printed before the
+//! listening line whenever prior state was found.
 
 #![forbid(unsafe_code)]
 
@@ -32,7 +44,8 @@ use std::time::Duration;
 use sqs_core::qdigest::QDigest;
 use sqs_core::random::RandomSketch;
 use sqs_core::sampled::ReservoirQuantiles;
-use sqs_service::server::{spawn, ServerConfig};
+use sqs_service::server::{spawn, DurabilityConfig, ServerConfig};
+use sqs_store::FsyncPolicy;
 use sqs_turnstile::TurnstileSummary;
 use sqs_util::rng::SplitMix64;
 
@@ -54,7 +67,9 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: sqs-serve [--addr HOST:PORT] [--backend random|qdigest|reservoir|dcs] \
-     [--eps F] [--log-u N] [--shards N] [--workers N] [--queue N] [--batch N] [--seed N]"
+     [--eps F] [--log-u N] [--shards N] [--workers N] [--queue N] [--batch N] [--seed N] \
+     [--data-dir PATH] [--fsync always|interval:MS|never] [--segment-bytes N] \
+     [--checkpoint-secs N]"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -120,6 +135,35 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
+            "--data-dir" => {
+                let dir = std::path::PathBuf::from(value(&mut it, flag)?);
+                match args.cfg.durability.as_mut() {
+                    Some(d) => d.data_dir = dir,
+                    None => args.cfg.durability = Some(DurabilityConfig::new(dir)),
+                }
+            }
+            "--fsync" => {
+                let policy = parse_fsync(value(&mut it, flag)?)?;
+                durability_mut(&mut args)?.fsync = policy;
+            }
+            "--segment-bytes" => {
+                let bytes: u64 = value(&mut it, flag)?
+                    .parse()
+                    .map_err(|e| format!("--segment-bytes: {e}"))?;
+                if bytes < 1024 {
+                    return Err(format!("--segment-bytes must be >= 1024, got {bytes}"));
+                }
+                durability_mut(&mut args)?.segment_bytes = bytes;
+            }
+            "--checkpoint-secs" => {
+                let secs: u64 = value(&mut it, flag)?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-secs: {e}"))?;
+                if secs == 0 {
+                    return Err("--checkpoint-secs must be positive".to_owned());
+                }
+                durability_mut(&mut args)?.checkpoint_interval = Duration::from_secs(secs);
+            }
             "--help" | "-h" => return Err(usage().to_owned()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
@@ -133,6 +177,34 @@ fn parse_nonzero(s: &str, flag: &str) -> Result<usize, String> {
         return Err(format!("{flag} must be positive"));
     }
     Ok(n)
+}
+
+/// `--fsync` grammar: `always`, `never`, or `interval:MS`.
+fn parse_fsync(s: &str) -> Result<FsyncPolicy, String> {
+    match s {
+        "always" => Ok(FsyncPolicy::Always),
+        "never" => Ok(FsyncPolicy::Never),
+        other => {
+            let ms = other
+                .strip_prefix("interval:")
+                .ok_or_else(|| {
+                    format!("--fsync: expected always|interval:MS|never, got {other:?}")
+                })?
+                .parse::<u64>()
+                .map_err(|e| format!("--fsync interval: {e}"))?;
+            if ms == 0 {
+                return Err("--fsync interval must be positive".to_owned());
+            }
+            Ok(FsyncPolicy::Interval(Duration::from_millis(ms)))
+        }
+    }
+}
+
+/// The durability knobs only make sense once `--data-dir` picked a home.
+fn durability_mut(args: &mut Args) -> Result<&mut DurabilityConfig, String> {
+    args.cfg.durability.as_mut().ok_or_else(|| {
+        "--fsync/--segment-bytes/--checkpoint-secs require --data-dir first".to_owned()
+    })
 }
 
 /// Derives an independent seed for one (tenant, shard) pair so that
@@ -203,6 +275,21 @@ fn run<S>(addr: std::net::SocketAddr, handle: sqs_service::ServerHandle<S>) -> E
 where
     S: sqs_core::MergeableSummary<u64> + sqs_core::codec::WireCodec + Clone + Send + Sync + 'static,
 {
+    if let Some(r) = handle
+        .recovery()
+        .filter(|r| r.tenants > 0 || r.torn_tails_dropped > 0 || r.corrupt_checkpoints_skipped > 0)
+    {
+        println!(
+            "recovered {} items across {} tenants ({} checkpoints, {} wal records replayed, \
+             {} torn tails dropped, {} corrupt checkpoints skipped)",
+            r.total_items,
+            r.tenants,
+            r.checkpoints_loaded,
+            r.records_replayed,
+            r.torn_tails_dropped,
+            r.corrupt_checkpoints_skipped,
+        );
+    }
     println!("listening on {addr}");
     // Park until a client's SHUTDOWN op stops the server; the handle's
     // join returns once every worker drained.

@@ -95,14 +95,20 @@ impl Client {
         }
     }
 
-    /// Inserts a batch of values into the tenant's stream; returns the
-    /// tenant's total item count after the merge.
+    /// Inserts a batch of values into the tenant's stream; the ack carries
+    /// the tenant's total item count and, on durable servers, the WAL
+    /// sequence number that made the batch crash-safe (`seq == 0` means
+    /// the server runs in-memory).
     ///
     /// # Errors
     /// See [`Client::call`].
-    pub fn insert_batch(&mut self, tenant: u64, xs: &[u64]) -> Result<u64, ClientError> {
+    pub fn insert_batch(
+        &mut self,
+        tenant: u64,
+        xs: &[u64],
+    ) -> Result<proto::IngestAck, ClientError> {
         let reply = self.call(Op::InsertBatch, tenant, proto::encode_u64s(xs))?;
-        Ok(proto::decode_u64(&reply)?)
+        Ok(proto::decode_ingest_ack(&reply)?)
     }
 
     /// Queries one φ-quantile per entry of `phis` (each in (0, 1));
@@ -138,15 +144,20 @@ impl Client {
         self.call(Op::Snapshot, tenant, Vec::new())
     }
 
-    /// Merges a snapshot frame into the tenant's stream; returns the
-    /// tenant's total item count after the merge.
+    /// Merges a snapshot frame into the tenant's stream; the ack carries
+    /// the tenant's total item count after the merge plus the durable
+    /// WAL sequence number (`seq == 0` on in-memory servers).
     ///
     /// # Errors
     /// See [`Client::call`]; corrupt or incompatible frames come back
     /// as [`ClientError::Server`].
-    pub fn merge_snapshot(&mut self, tenant: u64, frame: Vec<u8>) -> Result<u64, ClientError> {
+    pub fn merge_snapshot(
+        &mut self,
+        tenant: u64,
+        frame: Vec<u8>,
+    ) -> Result<proto::IngestAck, ClientError> {
         let reply = self.call(Op::MergeSnapshot, tenant, frame)?;
-        Ok(proto::decode_u64(&reply)?)
+        Ok(proto::decode_ingest_ack(&reply)?)
     }
 
     /// The server's metrics snapshot as a JSON string.

@@ -10,7 +10,10 @@
 //! * [`server`] — `TcpListener` accept loop feeding a bounded
 //!   connection queue drained by a fixed worker pool; per-tenant
 //!   [`sqs_engine::ShardedEngine`] registry; explicit `BUSY` shedding
-//!   under overload; graceful shutdown with nothing acknowledged lost.
+//!   under overload; graceful shutdown with nothing acknowledged lost;
+//!   optional durability via [`sqs_store`] (write-ahead log + periodic
+//!   checkpoints, crash recovery at startup) when
+//!   [`server::DurabilityConfig`] is set.
 //! * [`client`] — a small blocking client with typed methods per op.
 //! * [`metrics`] — lock-free counters and log₂-bucketed per-op latency
 //!   histograms behind the `STATS` op.
@@ -29,5 +32,5 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use metrics::{EngineTotals, LatencyHistogram, Metrics};
-pub use proto::{Op, ProtoError, Request, Response, Status};
-pub use server::{spawn, ServerConfig, ServerHandle};
+pub use proto::{IngestAck, Op, ProtoError, Request, Response, Status};
+pub use server::{spawn, DurabilityConfig, RecoverySummary, ServerConfig, ServerHandle};

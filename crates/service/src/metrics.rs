@@ -189,9 +189,16 @@ impl Metrics {
 
     /// Renders everything as one JSON object (hand-rolled — the build
     /// is offline, no serde), the `STATS` reply body. `engine` is the
-    /// cross-tenant aggregate of the ingest engines' own counters.
+    /// cross-tenant aggregate of the ingest engines' own counters;
+    /// `store` is the durable store's ledger (`None` on in-memory
+    /// servers — the section is omitted entirely).
     #[must_use]
-    pub fn to_json(&self, tenants: usize, engine: &EngineTotals) -> String {
+    pub fn to_json(
+        &self,
+        tenants: usize,
+        engine: &EngineTotals,
+        store: Option<&sqs_store::StoreStats>,
+    ) -> String {
         use std::fmt::Write as _;
         let uptime = self.started.elapsed().as_secs_f64().max(1e-9);
         let rows = self.rows();
@@ -224,6 +231,30 @@ impl Metrics {
             engine.snapshot_cache_hits
         );
         out.push_str("  },\n");
+        if let Some(s) = store {
+            out.push_str("  \"store\": {\n");
+            let _ = writeln!(out, "    \"records_appended\": {},", s.records_appended);
+            let _ = writeln!(out, "    \"items_appended\": {},", s.items_appended);
+            let _ = writeln!(out, "    \"bytes_appended\": {},", s.bytes_appended);
+            let _ = writeln!(out, "    \"fsyncs\": {},", s.fsyncs);
+            let _ = writeln!(out, "    \"segments_rotated\": {},", s.segments_rotated);
+            let _ = writeln!(out, "    \"segments_deleted\": {},", s.segments_deleted);
+            let _ = writeln!(
+                out,
+                "    \"checkpoints_written\": {},",
+                s.checkpoints_written
+            );
+            let _ = writeln!(
+                out,
+                "    \"corrupt_checkpoints_skipped\": {},",
+                s.corrupt_checkpoints_skipped
+            );
+            let _ = writeln!(out, "    \"recoveries\": {},", s.recoveries);
+            let _ = writeln!(out, "    \"replayed_records\": {},", s.replayed_records);
+            let _ = writeln!(out, "    \"torn_tails_dropped\": {},", s.torn_tails_dropped);
+            let _ = writeln!(out, "    \"last_seq\": {}", s.last_seq);
+            out.push_str("  },\n");
+        }
         out.push_str("  \"ops\": {\n");
         for (i, op) in Op::ALL.iter().enumerate() {
             let Some(h) = self.per_op.get(op.index()) else {
@@ -296,7 +327,7 @@ mod tests {
             snapshots: 2,
             snapshot_cache_hits: 7,
         };
-        let json = m.to_json(3, &engine);
+        let json = m.to_json(3, &engine, None);
         for op in Op::ALL {
             assert!(json.contains(op.name()), "missing {}", op.name());
         }
@@ -306,7 +337,27 @@ mod tests {
         assert!(json.contains("\"items\": 5000"));
         assert!(json.contains("\"snapshot_cache_hits\": 7"));
         assert!(json.contains("\"propagations\": 9"));
+        // In-memory servers omit the store section entirely.
+        assert!(!json.contains("\"store\""));
         // Balanced braces (cheap well-formedness check, no serde here).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_snapshot_includes_store_section_when_durable() {
+        let m = Metrics::new();
+        let engine = EngineTotals::default();
+        let store = sqs_store::StoreStats {
+            records_appended: 4,
+            items_appended: 100,
+            last_seq: 4,
+            ..Default::default()
+        };
+        let json = m.to_json(1, &engine, Some(&store));
+        assert!(json.contains("\"store\""));
+        assert!(json.contains("\"records_appended\": 4"));
+        assert!(json.contains("\"items_appended\": 100"));
+        assert!(json.contains("\"last_seq\": 4"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -423,6 +423,37 @@ pub fn decode_u64(payload: &[u8]) -> Result<u64, ProtoError> {
     Ok(x)
 }
 
+/// The `INSERT_BATCH` / `MERGE_SNAPSHOT` acknowledgement: the
+/// tenant's item count after the operation, plus the WAL sequence
+/// number the operation was logged under when the server runs with
+/// `--data-dir` (`seq == 0` on an in-memory server — WAL sequence
+/// numbers start at 1, so 0 unambiguously means "not durable").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestAck {
+    /// The tenant's total item count after the ingest.
+    pub n: u64,
+    /// WAL sequence number of the logged operation (0 = in-memory).
+    pub seq: u64,
+}
+
+/// Encodes an [`IngestAck`] (two `u64` words).
+#[must_use]
+pub fn encode_ingest_ack(ack: IngestAck) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&ack.n.to_le_bytes());
+    out.extend_from_slice(&ack.seq.to_le_bytes());
+    out
+}
+
+/// Decodes an [`IngestAck`].
+pub fn decode_ingest_ack(payload: &[u8]) -> Result<IngestAck, ProtoError> {
+    let mut r = Reader::new(payload);
+    let n = r.u64()?;
+    let seq = r.u64()?;
+    r.done()?;
+    Ok(IngestAck { n, seq })
+}
+
 /// Encodes quantile answers: count, then a presence flag byte and a
 /// value word per answer (`None` answers an empty tenant).
 #[must_use]
@@ -576,6 +607,18 @@ mod tests {
         let bytes = encode_answers(&answers);
         assert_eq!(decode_answers(&bytes).expect("roundtrip"), answers);
         assert!(decode_answers(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn ingest_ack_roundtrip() {
+        let ack = IngestAck { n: 12345, seq: 67 };
+        let bytes = encode_ingest_ack(ack);
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(decode_ingest_ack(&bytes).expect("roundtrip"), ack);
+        assert!(decode_ingest_ack(&bytes[..15]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(decode_ingest_ack(&extra).is_err(), "trailing byte rejected");
     }
 
     #[test]

@@ -28,6 +28,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -36,9 +37,10 @@ use std::time::{Duration, Instant};
 use sqs_core::codec::WireCodec;
 use sqs_core::MergeableSummary;
 use sqs_engine::ShardedEngine;
+use sqs_store::{DurableStore, FsyncPolicy, StoreConfig, WalPayload};
 
 use crate::metrics::Metrics;
-use crate::proto::{self, Op, Request, Response, Status};
+use crate::proto::{self, IngestAck, Op, Request, Response, Status};
 
 /// Tuning knobs for [`spawn`].
 #[derive(Debug, Clone)]
@@ -63,6 +65,62 @@ pub struct ServerConfig {
     /// with an error reply instead of reaching the summary's panic.
     /// `None` admits any `u64`.
     pub value_bound: Option<u64>,
+    /// Durable storage (WAL + checkpoints) under a data directory.
+    /// `None` — the default — keeps today's in-memory behavior with
+    /// zero hot-path cost.
+    pub durability: Option<DurabilityConfig>,
+}
+
+/// Opt-in durability settings (`sqs-serve --data-dir`).
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Root data directory (`wal/` and `ckpt/` live under it).
+    pub data_dir: PathBuf,
+    /// WAL segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+    /// When WAL appends reach the platter.
+    pub fsync: FsyncPolicy,
+    /// How often the background checkpointer scans for tenants with
+    /// un-checkpointed records.
+    pub checkpoint_interval: Duration,
+}
+
+impl DurabilityConfig {
+    /// Defaults for `data_dir`: 64 MiB segments, fsync-always,
+    /// checkpoint scan every 30 s.
+    #[must_use]
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            data_dir: data_dir.into(),
+            segment_bytes: 64 << 20,
+            fsync: FsyncPolicy::Always,
+            checkpoint_interval: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What recovery found and rebuilt at startup, for operator logs and
+/// the recovery smoke test.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoverySummary {
+    /// Tenants rebuilt (from a checkpoint, WAL records, or both).
+    pub tenants: usize,
+    /// Checkpoints decoded and absorbed.
+    pub checkpoints_loaded: u64,
+    /// WAL records replayed into engines.
+    pub records_replayed: u64,
+    /// Stream items inside replayed batch records.
+    pub items_replayed: u64,
+    /// Torn/corrupt WAL tails truncated during replay.
+    pub torn_tails_dropped: u64,
+    /// Corrupt checkpoint files skipped (older one used instead).
+    pub corrupt_checkpoints_skipped: u64,
+    /// Replayed records that failed to apply (deterministically
+    /// incompatible merge-snapshot frames, also refused pre-crash).
+    pub failed_applies: u64,
+    /// Total items across all engines after recovery — verified
+    /// against the checkpoint counts plus replayed batch items.
+    pub total_items: u64,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +134,7 @@ impl Default for ServerConfig {
             shards: 4,
             batch_capacity: 1024,
             value_bound: None,
+            durability: None,
         }
     }
 }
@@ -161,6 +220,10 @@ struct Shared<S> {
     queue: BoundedQueue<TcpStream>,
     stop: AtomicBool,
     metrics: Metrics,
+    /// The durable store (`--data-dir`); `None` on in-memory servers.
+    store: Option<Arc<DurableStore>>,
+    /// What recovery rebuilt at startup (durable servers only).
+    recovery: Option<RecoverySummary>,
 }
 
 impl<S> Shared<S>
@@ -198,11 +261,17 @@ where
         (engines.len(), totals)
     }
 
-    /// Flips the stop flag, closes the queue, and nudges the blocked
-    /// `accept` with a throwaway self-connect.
+    /// Flips the stop flag, closes the queue, flushes the WAL, and
+    /// nudges the blocked `accept` with a throwaway self-connect.
     fn initiate_shutdown(&self) {
         self.stop.store(true, Ordering::Release);
         self.queue.close();
+        if let Some(store) = &self.store {
+            // Graceful shutdown makes even `--fsync never`/`interval`
+            // state durable; errors are moot (kill -9 recovery covers
+            // the same ground).
+            let _ = store.flush();
+        }
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
     }
 }
@@ -231,6 +300,14 @@ where
     /// connections drain, nothing acknowledged is lost.
     pub fn shutdown(&self) {
         self.shared.initiate_shutdown();
+    }
+
+    /// What recovery rebuilt at startup: `Some` whenever the server
+    /// runs durably (zeroed counts on a fresh data directory), `None`
+    /// on in-memory servers.
+    #[must_use]
+    pub fn recovery(&self) -> Option<RecoverySummary> {
+        self.shared.recovery
     }
 
     /// Blocks until every server thread has exited (after a local
@@ -269,7 +346,20 @@ where
     let addr = listener.local_addr()?;
     let workers = cfg.workers.max(1);
     let queue_depth = cfg.queue_depth.max(1);
-    let shared = Arc::new(Shared {
+    let durability = cfg.durability.clone();
+    let (store, recovered) = match &durability {
+        Some(d) => {
+            let store_cfg = StoreConfig {
+                dir: d.data_dir.clone(),
+                segment_bytes: d.segment_bytes,
+                fsync: d.fsync,
+            };
+            let (store, recovery) = DurableStore::open(&store_cfg).map_err(io::Error::other)?;
+            (Some(Arc::new(store)), Some(recovery))
+        }
+        None => (None, None),
+    };
+    let mut shared = Shared {
         cfg,
         addr,
         tenants: Mutex::new(HashMap::new()),
@@ -277,8 +367,14 @@ where
         queue: BoundedQueue::new(queue_depth),
         stop: AtomicBool::new(false),
         metrics: Metrics::new(),
-    });
-    let mut threads = Vec::with_capacity(workers + 1);
+        store,
+        recovery: None,
+    };
+    if let Some(recovery) = recovered {
+        shared.recovery = Some(apply_recovery(&shared, recovery)?);
+    }
+    let shared = Arc::new(shared);
+    let mut threads = Vec::with_capacity(workers + 2);
     {
         let shared = Arc::clone(&shared);
         threads.push(std::thread::spawn(move || accept_loop(&shared, &listener)));
@@ -287,7 +383,142 @@ where
         let shared = Arc::clone(&shared);
         threads.push(std::thread::spawn(move || worker_loop(&shared)));
     }
+    if let Some(d) = durability {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || {
+            checkpoint_loop(&shared, d.checkpoint_interval);
+        }));
+    }
     Ok(ServerHandle { shared, threads })
+}
+
+/// Rebuilds tenant engines from what the store recovered: absorb each
+/// tenant's newest checkpoint, replay the WAL records after it, and
+/// verify that the rebuilt item counts match the durable accounting.
+///
+/// Count verification is exact: every absorbed checkpoint and batch
+/// record contributes a known mass, and replayed merge-snapshot frames
+/// contribute their decoded mass. A mismatch means the store and the
+/// engines disagree about what was acknowledged — the server refuses
+/// to start rather than serve silently wrong answers.
+fn apply_recovery<S>(
+    shared: &Shared<S>,
+    recovery: sqs_store::Recovery,
+) -> io::Result<RecoverySummary>
+where
+    S: MergeableSummary<u64> + WireCodec + Clone + Send + Sync + 'static,
+{
+    let mut summary = RecoverySummary {
+        torn_tails_dropped: recovery.report.torn_tails_dropped,
+        corrupt_checkpoints_skipped: recovery.corrupt_checkpoints_skipped,
+        ..RecoverySummary::default()
+    };
+    let mut expected: u64 = 0;
+    for ckpt in &recovery.checkpoints {
+        let decoded = S::from_bytes(&ckpt.frame).map_err(|e| {
+            io::Error::other(format!(
+                "recovery: checkpoint frame for tenant {} does not decode: {e}",
+                ckpt.tenant
+            ))
+        })?;
+        let mass = decoded.n();
+        if mass != ckpt.n {
+            return Err(io::Error::other(format!(
+                "recovery: checkpoint for tenant {} declares {} items but its frame holds {}",
+                ckpt.tenant, ckpt.n, mass
+            )));
+        }
+        let engine = shared.tenant(ckpt.tenant);
+        if engine.try_absorb(decoded).is_err() {
+            return Err(io::Error::other(format!(
+                "recovery: checkpoint for tenant {} is incompatible with the configured \
+                 backend — was the server restarted with different accuracy settings?",
+                ckpt.tenant
+            )));
+        }
+        expected += mass;
+        summary.checkpoints_loaded += 1;
+    }
+    for record in &recovery.records {
+        let engine = shared.tenant(record.tenant);
+        match &record.payload {
+            WalPayload::Batch(xs) => {
+                engine.ingest_batch(xs);
+                shared.metrics.add_rows(xs.len() as u64);
+                expected += xs.len() as u64;
+                summary.items_replayed += xs.len() as u64;
+                summary.records_replayed += 1;
+            }
+            WalPayload::Snapshot(frame) => match S::from_bytes(frame) {
+                Ok(decoded) => {
+                    let mass = decoded.n();
+                    if engine.try_absorb(decoded).is_ok() {
+                        expected += mass;
+                        summary.records_replayed += 1;
+                    } else {
+                        // Deterministic dud: the pre-crash server also
+                        // refused this frame after logging it.
+                        summary.failed_applies += 1;
+                    }
+                }
+                Err(_) => {
+                    summary.failed_applies += 1;
+                }
+            },
+        }
+    }
+    let (tenants, totals) = shared.stats_snapshot();
+    summary.tenants = tenants;
+    summary.total_items = totals.items;
+    if totals.items != expected {
+        return Err(io::Error::other(format!(
+            "recovery: engines hold {} items but the durable state accounts for {expected} — \
+             refusing to serve from inconsistent state",
+            totals.items
+        )));
+    }
+    Ok(summary)
+}
+
+/// The background checkpointer: every `interval`, snapshot each tenant
+/// that has WAL records its checkpoint does not cover, write the
+/// checkpoint atomically, and let the store truncate checkpoint-fenced
+/// WAL segments. Exits (after a final WAL flush) when the server
+/// stops.
+fn checkpoint_loop<S>(shared: &Shared<S>, interval: Duration)
+where
+    S: MergeableSummary<u64> + WireCodec + Clone + Send + Sync + 'static,
+{
+    let Some(store) = shared.store.as_ref() else {
+        return;
+    };
+    loop {
+        // Sleep in short steps so shutdown is prompt.
+        let deadline = Instant::now() + interval;
+        while Instant::now() < deadline {
+            if shared.stop.load(Ordering::Acquire) {
+                let _ = store.flush();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        for (tenant, _target_seq) in store.tenants_needing_checkpoint() {
+            let engine = shared.tenant(tenant);
+            let handle = store.tenant(tenant);
+            // Under the tenant gate, `last_append` and the engine
+            // snapshot describe the same acknowledged prefix — the
+            // consistency invariant recovery relies on.
+            let (seq, mut snap, n) = {
+                let _gate = handle.lock();
+                (store.last_append(tenant), engine.snapshot(), engine.n())
+            };
+            let frame = WireCodec::to_bytes(&mut snap);
+            // Slow file I/O happens after the gate is released. A
+            // failed write just means retry next round — the WAL still
+            // covers everything, so durability is unaffected.
+            let _ = store.record_checkpoint(tenant, seq, n, &frame);
+        }
+    }
 }
 
 fn accept_loop<S>(shared: &Shared<S>, listener: &TcpListener)
@@ -403,9 +634,30 @@ where
                 }
             }
             let engine = shared.tenant(req.tenant);
-            engine.ingest_batch(&xs);
+            let seq = match shared.store.as_ref() {
+                Some(store) => {
+                    // Durable path: log first, ingest second, both
+                    // under the tenant gate — an ACK means the batch
+                    // is on disk AND in the engine, and a checkpoint
+                    // taken under the same gate sees a consistent
+                    // (seq, engine-state) pair.
+                    let handle = store.tenant(req.tenant);
+                    let _gate = handle.lock();
+                    match store.append_batch(req.tenant, &xs) {
+                        Ok(seq) => {
+                            engine.ingest_batch(&xs);
+                            seq
+                        }
+                        Err(e) => return err(format!("insert batch: wal append failed: {e}")),
+                    }
+                }
+                None => {
+                    engine.ingest_batch(&xs);
+                    0
+                }
+            };
             shared.metrics.add_rows(xs.len() as u64);
-            ok(proto::encode_u64(engine.n()))
+            ok(proto::encode_ingest_ack(IngestAck { n: engine.n(), seq }))
         }
         Op::QueryQuantiles => {
             let phis = match proto::decode_f64s(&req.payload) {
@@ -442,19 +694,51 @@ where
         Op::MergeSnapshot => match S::from_bytes(&req.payload) {
             Ok(summary) => {
                 let engine = shared.tenant(req.tenant);
-                match engine.try_absorb(summary) {
-                    Ok(()) => ok(proto::encode_u64(engine.n())),
-                    Err(_) => err(
-                        "merge snapshot: accuracy configuration incompatible with this tenant"
-                            .to_owned(),
-                    ),
+                match shared.store.as_ref() {
+                    Some(store) => {
+                        // Log-then-absorb under the tenant gate, like
+                        // ingest. An absorb failure after the append
+                        // leaves a harmless dud record: replay hits
+                        // the same deterministic incompatibility and
+                        // skips it.
+                        let handle = store.tenant(req.tenant);
+                        let _gate = handle.lock();
+                        if let Err(e) = store.append_snapshot(req.tenant, &req.payload) {
+                            return err(format!("merge snapshot: wal append failed: {e}"));
+                        }
+                        match engine.try_absorb(summary) {
+                            Ok(()) => ok(proto::encode_ingest_ack(IngestAck {
+                                n: engine.n(),
+                                seq: store.last_append(req.tenant),
+                            })),
+                            Err(_) => {
+                                err("merge snapshot: accuracy configuration incompatible with \
+                                 this tenant"
+                                    .to_owned())
+                            }
+                        }
+                    }
+                    None => match engine.try_absorb(summary) {
+                        Ok(()) => ok(proto::encode_ingest_ack(IngestAck {
+                            n: engine.n(),
+                            seq: 0,
+                        })),
+                        Err(_) => err(
+                            "merge snapshot: accuracy configuration incompatible with this tenant"
+                                .to_owned(),
+                        ),
+                    },
                 }
             }
             Err(e) => err(format!("merge snapshot rejected: {e}")),
         },
         Op::Stats => {
             let (tenants, engine_totals) = shared.stats_snapshot();
-            ok(shared.metrics.to_json(tenants, &engine_totals).into_bytes())
+            let store_stats = shared.store.as_ref().map(|s| s.stats());
+            ok(shared
+                .metrics
+                .to_json(tenants, &engine_totals, store_stats.as_ref())
+                .into_bytes())
         }
         Op::Shutdown => ok(Vec::new()),
     }

@@ -29,6 +29,9 @@
 //!   debug builds panic on out-of-order (or re-entrant) acquisition;
 //!   the runtime half of the lock discipline `sqs-analyze` checks
 //!   statically.
+//! * [`tmpdir`] — [`tmpdir::TempDir`], self-cleaning unique temp
+//!   directories for tests that write on-disk state (the offline
+//!   stand-in for the `tempfile` crate).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +45,7 @@ pub mod pad;
 pub mod rng;
 pub mod space;
 pub mod sync;
+pub mod tmpdir;
 
 pub use audit::{CheckInvariants, InvariantViolation};
 pub use space::SpaceUsage;

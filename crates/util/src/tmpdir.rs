@@ -1,0 +1,93 @@
+//! Self-cleaning unique temporary directories for tests and tools.
+//!
+//! The workspace builds offline, so it cannot use the `tempfile`
+//! crate; this is the small slice of it we need. [`TempDir::new`]
+//! creates a fresh directory under the OS temp root whose name mixes
+//! the caller's prefix, the process id, a per-process counter and the
+//! wall clock — unique across concurrent test processes and across
+//! `#[test]` threads within one process. Dropping the handle removes
+//! the tree, so a passing test leaves nothing behind; a SIGKILLed one
+//! leaves only an ignorable directory under `$TMPDIR`, never inside
+//! the repository (see `.gitignore` for the belt-and-braces patterns).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Per-process counter so two `TempDir::new` calls in the same
+/// nanosecond still diverge.
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely-named directory removed (recursively) on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `"$TMPDIR/<prefix>-<pid>-<nanos>-<counter>"`.
+    ///
+    /// # Errors
+    /// Propagates the directory-creation failure.
+    pub fn new(prefix: &str) -> std::io::Result<Self> {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.subsec_nanos());
+        let tag = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "{prefix}-{pid}-{nanos}-{tag}",
+            pid = std::process::id()
+        ));
+        fs::create_dir_all(&path)?;
+        Ok(Self { path })
+    }
+
+    /// The directory's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consumes the handle *without* deleting the directory — for
+    /// debugging a failing test by inspecting what it wrote.
+    #[must_use]
+    pub fn into_path(self) -> PathBuf {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best-effort: a busy/foreign file must not turn teardown into
+        // a panic inside a panic.
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_created_and_removed_on_drop() {
+        let a = TempDir::new("sqs-tmpdir-test").expect("create");
+        let b = TempDir::new("sqs-tmpdir-test").expect("create");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists(), "dropped TempDir must be removed");
+        assert!(b.path().is_dir(), "sibling unaffected");
+    }
+
+    #[test]
+    fn into_path_keeps_the_directory() {
+        let d = TempDir::new("sqs-tmpdir-keep").expect("create");
+        let kept = d.into_path();
+        assert!(kept.is_dir());
+        std::fs::remove_dir_all(&kept).expect("manual cleanup");
+    }
+}

@@ -38,6 +38,16 @@ RUSTFLAGS="${RUSTFLAGS:--D warnings}" cargo test -q -p sqs-engine -- --test-thre
 echo "== service smoke (cargo test --test service_smoke) =="
 cargo test -q --test service_smoke
 
+# Durable store: WAL/checkpoint unit suite, then the crash-recovery
+# smoke test — the real sqs-serve binary is SIGKILLed mid-ingest and
+# restarted on the same data directory; every acknowledged batch must
+# come back rank-consistent with an exact oracle (docs/STORE.md).
+echo "== durable store tests (cargo test -p sqs-store) =="
+cargo test -q -p sqs-store
+
+echo "== crash-recovery smoke (cargo test -p sqs-service --test store_recovery) =="
+cargo test -q -p sqs-service --test store_recovery
+
 echo "== loadgen sanity (2s, throwaway output) =="
 cargo run --release -q -p sqs-harness --bin sqs-loadgen -- --secs 2 \
     --out "$(mktemp -d)/service_sanity.json" >/dev/null

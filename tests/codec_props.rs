@@ -174,6 +174,49 @@ proptest! {
     }
 }
 
+/// Deterministic exhaustive sweep, complementing the strided proptest
+/// above: truncate one small frame at *every* byte and flip *every*
+/// bit of every byte. This is the same corruption model the WAL's
+/// torn-tail repair assumes (`sqs-store`), so the codec must hold the
+/// line at byte granularity, not just at sampled offsets.
+fn exhaustive_corruption_sweep<S>(mut s: S, label: &str)
+where
+    S: MergeableSummary<u64> + WireCodec,
+{
+    let frame = s.to_bytes();
+    for cut in 0..frame.len() {
+        let truncated = frame.get(..cut).unwrap_or_default();
+        assert!(
+            S::from_bytes(truncated).is_err(),
+            "{label}: truncation at {cut}/{} accepted",
+            frame.len()
+        );
+    }
+    for pos in 0..frame.len() {
+        for bit in 0..8u8 {
+            let mut evil = frame.clone();
+            if let Some(b) = evil.get_mut(pos) {
+                *b ^= 1 << bit;
+            }
+            assert!(
+                S::from_bytes(&evil).is_err(),
+                "{label}: bit flip at byte {pos} bit {bit} accepted"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_truncation_and_bit_flip_rejected_across_backends() {
+    // ~64 items keep every frame to a few hundred bytes (a few KB for
+    // DCS), so the full 8×len flip matrix is still fast.
+    let data: Vec<u64> = (0..64u64).map(|i| (i * 37) % (1 << 12)).collect();
+    exhaustive_corruption_sweep(filled_random(0.2, 3, &data), "random");
+    exhaustive_corruption_sweep(filled_qdigest(0.2, &data), "qdigest");
+    exhaustive_corruption_sweep(filled_reservoir(0.2, 3, &data), "reservoir");
+    exhaustive_corruption_sweep(filled_dcs(3, &data), "dcs");
+}
+
 #[test]
 fn empty_summaries_roundtrip() {
     roundtrip_then_extend(RandomSketch::<u64>::new(0.05, 1), &[1, 2, 3], 0.05);

@@ -107,8 +107,9 @@ fn snapshot_merges_into_second_server_rank_identical() {
     // SNAPSHOT on server A, MERGE_SNAPSHOT into fresh server B.
     let frame = ca.snapshot(tenant).expect("snapshot frame");
     let mut cb = connect(b.addr());
-    let merged_n = cb.merge_snapshot(tenant, frame).expect("merge snapshot");
-    assert_eq!(merged_n, data.len() as u64, "merge conserves mass");
+    let ack = cb.merge_snapshot(tenant, frame).expect("merge snapshot");
+    assert_eq!(ack.n, data.len() as u64, "merge conserves mass");
+    assert_eq!(ack.seq, 0, "in-memory server must ack seq 0");
 
     // Both servers must now answer every probe identically end-to-end
     // over the socket (B holds exactly A's summary).
@@ -202,7 +203,7 @@ fn server_replies_with_errors_not_panics() {
     assert!(matches!(err, ClientError::Server(_)), "got {err:?}");
 
     // …as proven by a well-formed follow-up on the same connection.
-    assert_eq!(client.insert_batch(1, &[1, 2, 3]).expect("insert"), 3);
+    assert_eq!(client.insert_batch(1, &[1, 2, 3]).expect("insert").n, 3);
 
     // Raw call with a malformed payload (not a multiple of 8).
     let err = client
