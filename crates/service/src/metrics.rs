@@ -252,6 +252,7 @@ impl Metrics {
             let _ = writeln!(out, "    \"recoveries\": {},", s.recoveries);
             let _ = writeln!(out, "    \"replayed_records\": {},", s.replayed_records);
             let _ = writeln!(out, "    \"torn_tails_dropped\": {},", s.torn_tails_dropped);
+            let _ = writeln!(out, "    \"seq_gaps\": {},", s.seq_gaps);
             let _ = writeln!(out, "    \"last_seq\": {}", s.last_seq);
             out.push_str("  },\n");
         }

@@ -634,30 +634,33 @@ where
                 }
             }
             let engine = shared.tenant(req.tenant);
-            let seq = match shared.store.as_ref() {
+            let (n, seq) = match shared.store.as_ref() {
                 Some(store) => {
                     // Durable path: log first, ingest second, both
                     // under the tenant gate — an ACK means the batch
                     // is on disk AND in the engine, and a checkpoint
                     // taken under the same gate sees a consistent
-                    // (seq, engine-state) pair.
+                    // (seq, engine-state) pair. The ack's count is
+                    // read under the same gate so (n, seq) describe
+                    // the same acknowledged prefix even when other
+                    // connections ingest into this tenant.
                     let handle = store.tenant(req.tenant);
                     let _gate = handle.lock();
                     match store.append_batch(req.tenant, &xs) {
                         Ok(seq) => {
                             engine.ingest_batch(&xs);
-                            seq
+                            (engine.n(), seq)
                         }
                         Err(e) => return err(format!("insert batch: wal append failed: {e}")),
                     }
                 }
                 None => {
                     engine.ingest_batch(&xs);
-                    0
+                    (engine.n(), 0)
                 }
             };
             shared.metrics.add_rows(xs.len() as u64);
-            ok(proto::encode_ingest_ack(IngestAck { n: engine.n(), seq }))
+            ok(proto::encode_ingest_ack(IngestAck { n, seq }))
         }
         Op::QueryQuantiles => {
             let phis = match proto::decode_f64s(&req.payload) {

@@ -21,6 +21,15 @@
 //! ultimately to pure WAL replay. The two newest checkpoints per
 //! tenant are retained for exactly that fallback; older ones are
 //! pruned after each successful write.
+//!
+//! For the fallback to be *sound*, the WAL must still hold every
+//! record the fallback checkpoint does not cover — which is why the
+//! store fences WAL truncation on each tenant's **second-newest**
+//! checkpoint (reported here as [`CheckpointLoad::fallback_seqs`] and
+//! threaded back by `record_checkpoint`), not its newest: records in
+//! `(prev.seq, newest.seq]` stay replayable until a *younger* pair
+//! exists, so a bit-rotted newest file degrades recovery to
+//! "fallback + longer replay" instead of silent data loss.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
@@ -39,6 +48,8 @@ pub const CHECKPOINT_VERSION: u8 = 1;
 
 /// How many checkpoints per tenant survive pruning (newest first).
 /// Two: the current one, plus one predecessor as a bit-rot fallback.
+/// The WAL truncation fence tracks the predecessor (see the module
+/// docs), so the fallback always has its replay tail available.
 pub const KEEP_PER_TENANT: usize = 2;
 
 /// One tenant's newest valid checkpoint, as loaded at recovery.
@@ -65,6 +76,11 @@ pub struct CheckpointLoad {
     /// Files whose checksum or structure failed — skipped, and the
     /// next-newest file (if any) used instead.
     pub corrupt_skipped: u64,
+    /// Per tenant, the sequence number of the *second*-newest valid
+    /// checkpoint (tenants with only one valid file are absent). This
+    /// seeds the WAL truncation fence after recovery: records above it
+    /// must stay replayable so the retained fallback file is usable.
+    pub fallback_seqs: Vec<(u64, u64)>,
 }
 
 /// Writes tenant `tenant`'s checkpoint atomically and prunes that
@@ -113,6 +129,7 @@ pub fn load_checkpoints(dir: &Path) -> StoreResult<CheckpointLoad> {
     let mut load = CheckpointLoad::default();
     let mut newest: std::collections::HashMap<u64, TenantCheckpoint> =
         std::collections::HashMap::new();
+    let mut valid_seqs: std::collections::HashMap<u64, Vec<u64>> = std::collections::HashMap::new();
     for (path, is_tmp) in list_files(dir)? {
         if is_tmp {
             // A crash between tmp-write and rename: the file was never
@@ -126,6 +143,7 @@ pub fn load_checkpoints(dir: &Path) -> StoreResult<CheckpointLoad> {
             .map_err(|e| StoreError::io("checkpoint read", &path, e))?;
         match decode_checkpoint(&bytes) {
             Some(ckpt) => {
+                valid_seqs.entry(ckpt.tenant).or_default().push(ckpt.seq);
                 let replace = newest
                     .get(&ckpt.tenant)
                     .is_none_or(|have| ckpt.seq > have.seq);
@@ -136,6 +154,13 @@ pub fn load_checkpoints(dir: &Path) -> StoreResult<CheckpointLoad> {
             None => load.corrupt_skipped += 1,
         }
     }
+    for (tenant, mut seqs) in valid_seqs {
+        seqs.sort_unstable_by_key(|&s| std::cmp::Reverse(s));
+        if let Some(&prev) = seqs.get(1) {
+            load.fallback_seqs.push((tenant, prev));
+        }
+    }
+    load.fallback_seqs.sort_unstable();
     load.checkpoints = newest.into_values().collect();
     load.checkpoints.sort_unstable_by_key(|c| c.tenant);
     Ok(load)
@@ -297,6 +322,11 @@ mod tests {
             .expect("tenant 7");
         assert_eq!((t7.seq, t7.n), (250, 9000));
         assert_eq!(t7.frame, f);
+        assert_eq!(
+            load.fallback_seqs,
+            vec![(7, 100)],
+            "tenant 7 has a fallback; tenant 8 (one file) has none"
+        );
     }
 
     #[test]
@@ -320,6 +350,10 @@ mod tests {
             .find(|c| c.tenant == 3)
             .expect("tenant 3 falls back");
         assert_eq!(t3.seq, 50, "previous checkpoint used");
+        assert!(
+            load.fallback_seqs.is_empty(),
+            "the corrupt file does not count as a fallback"
+        );
     }
 
     #[test]

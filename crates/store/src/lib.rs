@@ -77,6 +77,11 @@ pub enum StoreError {
         /// The offending body size in bytes.
         bytes: usize,
     },
+    /// A failed append left stale bytes the writer could not roll
+    /// back; all further appends fail fast so no acknowledgement can
+    /// ever depend on a record written after them. Restarting the
+    /// process repairs the tail via replay.
+    WalPoisoned,
 }
 
 impl StoreError {
@@ -105,6 +110,10 @@ impl fmt::Display for StoreError {
                     wal::MAX_RECORD_BODY
                 )
             }
+            StoreError::WalPoisoned => write!(
+                f,
+                "wal writer poisoned by an earlier failed append; restart to repair the tail"
+            ),
         }
     }
 }
@@ -113,7 +122,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Io { source, .. } => Some(source),
-            StoreError::RecordTooLarge { .. } => None,
+            StoreError::RecordTooLarge { .. } | StoreError::WalPoisoned => None,
         }
     }
 }
@@ -168,6 +177,9 @@ pub struct StoreStats {
     pub replayed_records: u64,
     /// Torn/corrupt WAL tails truncated during the recovery.
     pub torn_tails_dropped: u64,
+    /// Forward sequence gaps accepted at segment boundaries during the
+    /// recovery (resume points of earlier recoveries, not new loss).
+    pub seq_gaps: u64,
     /// Highest sequence number assigned so far (0 = none).
     pub last_seq: u64,
 }
@@ -210,6 +222,12 @@ struct TenantMeta {
     last_append: AtomicU64,
     /// Sequence number the tenant's newest checkpoint covers.
     ckpt_seq: AtomicU64,
+    /// Sequence number the tenant's *second*-newest checkpoint covers
+    /// — the WAL truncation fence. Trailing `ckpt_seq` by one
+    /// checkpoint keeps records in `(fence_seq, ckpt_seq]` replayable,
+    /// so the retained fallback checkpoint file is actually usable if
+    /// the newest one bit-rots.
+    fence_seq: AtomicU64,
 }
 
 /// A cloneable handle to one tenant's ingest/checkpoint gate.
@@ -245,6 +263,7 @@ struct Counters {
     recoveries: AtomicU64,
     replayed_records: AtomicU64,
     torn_tails_dropped: AtomicU64,
+    seq_gaps: AtomicU64,
 }
 
 /// The durable storage facade: WAL + checkpoints + the consistency
@@ -291,8 +310,13 @@ impl DurableStore {
         })?;
 
         let max_ckpt_seq = ckpt_seq_of.values().copied().max().unwrap_or(0);
+        // When a checkpoint covers records the WAL lost, next_seq jumps
+        // past the durable tail; the next segment then legitimately
+        // starts beyond where the previous one ended, which replay
+        // accepts as a seq gap (see `wal::ReplayReport::seq_gaps`).
         let next_seq = report.last_seq.max(max_ckpt_seq) + 1;
 
+        let fallback_seq_of: HashMap<u64, u64> = load.fallback_seqs.iter().copied().collect();
         let mut tenants = HashMap::new();
         for ckpt in &load.checkpoints {
             last_append.entry(ckpt.tenant).or_insert(ckpt.seq);
@@ -302,6 +326,10 @@ impl DurableStore {
             meta.last_append.store(last, Ordering::Relaxed);
             meta.ckpt_seq.store(
                 ckpt_seq_of.get(&tenant).copied().unwrap_or(0),
+                Ordering::Relaxed,
+            );
+            meta.fence_seq.store(
+                fallback_seq_of.get(&tenant).copied().unwrap_or(0),
                 Ordering::Relaxed,
             );
             tenants.insert(tenant, Arc::new(meta));
@@ -328,6 +356,10 @@ impl DurableStore {
             .counters
             .torn_tails_dropped
             .store(report.torn_tails_dropped, Ordering::Relaxed);
+        store
+            .counters
+            .seq_gaps
+            .store(report.seq_gaps, Ordering::Relaxed);
         store
             .counters
             .corrupt_checkpoints_skipped
@@ -380,9 +412,11 @@ impl DurableStore {
 
     /// Records a checkpoint of `tenant` covering WAL records with
     /// sequence numbers ≤ `seq`: writes the checkpoint file
-    /// atomically, advances the tenant's fence, and truncates WAL
-    /// segments every tenant's checkpoint now covers. `frame` is the
-    /// tenant's summary as a `WireCodec` frame; `n` its item count.
+    /// atomically, advances the tenant's fence to its *previous*
+    /// checkpoint (keeping the retained fallback file replayable), and
+    /// truncates WAL segments every tenant's fence now covers. `frame`
+    /// is the tenant's summary as a `WireCodec` frame; `n` its item
+    /// count.
     ///
     /// Call *without* the tenant lock held — the snapshot pair
     /// (`last_append` + engine snapshot) happens under the lock, the
@@ -398,9 +432,13 @@ impl DurableStore {
         frame: &[u8],
     ) -> StoreResult<()> {
         checkpoint::write_checkpoint(&self.ckpt_dir, tenant, seq, n, frame)?;
-        self.tenant_meta(tenant)
-            .ckpt_seq
-            .store(seq, Ordering::Release);
+        let meta = self.tenant_meta(tenant);
+        let prev = meta.ckpt_seq.swap(seq, Ordering::AcqRel);
+        // Fence on the *previous* checkpoint: records in (prev, seq]
+        // exist only inside the file just written until the next
+        // checkpoint supersedes it, so they must stay in the WAL for
+        // the corrupt-newest fallback to be replayable.
+        meta.fence_seq.store(prev, Ordering::Release);
         self.counters
             .checkpoints_written
             .fetch_add(1, Ordering::Relaxed);
@@ -448,6 +486,7 @@ impl DurableStore {
             recoveries: c.recoveries.load(Ordering::Relaxed),
             replayed_records: c.replayed_records.load(Ordering::Relaxed),
             torn_tails_dropped: c.torn_tails_dropped.load(Ordering::Relaxed),
+            seq_gaps: c.seq_gaps.load(Ordering::Relaxed),
             last_seq,
         }
     }
@@ -490,7 +529,10 @@ impl DurableStore {
     }
 
     /// The WAL-truncation fence: the highest sequence number such that
-    /// every tenant's records at or below it are checkpoint-covered.
+    /// every tenant's records at or below it are covered by that
+    /// tenant's *second*-newest checkpoint (or would not be needed by
+    /// it). Fencing one checkpoint behind keeps the retained fallback
+    /// file replayable if the newest one turns out corrupt.
     fn fence(&self) -> u64 {
         let mut fence = {
             let w = self.wal_guard();
@@ -498,9 +540,9 @@ impl DurableStore {
         };
         for (_, meta) in self.metas() {
             let last = meta.last_append.load(Ordering::Acquire);
-            let ckpt = meta.ckpt_seq.load(Ordering::Acquire);
-            if ckpt < last {
-                fence = fence.min(ckpt);
+            let fallback = meta.fence_seq.load(Ordering::Acquire);
+            if fallback < last {
+                fence = fence.min(fallback);
             }
         }
         fence
@@ -560,6 +602,17 @@ mod tests {
         sqs_core::sampled::ReservoirQuantiles::<u64>::new(0.1, 1).to_bytes()
     }
 
+    /// The store's WAL segment files under `root`, in sequence order.
+    fn wal_segments(root: &Path) -> Vec<PathBuf> {
+        let mut v: Vec<PathBuf> = fs::read_dir(root.join("wal"))
+            .expect("read wal dir")
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "wal"))
+            .collect();
+        v.sort();
+        v
+    }
+
     #[test]
     fn fresh_open_has_no_recovery() {
         let dir = tmp();
@@ -600,16 +653,34 @@ mod tests {
             for i in 0..40u64 {
                 store.append_batch(9, &[i; 64]).expect("append");
             }
-            let seq = store.last_append(9);
+            let first = store.last_append(9);
             store
-                .record_checkpoint(9, seq, 40 * 64, &f)
+                .record_checkpoint(9, first, 40 * 64, &f)
+                .expect("checkpoint");
+            // The first checkpoint has no predecessor to fence on:
+            // every record must stay replayable for its fallback
+            // (pure WAL replay), so nothing is truncated yet.
+            assert_eq!(
+                store.stats().segments_deleted,
+                0,
+                "first checkpoint fences at 0"
+            );
+            for i in 0..40u64 {
+                store.append_batch(9, &[i; 64]).expect("append");
+            }
+            let second = store.last_append(9);
+            store
+                .record_checkpoint(9, second, 80 * 64, &f)
                 .expect("checkpoint");
             store.append_batch(9, &[777]).expect("append after ckpt");
-            assert!(store.stats().segments_deleted > 0, "fence advanced");
+            assert!(
+                store.stats().segments_deleted > 0,
+                "second checkpoint advances the fence to the first"
+            );
         }
         let (_store, rec) = DurableStore::open(&cfg(dir.path())).expect("reopen");
         assert_eq!(rec.checkpoints.len(), 1);
-        assert_eq!(rec.checkpoints.first().map(|c| c.n), Some(40 * 64));
+        assert_eq!(rec.checkpoints.first().map(|c| c.n), Some(80 * 64));
         assert_eq!(
             rec.records.len(),
             1,
@@ -638,6 +709,127 @@ mod tests {
         assert_eq!(store.stats().segments_deleted, 0);
         let needs = store.tenants_needing_checkpoint();
         assert_eq!(needs, vec![(2, 1)]);
+    }
+
+    /// The REVIEW.md high-severity repro: a checkpoint covering seqs
+    /// beyond the durable WAL tail (crash under `--fsync
+    /// interval|never`) makes the first recovery resume numbering past
+    /// the tail; the second restart must treat the resulting
+    /// between-segment gap as a resume point, not corruption — the
+    /// batch acked after the first recovery has to survive.
+    #[test]
+    fn checkpoint_ahead_of_wal_tail_survives_two_restarts() {
+        let dir = tmp();
+        let f = frame();
+        {
+            let (store, _) = DurableStore::open(&cfg(dir.path())).expect("open");
+            let t = store.tenant(1);
+            let _g = t.lock();
+            for i in 0..3u64 {
+                store.append_batch(1, &[i]).expect("append");
+            }
+            drop(_g);
+            store.record_checkpoint(1, 3, 3, &f).expect("checkpoint");
+        }
+        // Crash simulation: the checkpoint reached the disk but the
+        // last WAL record did not. One-value batch records are
+        // RECORD_OVERHEAD + 8 (count) + 8 (value) bytes each.
+        let rec_len = (wal::RECORD_OVERHEAD + 16) as u64;
+        let seg = wal_segments(dir.path()).pop().expect("one segment on disk");
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .expect("open segment");
+        file.set_len(wal::SEGMENT_HEADER_LEN as u64 + 2 * rec_len)
+            .expect("drop record 3");
+        drop(file);
+        {
+            // First recovery: WAL ends at seq 2, checkpoint covers 3,
+            // so the writer resumes at 4 — in a new segment that
+            // starts past where the old one ends.
+            let (store, rec) = DurableStore::open(&cfg(dir.path())).expect("first reopen");
+            assert!(rec.records.is_empty(), "seqs 1-2 are checkpoint-covered");
+            let t = store.tenant(1);
+            let _g = t.lock();
+            let seq = store.append_batch(1, &[99]).expect("append");
+            assert_eq!(seq, 4);
+        }
+        // Second recovery: the acked seq-4 record must come back.
+        let (store, rec) = DurableStore::open(&cfg(dir.path())).expect("second reopen");
+        assert_eq!(
+            rec.records
+                .iter()
+                .map(|r| (r.seq, r.payload.clone()))
+                .collect::<Vec<_>>(),
+            vec![(4, WalPayload::Batch(vec![99]))],
+            "the batch acked after the first recovery survives the seq gap"
+        );
+        assert_eq!(rec.report.seq_gaps, 1);
+        assert_eq!(rec.report.torn_tails_dropped, 0);
+        assert_eq!(store.stats().seq_gaps, 1);
+        assert_eq!(store.last_append(1), 4);
+    }
+
+    /// The keep-2 "bit-rot fallback" must be replayable: with the
+    /// fence trailing one checkpoint behind, a corrupt newest file
+    /// falls back to the previous one and finds every record after it
+    /// still in the WAL — no silent loss of `(prev, newest]`.
+    #[test]
+    fn corrupt_newest_checkpoint_fallback_is_fully_replayable() {
+        let dir = tmp();
+        let f = frame();
+        let (first, second) = {
+            let (store, _) = DurableStore::open(&cfg(dir.path())).expect("open");
+            for i in 0..40u64 {
+                store.append_batch(1, &[i; 64]).expect("append");
+            }
+            let first = store.last_append(1);
+            store
+                .record_checkpoint(1, first, 40 * 64, &f)
+                .expect("checkpoint");
+            for i in 0..40u64 {
+                store.append_batch(1, &[i; 64]).expect("append");
+            }
+            let second = store.last_append(1);
+            store
+                .record_checkpoint(1, second, 80 * 64, &f)
+                .expect("checkpoint");
+            assert!(
+                store.stats().segments_deleted > 0,
+                "the WAL did get truncated (below the first checkpoint)"
+            );
+            store.append_batch(1, &[5]).expect("append after ckpt");
+            (first, second)
+        };
+        // Bit-rot the newest checkpoint file (zero-padded names sort
+        // in (tenant, seq) order, so the lexicographic max is newest).
+        let mut ckpts: Vec<PathBuf> = fs::read_dir(dir.path().join("ckpt"))
+            .expect("read ckpt dir")
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+            .collect();
+        ckpts.sort();
+        assert_eq!(ckpts.len(), 2, "keep-2 retention");
+        let newest = ckpts.last().expect("newest checkpoint");
+        let mut bytes = fs::read(newest).expect("read");
+        if let Some(b) = bytes.get_mut(25) {
+            *b ^= 0x10;
+        }
+        fs::write(newest, &bytes).expect("write back");
+
+        let (_store, rec) = DurableStore::open(&cfg(dir.path())).expect("reopen");
+        assert_eq!(rec.corrupt_checkpoints_skipped, 1);
+        assert_eq!(
+            rec.checkpoints.first().map(|c| c.seq),
+            Some(first),
+            "fell back to the previous checkpoint"
+        );
+        let seqs: Vec<u64> = rec.records.iter().map(|r| r.seq).collect();
+        assert_eq!(
+            seqs,
+            (first + 1..=second + 1).collect::<Vec<_>>(),
+            "every record past the fallback checkpoint is still replayable"
+        );
     }
 
     #[test]

@@ -16,11 +16,23 @@
 //! service's `INSERT_BATCH`) or [`KIND_SNAPSHOT`] (payload: one
 //! `sqs_core::codec` frame, the service's `MERGE_SNAPSHOT`). Sequence
 //! numbers are global across tenants and increase by exactly one per
-//! record, which replay exploits: any gap, checksum mismatch, short
-//! read, or impossible length is **corruption**, and replay stops at
-//! the first corrupt byte, truncates the log there (dropping the torn
-//! tail), and reports what it dropped — a record is either wholly
-//! replayed or wholly gone, never half-applied.
+//! record *within a segment*, which replay exploits: any in-segment
+//! gap, checksum mismatch, short read, or impossible length is
+//! **corruption**, and replay stops at the first corrupt byte,
+//! truncates the log there (dropping the torn tail), and reports what
+//! it dropped — a record is either wholly replayed or wholly gone,
+//! never half-applied.
+//!
+//! *Between* segments, a forward gap is legal and replay accepts it
+//! (counted in [`ReplayReport::seq_gaps`]): recovery resumes sequence
+//! numbering one past `max(wal tail, newest checkpoint seq)`, so when
+//! a checkpoint covers records the WAL lost (a crash under
+//! `FsyncPolicy::Interval`/`Never`, or a mid-log repair), the next
+//! segment legitimately starts beyond where the previous one ended.
+//! The gate is the segment *header*: its `first_seq` must match the
+//! file name, which only the writer produces — a segment that starts
+//! late is a resume point, not bit rot. Backward overlap is still
+//! corruption.
 //!
 //! Durability is governed by [`FsyncPolicy`]: `Always` fsyncs after
 //! every append (an acknowledged record survives `kill -9`),
@@ -30,7 +42,7 @@
 //! matrix.
 
 use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
@@ -125,6 +137,11 @@ pub struct ReplayReport {
     /// Torn/corrupt tails truncated away (0 or 1 per recovery: replay
     /// stops at the first corrupt byte).
     pub torn_tails_dropped: u64,
+    /// Forward sequence gaps accepted at segment boundaries — each one
+    /// marks a spot where an earlier recovery resumed numbering past a
+    /// lost WAL tail (the missing range was checkpoint-covered or
+    /// reported dropped back then; it is not new loss).
+    pub seq_gaps: u64,
     /// Bytes discarded by tail truncation (including whole later
     /// segments removed after a mid-log corruption).
     pub bytes_dropped: u64,
@@ -145,6 +162,16 @@ pub struct WalWriter {
     seg_bytes: u64,
     next_seq: u64,
     last_sync: Instant,
+    /// Set when a failed append could not be rolled back off the disk:
+    /// the segment may hold stale bytes at its tail, so every further
+    /// append fails fast rather than writing a reused sequence number
+    /// after them (replay would stop at the stale bytes and drop the
+    /// later, acknowledged records).
+    poisoned: bool,
+    /// Test-only fault injection: each unit makes the next append
+    /// write half its record and then fail, exercising the rollback.
+    #[cfg(test)]
+    torn_appends: u32,
 }
 
 /// What one append did, for the caller's stats ledger.
@@ -174,6 +201,9 @@ impl WalWriter {
             seg_bytes: 0,
             next_seq,
             last_sync: Instant::now(),
+            poisoned: false,
+            #[cfg(test)]
+            torn_appends: 0,
         }
     }
 
@@ -190,6 +220,9 @@ impl WalWriter {
     /// I/O failures and oversized payloads; the sequence number is not
     /// consumed on failure.
     pub fn append(&mut self, tenant: u64, payload: &WalPayload) -> StoreResult<AppendOutcome> {
+        if self.poisoned {
+            return Err(StoreError::WalPoisoned);
+        }
         let seq = self.next_seq;
         let record = encode_record(seq, tenant, payload)?;
         let mut rotated = false;
@@ -204,12 +237,35 @@ impl WalWriter {
         if self.file.is_none() {
             self.open_segment()?;
         }
+        // Everything from here on must leave the segment exactly at
+        // `start` on failure: the sequence number is not consumed, so
+        // the next append reuses it, and stale bytes before it would
+        // make replay stop there and drop later acknowledged records.
+        let start = self.seg_bytes;
+        #[cfg(test)]
+        if self.torn_appends > 0 {
+            self.torn_appends -= 1;
+            let half = record.len() / 2;
+            let file = self
+                .file
+                .as_mut()
+                .expect("wal invariant: open_segment leaves an open file");
+            let _ = file.write_all(record.get(..half).unwrap_or_default());
+            self.rollback(start);
+            return Err(StoreError::io(
+                "wal append",
+                &self.dir,
+                std::io::Error::other("injected torn append"),
+            ));
+        }
         let file = self
             .file
             .as_mut()
             .expect("wal invariant: open_segment leaves an open file");
-        file.write_all(&record)
-            .map_err(|e| StoreError::io("wal append", &self.dir, e))?;
+        if let Err(e) = file.write_all(&record) {
+            self.rollback(start);
+            return Err(StoreError::io("wal append", &self.dir, e));
+        }
         self.seg_bytes += record.len() as u64;
         let synced = match self.fsync {
             FsyncPolicy::Always => true,
@@ -217,7 +273,10 @@ impl WalWriter {
             FsyncPolicy::Never => false,
         };
         if synced {
-            self.sync()?;
+            if let Err(e) = self.sync() {
+                self.rollback(start);
+                return Err(e);
+            }
         }
         self.next_seq += 1;
         Ok(AppendOutcome {
@@ -226,6 +285,32 @@ impl WalWriter {
             rotated,
             synced,
         })
+    }
+
+    /// Restores the open segment to `len` bytes after a failed append,
+    /// so no stale partial record can precede a future append's reuse
+    /// of the same sequence number. If the restore itself fails the
+    /// writer poisons itself — appends fail fast from then on, which
+    /// keeps "acknowledged" and "replayable" identical at the cost of
+    /// requiring a restart (whose replay repairs the tail).
+    fn rollback(&mut self, len: u64) {
+        let restored = self
+            .file
+            .as_mut()
+            .is_some_and(|f| f.set_len(len).is_ok() && f.seek(SeekFrom::Start(len)).is_ok());
+        if restored {
+            self.seg_bytes = len;
+        } else {
+            self.poisoned = true;
+            self.file = None;
+        }
+    }
+
+    /// Whether a failed, un-rollbackable append has poisoned the
+    /// writer (all appends now fail with [`StoreError::WalPoisoned`]).
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// `fdatasync` on the open segment (no-op when nothing is open).
@@ -451,9 +536,10 @@ enum SegmentScan {
 }
 
 /// Walks one segment's records, calling `apply` for each valid one.
-/// Any structural problem — bad header, bad checksum, short read, a
-/// sequence gap, an impossible length — stops the scan at the last
-/// valid byte.
+/// Any structural problem — bad header, bad checksum, short read, an
+/// in-segment sequence gap, a backward overlap between segments, an
+/// impossible length — stops the scan at the last valid byte. A
+/// forward gap between segments is accepted (see the module docs).
 fn scan_segment(
     bytes: &[u8],
     name_seq: u64,
@@ -469,11 +555,19 @@ fn scan_segment(
     let version_ok = r.u8().is_ok_and(|v| v == SEGMENT_VERSION);
     let _reserved = r.bytes(3);
     let first_seq = r.u64().unwrap_or(u64::MAX);
-    // The header's first_seq must agree with the file name and with
-    // the running sequence; a fresh log (expected == None) adopts it.
-    let seq_ok = first_seq == name_seq && expected.is_none_or(|e| e == first_seq);
+    // The header's first_seq must agree with the file name, and must
+    // not overlap the running sequence; a fresh log (expected == None)
+    // adopts it. A *forward* gap is a prior recovery's resume point
+    // (next_seq jumped past a lost tail to the checkpoint fence), so
+    // it is accepted and counted, never treated as corruption — else a
+    // restart after such a recovery would delete the whole segment and
+    // every acknowledged record in it.
+    let seq_ok = first_seq == name_seq && expected.is_none_or(|e| first_seq >= e);
     if !(magic_ok && version_ok && seq_ok) {
         return SegmentScan::Corrupt { keep_bytes: 0 };
+    }
+    if expected.is_some_and(|e| first_seq > e) {
+        report.seq_gaps += 1;
     }
     let mut next_seq = first_seq;
     let mut offset = SEGMENT_HEADER_LEN;
@@ -711,6 +805,83 @@ mod tests {
         assert_eq!(records.len(), 6);
         assert_eq!(report2.last_seq, 6);
         assert_eq!(report2.torn_tails_dropped, 0);
+    }
+
+    #[test]
+    fn forward_gap_between_segments_is_a_resume_point_not_corruption() {
+        let dir = tmp();
+        let mut w = WalWriter::new(dir.path(), 1 << 20, FsyncPolicy::Never, 1);
+        for i in 0..4u64 {
+            w.append(1, &WalPayload::Batch(vec![i])).expect("append");
+        }
+        drop(w);
+        // A recovery that trusted a checkpoint past the durable tail
+        // resumes numbering at 9 — in a fresh segment.
+        let mut w2 = WalWriter::new(dir.path(), 1 << 20, FsyncPolicy::Never, 9);
+        w2.append(1, &WalPayload::Batch(vec![42])).expect("append");
+        drop(w2);
+        let (records, report) = collect(dir.path());
+        assert_eq!(records.len(), 5, "both segments replay");
+        assert_eq!(records.last().map(|r| r.seq), Some(9));
+        assert_eq!(report.seq_gaps, 1);
+        assert_eq!(report.torn_tails_dropped, 0, "a gap is not corruption");
+        assert_eq!(report.last_seq, 9);
+        // No repair happened, so a second replay is identical.
+        let (records2, report2) = collect(dir.path());
+        assert_eq!(records2, records);
+        assert_eq!(report2.seq_gaps, 1);
+    }
+
+    #[test]
+    fn backward_overlap_between_segments_is_still_corruption() {
+        let dir = tmp();
+        let mut w = WalWriter::new(dir.path(), 1 << 20, FsyncPolicy::Never, 1);
+        for i in 0..4u64 {
+            w.append(1, &WalPayload::Batch(vec![i])).expect("append");
+        }
+        drop(w);
+        // A segment claiming to restart inside already-replayed
+        // history can only be stale or forged bytes.
+        let mut w2 = WalWriter::new(dir.path(), 1 << 20, FsyncPolicy::Never, 3);
+        w2.append(1, &WalPayload::Batch(vec![42])).expect("append");
+        drop(w2);
+        let (records, report) = collect(dir.path());
+        assert_eq!(records.len(), 4, "the overlapping segment is dropped");
+        assert_eq!(report.torn_tails_dropped, 1);
+        assert_eq!(report.seq_gaps, 0);
+    }
+
+    #[test]
+    fn failed_append_rolls_back_and_reuses_the_sequence_number() {
+        let dir = tmp();
+        let mut w = WalWriter::new(dir.path(), 1 << 20, FsyncPolicy::Never, 1);
+        w.append(1, &WalPayload::Batch(vec![7])).expect("append");
+        w.torn_appends = 1;
+        let err = w
+            .append(1, &WalPayload::Batch(vec![8]))
+            .expect_err("injected torn append");
+        assert!(matches!(err, StoreError::Io { .. }), "{err}");
+        assert!(!w.is_poisoned(), "rollback succeeded, writer stays usable");
+        assert_eq!(w.next_seq(), 2, "sequence number not consumed");
+        let out = w
+            .append(1, &WalPayload::Batch(vec![9]))
+            .expect("append after rollback");
+        assert_eq!(out.seq, 2);
+        drop(w);
+        // No stale half-record precedes the reused sequence number:
+        // replay sees a clean log holding exactly the acked records.
+        let (records, report) = collect(dir.path());
+        assert_eq!(report.torn_tails_dropped, 0, "no stale bytes on disk");
+        assert_eq!(
+            records
+                .iter()
+                .map(|r| (r.seq, r.payload.clone()))
+                .collect::<Vec<_>>(),
+            vec![
+                (1, WalPayload::Batch(vec![7])),
+                (2, WalPayload::Batch(vec![9])),
+            ]
+        );
     }
 
     #[test]
