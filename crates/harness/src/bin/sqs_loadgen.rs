@@ -195,6 +195,54 @@ fn verify_cross_server_merge(src_addr: &str, eps: f64, seed: u64) -> Result<(), 
     Ok(())
 }
 
+/// Extracts an integer field from the STATS JSON by key, wherever it
+/// appears (the document is flat enough that keys are unique). Hand
+/// parsing, same reason the writer is hand-rolled: no serde offline.
+fn json_u64_field(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json.get(at..)?.trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Pulls the server's own end-of-run ledger over the `STATS` op and
+/// prints the durability and windowing counters a soak run should eye:
+/// WAL sequence gaps (forward jumps tolerated during recovery) and the
+/// window ring's late/rotation/rollup tallies. Sections absent from
+/// the JSON (server not durable / not windowed) are reported as such.
+fn report_server_ledger(addr: &str) {
+    let mut client = match Client::connect(addr, Duration::from_secs(10)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ledger: cannot connect for STATS: {e}");
+            return;
+        }
+    };
+    let json = match client.stats() {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("ledger: STATS failed: {e}");
+            return;
+        }
+    };
+    match json_u64_field(&json, "seq_gaps") {
+        Some(gaps) => eprintln!("server ledger: store seq_gaps={gaps}"),
+        None => eprintln!("server ledger: store: not durable (no --data-dir)"),
+    }
+    if json.contains("\"window\"") {
+        let field = |k| json_u64_field(&json, k).unwrap_or(0);
+        eprintln!(
+            "server ledger: window late_dropped={} buckets_rotated={} rollup_hits={}",
+            field("late_dropped"),
+            field("buckets_rotated"),
+            field("rollup_hits"),
+        );
+    } else {
+        eprintln!("server ledger: window: disabled (no --window-bucket-secs)");
+    }
+}
+
 /// An in-process server with the Random backend on an ephemeral port.
 fn spawn_local(eps: f64, seed: u64) -> std::io::Result<ServerHandle<RandomSketch<u64>>> {
     spawn(ServerConfig::default(), move |tenant, shard| {
@@ -288,6 +336,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("cross-server snapshot/merge: rank-identical over the socket");
+    report_server_ledger(&addr);
 
     if let Some(h) = local {
         h.shutdown();

@@ -26,6 +26,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod tab34;
 pub mod turnstile_perf;
+pub mod window;
 pub mod xcompare;
 
 /// Shared experiment configuration.
@@ -82,7 +83,7 @@ impl ExpConfig {
 }
 
 /// Every experiment id, in DESIGN.md order.
-pub const ALL_EXPERIMENTS: [&str; 16] = [
+pub const ALL_EXPERIMENTS: [&str; 17] = [
     "fig4",
     "fig5",
     "fig6",
@@ -99,6 +100,7 @@ pub const ALL_EXPERIMENTS: [&str; 16] = [
     "engine",
     "engine-scaling",
     "turnstile-perf",
+    "window",
 ];
 
 /// Runs one experiment by id.
@@ -123,6 +125,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Vec<Table> {
         "engine" => engine_scaling::run(cfg),
         "engine-scaling" => engine_scaling::run_scaling(cfg),
         "turnstile-perf" => turnstile_perf::run(cfg),
+        "window" => window::run(cfg),
         other => panic!("unknown experiment id: {other}"),
     }
 }

@@ -1,0 +1,259 @@
+//! Windowed-quantile merge-latency experiment (`sqs-exp window`).
+//!
+//! Not a paper figure: the paper's summaries are whole-stream; this
+//! experiment documents what the windowing layer (`sqs-window`) costs
+//! on top of them, and what the pre-aggregated rollups buy back.
+//!
+//! One [`WindowRing`] per rollup setting is filled to a fixed bucket
+//! population, then each window span is queried repeatedly with the
+//! merge cache deliberately invalidated between queries (a one-value
+//! ingest ticks the ring version), so every sample pays the real
+//! merge-on-demand cost. The sweep crosses:
+//!
+//! * window span ∈ {1, 4, 16, 64, 256} buckets (sliding), and
+//! * `rollup_factor` ∈ {0 = disabled, 16} —
+//!
+//! and reports mean merge+query latency, the rollup ledger, and the
+//! max rank error of every answer against an exact oracle of the
+//! covered buckets (the accuracy column is the contract: rollups must
+//! not cost ε). Output: the `window_baseline` table and
+//! `results/window_baseline.json`, one cell object per line.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use super::ExpConfig;
+use crate::report::{fnum, Table};
+use sqs_core::random::RandomSketch;
+use sqs_util::audit::CheckInvariants;
+use sqs_util::exact::{probe_phis, ExactQuantiles};
+use sqs_util::rng::Xoshiro256pp;
+use sqs_window::{LatePolicy, WindowConfig, WindowRing, WindowSpec};
+
+const EPS: f64 = 0.05;
+/// One logical second per bucket; the arithmetic only needs a width.
+const BUCKET: u64 = 1_000_000_000;
+/// Sliding spans swept, in buckets.
+const SPANS: [u64; 5] = [1, 4, 16, 64, 256];
+/// Ring retention: the longest span plus headroom for the open bucket.
+const RETENTION: u64 = 320;
+/// Rollup settings crossed with the span sweep (0 disables rollups).
+const ROLLUP_FACTORS: [u64; 2] = [0, 16];
+
+/// One measured cell of the span × rollup grid.
+struct Cell {
+    rollup_factor: u64,
+    span_buckets: u64,
+    /// Mass of the answered window.
+    n: u64,
+    merge_us_mean: f64,
+    /// Rollup ledger delta across this cell's queries.
+    rollup_hits: u64,
+    max_rank_err: f64,
+}
+
+/// Fills a fresh ring (and its exact mirror) to `RETENTION` buckets of
+/// `per_bucket` values each, ending mid-bucket so the newest bucket is
+/// open like a live ring's would be.
+fn fill_ring(
+    rollup_factor: u64,
+    per_bucket: usize,
+    seed: u64,
+) -> (WindowRing<RandomSketch<u64>>, VecDeque<Vec<u64>>, u64) {
+    let cfg = WindowConfig {
+        bucket_nanos: BUCKET,
+        retention_buckets: RETENTION,
+        rollup_factor,
+        late_policy: LatePolicy::Drop,
+    };
+    let mut ring = WindowRing::new(cfg, move |bucket| RandomSketch::new(EPS, seed ^ bucket));
+    let mut mirror: VecDeque<Vec<u64>> = VecDeque::new();
+    let mut rng = Xoshiro256pp::new(seed ^ 0x31D0);
+    for idx in 0..RETENTION {
+        let now = idx * BUCKET + BUCKET / 2;
+        let batch: Vec<u64> = (0..per_bucket).map(|_| rng.next_below(1 << 20)).collect();
+        ring.ingest(now, &batch, now);
+        if mirror.len() as u64 == RETENTION {
+            mirror.pop_front();
+        }
+        mirror.push_back(batch);
+    }
+    let now = (RETENTION - 1) * BUCKET + BUCKET / 2;
+    (ring, mirror, now)
+}
+
+/// Exact values covered by a sliding span of `m` buckets ending at the
+/// open bucket (the newest `m` entries of the mirror).
+fn exact_window(mirror: &VecDeque<Vec<u64>>, m: u64) -> Vec<u64> {
+    let take = usize::try_from(m).unwrap_or(usize::MAX);
+    mirror
+        .iter()
+        .rev()
+        .take(take)
+        .flat_map(|b| b.iter().copied())
+        .collect()
+}
+
+/// Runs the span sweep for one rollup setting.
+fn measure(rollup_factor: u64, cfg: &ExpConfig, out: &mut Vec<Cell>) {
+    let per_bucket = if cfg.quick { 200 } else { 2_000 };
+    let trials = cfg.trials.max(3);
+    let (mut ring, mut mirror, mut now) = fill_ring(rollup_factor, per_bucket, cfg.seed);
+    let phis = probe_phis(EPS);
+    let mut rng = Xoshiro256pp::new(cfg.seed ^ 0xCAFE);
+    for &span in &SPANS {
+        let spec = WindowSpec::sliding(span * BUCKET);
+        let hits_before = ring.stats().rollup_hits;
+        let mut total_s = 0.0f64;
+        let mut max_err = 0.0f64;
+        let mut last_n = 0u64;
+        for _ in 0..trials {
+            // One-value ingest into the open bucket: ticks the ring
+            // version so the next query cannot hit the merge cache.
+            let x = rng.next_below(1 << 20);
+            ring.ingest(now, &[x], now);
+            if let Some(open) = mirror.back_mut() {
+                open.push(x);
+            }
+            now += 1; // stays inside the open bucket
+            let start = Instant::now();
+            let answer = ring
+                .query(spec, &phis, now)
+                .expect("invariant: swept spans fit the ring's retention");
+            total_s += start.elapsed().as_secs_f64();
+            let oracle = ExactQuantiles::new(exact_window(&mirror, span));
+            assert_eq!(answer.n, oracle.len() as u64, "window mass vs exact mirror");
+            last_n = answer.n;
+            for (phi, ans) in phis.iter().zip(&answer.answers) {
+                if let Some(ans) = ans {
+                    max_err = max_err.max(oracle.quantile_error(*phi, *ans));
+                }
+            }
+        }
+        ring.assert_invariants();
+        out.push(Cell {
+            rollup_factor,
+            span_buckets: span,
+            n: last_n,
+            merge_us_mean: total_s / trials as f64 * 1e6,
+            rollup_hits: ring.stats().rollup_hits - hits_before,
+            max_rank_err: max_err,
+        });
+    }
+}
+
+/// Renders the grid as JSON by hand (offline workspace — no serde),
+/// one cell object per line, stable key order.
+fn baseline_json(cells: &[Cell], cfg: &ExpConfig, per_bucket: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"experiment\": \"window\",");
+    let _ = writeln!(s, "  \"bucket_nanos\": {BUCKET},");
+    let _ = writeln!(s, "  \"retention_buckets\": {RETENTION},");
+    let _ = writeln!(s, "  \"values_per_bucket\": {per_bucket},");
+    let _ = writeln!(s, "  \"eps\": {EPS},");
+    let _ = writeln!(s, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(s, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"rollup_factor\": {}, \"span_buckets\": {}, \"n\": {}, \
+             \"merge_us_mean\": {:.2}, \"rollup_hits\": {}, \"max_rank_err\": {:.6}}}{}",
+            c.rollup_factor,
+            c.span_buckets,
+            c.n,
+            c.merge_us_mean,
+            c.rollup_hits,
+            c.max_rank_err,
+            comma
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Runs the window merge-latency sweep: the `window_baseline` table
+/// plus `window_baseline.json` in the output directory.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let per_bucket = if cfg.quick { 200 } else { 2_000 };
+    let mut cells = Vec::new();
+    for &factor in &ROLLUP_FACTORS {
+        measure(factor, cfg, &mut cells);
+    }
+
+    let mut t = Table::new(
+        "window_baseline",
+        "Windowed quantiles: uncached merge+query latency vs window span (rollups off/on)",
+        &[
+            "rollup_factor",
+            "span_buckets",
+            "n",
+            "merge_us_mean",
+            "rollup_hits",
+            "max_rank_err",
+        ],
+    );
+    for c in &cells {
+        t.push_row(vec![
+            c.rollup_factor.to_string(),
+            c.span_buckets.to_string(),
+            c.n.to_string(),
+            fnum(c.merge_us_mean),
+            c.rollup_hits.to_string(),
+            fnum(c.max_rank_err),
+        ]);
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&cfg.out_dir) {
+        eprintln!("window: cannot create {}: {e}", cfg.out_dir.display());
+    } else if let Err(e) = std::fs::write(
+        cfg.out_dir.join("window_baseline.json"),
+        baseline_json(&cells, cfg, per_bucket),
+    ) {
+        eprintln!("window: cannot write window_baseline.json: {e}");
+    }
+
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_grid_is_accurate_and_rollups_bite() {
+        let cfg = ExpConfig {
+            n: 20_000,
+            trials: 2,
+            out_dir: std::env::temp_dir().join("sqs_window_exp_test"),
+            seed: 7,
+            max_stream_len: 20_000,
+            quick: true,
+        };
+        let tables = run(&cfg);
+        assert_eq!(tables.len(), 1);
+        let t = tables.first().expect("window table present");
+        assert_eq!(t.rows.len(), ROLLUP_FACTORS.len() * SPANS.len());
+        for row in &t.rows {
+            let err: f64 = row.get(5).and_then(|c| c.parse().ok()).expect("err cell");
+            assert!(err <= EPS, "row {row:?}: err {err} > eps {EPS}");
+        }
+        // The long spans must actually exercise rollups when enabled.
+        let long_rollup_hits: u64 = t
+            .rows
+            .iter()
+            .filter(|r| r.first().is_some_and(|f| f == "16"))
+            .filter(|r| r.get(1).is_some_and(|s| s == "256"))
+            .filter_map(|r| r.get(4).and_then(|c| c.parse::<u64>().ok()))
+            .sum();
+        assert!(long_rollup_hits > 0, "256-bucket span must hit rollups");
+        let json = std::fs::read_to_string(cfg.out_dir.join("window_baseline.json"))
+            .expect("baseline json written");
+        assert!(json.contains("\"experiment\": \"window\""));
+        assert!(json.contains("\"rollup_factor\": 0"));
+        assert!(json.contains("\"rollup_factor\": 16"));
+    }
+}

@@ -30,6 +30,17 @@
 //!   `67108864`, i.e. 64 MiB).
 //! * `--checkpoint-secs N` — background checkpoint interval (default
 //!   `30`).
+//! * `--window-bucket-secs N` — enable time-windowed quantiles with
+//!   `N`-second buckets (absent ⇒ the `WINDOW_*` ops are refused and
+//!   the existing hot path is untouched).
+//! * `--window-retention N` — buckets retained per tenant ring
+//!   (default `60`; windowed mode only).
+//! * `--window-rollup N` — pre-merge sealed buckets in groups of `N`
+//!   for long-range queries; `0` disables (default `8`; windowed mode
+//!   only).
+//! * `--window-late drop|route` — what happens to values stamped
+//!   before the current bucket: count-and-drop, or fold into the
+//!   current bucket (default `drop`; windowed mode only).
 //!
 //! The process prints `listening on ADDR` once bound and runs until a
 //! client sends `SHUTDOWN` (or the process is killed). In durable mode
@@ -44,10 +55,11 @@ use std::time::Duration;
 use sqs_core::qdigest::QDigest;
 use sqs_core::random::RandomSketch;
 use sqs_core::sampled::ReservoirQuantiles;
-use sqs_service::server::{spawn, DurabilityConfig, ServerConfig};
+use sqs_service::server::{spawn, DurabilityConfig, ServerConfig, WindowOptions};
 use sqs_store::FsyncPolicy;
 use sqs_turnstile::TurnstileSummary;
 use sqs_util::rng::SplitMix64;
+use sqs_window::{LatePolicy, WindowConfig};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Backend {
@@ -69,7 +81,8 @@ fn usage() -> &'static str {
     "usage: sqs-serve [--addr HOST:PORT] [--backend random|qdigest|reservoir|dcs] \
      [--eps F] [--log-u N] [--shards N] [--workers N] [--queue N] [--batch N] [--seed N] \
      [--data-dir PATH] [--fsync always|interval:MS|never] [--segment-bytes N] \
-     [--checkpoint-secs N]"
+     [--checkpoint-secs N] [--window-bucket-secs N] [--window-retention N] \
+     [--window-rollup N] [--window-late drop|route]"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -164,6 +177,50 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
                 durability_mut(&mut args)?.checkpoint_interval = Duration::from_secs(secs);
             }
+            "--window-bucket-secs" => {
+                let secs: u64 = value(&mut it, flag)?
+                    .parse()
+                    .map_err(|e| format!("--window-bucket-secs: {e}"))?;
+                if secs == 0 {
+                    return Err("--window-bucket-secs must be positive".to_owned());
+                }
+                let bucket_nanos = secs.saturating_mul(1_000_000_000);
+                match args.cfg.window.as_mut() {
+                    Some(w) => w.config.bucket_nanos = bucket_nanos,
+                    None => {
+                        args.cfg.window =
+                            Some(WindowOptions::new(WindowConfig::new(bucket_nanos, 60)));
+                    }
+                }
+            }
+            "--window-retention" => {
+                let buckets: u64 = value(&mut it, flag)?
+                    .parse()
+                    .map_err(|e| format!("--window-retention: {e}"))?;
+                if buckets == 0 {
+                    return Err("--window-retention must be at least 1 bucket".to_owned());
+                }
+                window_mut(&mut args)?.config.retention_buckets = buckets;
+            }
+            "--window-rollup" => {
+                let factor: u64 = value(&mut it, flag)?
+                    .parse()
+                    .map_err(|e| format!("--window-rollup: {e}"))?;
+                if factor == 1 {
+                    return Err("--window-rollup must be 0 (disabled) or >= 2".to_owned());
+                }
+                window_mut(&mut args)?.config.rollup_factor = factor;
+            }
+            "--window-late" => {
+                let policy = match value(&mut it, flag)?.as_str() {
+                    "drop" => LatePolicy::Drop,
+                    "route" => LatePolicy::RouteToCurrent,
+                    other => {
+                        return Err(format!("--window-late: expected drop|route, got {other:?}"))
+                    }
+                };
+                window_mut(&mut args)?.config.late_policy = policy;
+            }
             "--help" | "-h" => return Err(usage().to_owned()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
@@ -204,6 +261,15 @@ fn parse_fsync(s: &str) -> Result<FsyncPolicy, String> {
 fn durability_mut(args: &mut Args) -> Result<&mut DurabilityConfig, String> {
     args.cfg.durability.as_mut().ok_or_else(|| {
         "--fsync/--segment-bytes/--checkpoint-secs require --data-dir first".to_owned()
+    })
+}
+
+/// The window knobs only make sense once `--window-bucket-secs` set
+/// the bucket width.
+fn window_mut(args: &mut Args) -> Result<&mut WindowOptions, String> {
+    args.cfg.window.as_mut().ok_or_else(|| {
+        "--window-retention/--window-rollup/--window-late require --window-bucket-secs first"
+            .to_owned()
     })
 }
 

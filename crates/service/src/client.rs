@@ -178,4 +178,57 @@ impl Client {
         self.call(Op::Shutdown, 0, Vec::new())?;
         Ok(())
     }
+
+    /// Inserts a batch stamped with one event time into the tenant's
+    /// window ring *and* all-time stream (requires a server started
+    /// with `--window-bucket-secs`). The ack is the same as
+    /// [`Client::insert_batch`]: all-time count plus WAL sequence.
+    ///
+    /// # Errors
+    /// See [`Client::call`]; a window-less server refuses with
+    /// [`ClientError::Server`].
+    pub fn window_insert(
+        &mut self,
+        tenant: u64,
+        ts_nanos: u64,
+        xs: &[u64],
+    ) -> Result<proto::IngestAck, ClientError> {
+        let reply = self.call(
+            Op::WindowInsert,
+            tenant,
+            proto::encode_window_insert(ts_nanos, xs),
+        )?;
+        Ok(proto::decode_ingest_ack(&reply)?)
+    }
+
+    /// Answers a sliding/tumbling window φ-sweep over the tenant's
+    /// ring: the covered time range, the mass inside it, and one
+    /// quantile per φ.
+    ///
+    /// # Errors
+    /// See [`Client::call`]; a spec that does not fit the server's
+    /// bucket width or retention comes back as [`ClientError::Server`].
+    pub fn window_query(
+        &mut self,
+        tenant: u64,
+        spec: sqs_window::WindowSpec,
+        phis: &[f64],
+    ) -> Result<sqs_window::WindowAnswer, ClientError> {
+        let reply = self.call(
+            Op::WindowQuery,
+            tenant,
+            proto::encode_window_query(spec, phis),
+        )?;
+        Ok(proto::decode_window_answer(&reply)?)
+    }
+
+    /// The tenant's window-ring counters (rotation, eviction, late
+    /// arrivals, rollup and cache activity).
+    ///
+    /// # Errors
+    /// See [`Client::call`].
+    pub fn window_stats(&mut self, tenant: u64) -> Result<sqs_window::WindowStats, ClientError> {
+        let reply = self.call(Op::WindowStats, tenant, Vec::new())?;
+        Ok(proto::decode_window_stats(&reply)?)
+    }
 }

@@ -18,6 +18,12 @@
 //! * [`metrics`] — lock-free counters and log₂-bucketed per-op latency
 //!   histograms behind the `STATS` op.
 //!
+//! With [`server::WindowOptions`] set (`sqs-serve
+//! --window-bucket-secs`), the `WINDOW_INSERT` / `WINDOW_QUERY` /
+//! `WINDOW_STATS` ops expose [`sqs_window`]'s time-windowed quantiles
+//! per tenant: timestamped ingest, sliding/tumbling φ-sweeps, and ring
+//! counters, all inside self-checksummed `SQWF` payload frames.
+//!
 //! Summaries travel between servers via the [`sqs_core::codec`]
 //! frames: `SNAPSHOT` on one server, `MERGE_SNAPSHOT` on another, and
 //! mergeability (Agarwal et al., PODS '12) guarantees the combined
@@ -31,6 +37,8 @@ pub mod proto;
 pub mod server;
 
 pub use client::{Client, ClientError};
-pub use metrics::{EngineTotals, LatencyHistogram, Metrics};
+pub use metrics::{EngineTotals, LatencyHistogram, Metrics, WindowTotals};
 pub use proto::{IngestAck, Op, ProtoError, Request, Response, Status};
-pub use server::{spawn, DurabilityConfig, RecoverySummary, ServerConfig, ServerHandle};
+pub use server::{
+    spawn, DurabilityConfig, RecoverySummary, ServerConfig, ServerHandle, WindowOptions,
+};

@@ -118,6 +118,58 @@ impl EngineTotals {
     }
 }
 
+/// Aggregated window-ring counters across every tenant's
+/// [`WindowedEngine`](sqs_window::WindowedEngine) — the `window`
+/// section of the `STATS` reply. Like [`EngineTotals`], summed from
+/// the rings' own [`WindowStats`](sqs_window::WindowStats) at query
+/// time, so the server keeps no ledger that could drift.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WindowTotals {
+    /// Tenants with a materialized window ring.
+    pub rings: u64,
+    /// Items ever placed in rings (on-time + routed late).
+    pub ingested_items: u64,
+    /// Buckets currently holding data.
+    pub live_buckets: u64,
+    /// Items currently inside retained buckets.
+    pub live_items: u64,
+    /// Items that left with evicted buckets.
+    pub evicted_items: u64,
+    /// Late values discarded under the drop policy.
+    pub late_dropped: u64,
+    /// Late values folded into the current bucket under the
+    /// route-to-current policy.
+    pub late_routed: u64,
+    /// Bucket edges crossed by rotation.
+    pub buckets_rotated: u64,
+    /// Rollup summaries materialized.
+    pub rollups_built: u64,
+    /// Rollup summaries substituted for fine buckets during queries.
+    pub rollup_hits: u64,
+    /// Window queries answered.
+    pub queries: u64,
+    /// Queries served from the version-keyed merge cache.
+    pub cache_hits: u64,
+}
+
+impl WindowTotals {
+    /// Folds one ring's stats into the totals.
+    pub fn absorb(&mut self, s: &sqs_window::WindowStats) {
+        self.rings += 1;
+        self.ingested_items += s.ingested_items;
+        self.live_buckets += s.live_buckets;
+        self.live_items += s.live_items;
+        self.evicted_items += s.evicted_items;
+        self.late_dropped += s.late_dropped;
+        self.late_routed += s.late_routed;
+        self.buckets_rotated += s.buckets_rotated;
+        self.rollups_built += s.rollups_built;
+        self.rollup_hits += s.rollup_hits;
+        self.queries += s.queries;
+        self.cache_hits += s.cache_hits;
+    }
+}
+
 /// Counters and histograms for one running server.
 #[derive(Debug)]
 pub struct Metrics {
@@ -191,13 +243,16 @@ impl Metrics {
     /// is offline, no serde), the `STATS` reply body. `engine` is the
     /// cross-tenant aggregate of the ingest engines' own counters;
     /// `store` is the durable store's ledger (`None` on in-memory
-    /// servers — the section is omitted entirely).
+    /// servers — the section is omitted entirely); `window` is the
+    /// cross-tenant window-ring aggregate (`None` when the server runs
+    /// without `--window-bucket-secs` — also omitted).
     #[must_use]
     pub fn to_json(
         &self,
         tenants: usize,
         engine: &EngineTotals,
         store: Option<&sqs_store::StoreStats>,
+        window: Option<&WindowTotals>,
     ) -> String {
         use std::fmt::Write as _;
         let uptime = self.started.elapsed().as_secs_f64().max(1e-9);
@@ -254,6 +309,22 @@ impl Metrics {
             let _ = writeln!(out, "    \"torn_tails_dropped\": {},", s.torn_tails_dropped);
             let _ = writeln!(out, "    \"seq_gaps\": {},", s.seq_gaps);
             let _ = writeln!(out, "    \"last_seq\": {}", s.last_seq);
+            out.push_str("  },\n");
+        }
+        if let Some(w) = window {
+            out.push_str("  \"window\": {\n");
+            let _ = writeln!(out, "    \"rings\": {},", w.rings);
+            let _ = writeln!(out, "    \"ingested_items\": {},", w.ingested_items);
+            let _ = writeln!(out, "    \"live_buckets\": {},", w.live_buckets);
+            let _ = writeln!(out, "    \"live_items\": {},", w.live_items);
+            let _ = writeln!(out, "    \"evicted_items\": {},", w.evicted_items);
+            let _ = writeln!(out, "    \"late_dropped\": {},", w.late_dropped);
+            let _ = writeln!(out, "    \"late_routed\": {},", w.late_routed);
+            let _ = writeln!(out, "    \"buckets_rotated\": {},", w.buckets_rotated);
+            let _ = writeln!(out, "    \"rollups_built\": {},", w.rollups_built);
+            let _ = writeln!(out, "    \"rollup_hits\": {},", w.rollup_hits);
+            let _ = writeln!(out, "    \"queries\": {},", w.queries);
+            let _ = writeln!(out, "    \"cache_hits\": {}", w.cache_hits);
             out.push_str("  },\n");
         }
         out.push_str("  \"ops\": {\n");
@@ -328,7 +399,7 @@ mod tests {
             snapshots: 2,
             snapshot_cache_hits: 7,
         };
-        let json = m.to_json(3, &engine, None);
+        let json = m.to_json(3, &engine, None, None);
         for op in Op::ALL {
             assert!(json.contains(op.name()), "missing {}", op.name());
         }
@@ -338,9 +409,32 @@ mod tests {
         assert!(json.contains("\"items\": 5000"));
         assert!(json.contains("\"snapshot_cache_hits\": 7"));
         assert!(json.contains("\"propagations\": 9"));
-        // In-memory servers omit the store section entirely.
+        // In-memory servers omit the store section entirely, and
+        // window-less servers omit the window section.
         assert!(!json.contains("\"store\""));
+        assert!(!json.contains("\"window\""));
         // Balanced braces (cheap well-formedness check, no serde here).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_snapshot_includes_window_section_when_windowed() {
+        let m = Metrics::new();
+        let engine = EngineTotals::default();
+        let mut window = WindowTotals::default();
+        window.absorb(&sqs_window::WindowStats {
+            ingested_items: 500,
+            late_dropped: 3,
+            buckets_rotated: 12,
+            rollup_hits: 4,
+            ..Default::default()
+        });
+        let json = m.to_json(1, &engine, None, Some(&window));
+        assert!(json.contains("\"window\""));
+        assert!(json.contains("\"rings\": 1"));
+        assert!(json.contains("\"late_dropped\": 3"));
+        assert!(json.contains("\"buckets_rotated\": 12"));
+        assert!(json.contains("\"rollup_hits\": 4"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
@@ -354,7 +448,7 @@ mod tests {
             last_seq: 4,
             ..Default::default()
         };
-        let json = m.to_json(1, &engine, Some(&store));
+        let json = m.to_json(1, &engine, Some(&store), None);
         assert!(json.contains("\"store\""));
         assert!(json.contains("\"records_appended\": 4"));
         assert!(json.contains("\"items_appended\": 100"));

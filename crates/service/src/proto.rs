@@ -21,6 +21,8 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 use sqs_core::codec::{fnv1a64_concat, CodecError, Reader};
+use sqs_util::audit::CheckInvariants;
+use sqs_window::{WindowAnswer, WindowKind, WindowSpec, WindowStats, WINDOW_STATS_WORDS};
 
 /// Protocol magic: the four bytes `SQSW` (Streaming Quantile Service
 /// Wire).
@@ -60,11 +62,20 @@ pub enum Op {
     Stats,
     /// Gracefully stop the server.
     Shutdown,
+    /// Ingest a timestamped batch into the tenant's window ring *and*
+    /// all-time engine (payload: a window insert frame).
+    WindowInsert,
+    /// Answer a sliding/tumbling window φ-sweep (payload: a window
+    /// query frame; reply: a window answer frame).
+    WindowQuery,
+    /// Return the tenant's window-ring counters (reply: a window
+    /// stats frame).
+    WindowStats,
 }
 
 impl Op {
     /// All operations, in wire-code order.
-    pub const ALL: [Op; 7] = [
+    pub const ALL: [Op; 10] = [
         Op::InsertBatch,
         Op::QueryQuantiles,
         Op::QueryRank,
@@ -72,6 +83,9 @@ impl Op {
         Op::MergeSnapshot,
         Op::Stats,
         Op::Shutdown,
+        Op::WindowInsert,
+        Op::WindowQuery,
+        Op::WindowStats,
     ];
 
     /// The wire byte for this op.
@@ -85,6 +99,9 @@ impl Op {
             Op::MergeSnapshot => 5,
             Op::Stats => 6,
             Op::Shutdown => 7,
+            Op::WindowInsert => 8,
+            Op::WindowQuery => 9,
+            Op::WindowStats => 10,
         }
     }
 
@@ -111,6 +128,9 @@ impl Op {
             Op::MergeSnapshot => "merge_snapshot",
             Op::Stats => "stats",
             Op::Shutdown => "shutdown",
+            Op::WindowInsert => "window_insert",
+            Op::WindowQuery => "window_query",
+            Op::WindowStats => "window_stats",
         }
     }
 }
@@ -488,6 +508,221 @@ pub fn decode_answers(payload: &[u8]) -> Result<Vec<Option<u64>>, ProtoError> {
     Ok(out)
 }
 
+// ---- window frames (payloads of the WINDOW_* ops) ----------------
+//
+// Window payloads are self-describing sub-frames inside the SQSW
+// envelope: their own magic, version, kind byte and trailing FNV-1a-64
+// checksum. The double checksum is deliberate — a window frame can be
+// logged, replayed or diffed *outside* a socket conversation (the WAL
+// stores raw payloads), so it must validate standalone. Every decoder
+// finishes by running the payload's `CheckInvariants`, so a
+// structurally-valid but semantically-impossible frame (inverted
+// range, Some-answers in an empty window, φ outside (0,1)) is rejected
+// at the boundary, never acted on.
+
+/// Window sub-frame magic: the four bytes `SQWF` (Streaming Quantile
+/// Window Frame).
+pub const WINDOW_FRAME_MAGIC: [u8; 4] = *b"SQWF";
+
+/// Window sub-frame version; both sides reject anything else.
+pub const WINDOW_FRAME_VERSION: u8 = 1;
+
+/// Window frame kind bytes (`SQWF` header byte 6).
+mod wf {
+    pub const INSERT: u8 = 1;
+    pub const QUERY: u8 = 2;
+    pub const ANSWER: u8 = 3;
+    pub const STATS: u8 = 4;
+}
+
+/// Wire codes for [`WindowKind`] (`0` is reserved as invalid).
+fn window_kind_code(kind: WindowKind) -> u8 {
+    match kind {
+        WindowKind::Sliding => 1,
+        WindowKind::Tumbling => 2,
+    }
+}
+
+fn window_kind_from_code(code: u8) -> Option<WindowKind> {
+    match code {
+        1 => Some(WindowKind::Sliding),
+        2 => Some(WindowKind::Tumbling),
+        _ => None,
+    }
+}
+
+/// Wraps a body in the `SQWF` envelope: magic, version, kind,
+/// body, trailing checksum over everything before it.
+fn seal_window_frame(kind: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(6 + body.len() + 8);
+    out.extend_from_slice(&WINDOW_FRAME_MAGIC);
+    out.push(WINDOW_FRAME_VERSION);
+    out.push(kind);
+    out.extend_from_slice(body);
+    let sum = fnv1a64_concat(&[&out]);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Opens an `SQWF` envelope of the expected kind, returning the body.
+/// Checksum first (any corruption lands here), then magic / version /
+/// kind.
+fn open_window_frame(expected_kind: u8, payload: &[u8]) -> Result<&[u8], ProtoError> {
+    if payload.len() < 6 + 8 {
+        return Err(ProtoError::Codec(CodecError::Truncated));
+    }
+    let body_end = payload.len() - 8;
+    let framed = payload.get(..body_end).unwrap_or_default();
+    let sum_bytes = payload.get(body_end..).unwrap_or_default();
+    let declared = {
+        let mut r = Reader::new(sum_bytes);
+        r.u64()?
+    };
+    if fnv1a64_concat(&[framed]) != declared {
+        return Err(ProtoError::ChecksumMismatch);
+    }
+    let mut r = Reader::new(framed);
+    if r.bytes(4)? != WINDOW_FRAME_MAGIC {
+        return Err(ProtoError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != WINDOW_FRAME_VERSION {
+        return Err(ProtoError::BadVersion(version));
+    }
+    let kind = r.u8()?;
+    if kind != expected_kind {
+        return Err(ProtoError::Malformed("window frame kind mismatch"));
+    }
+    Ok(framed.get(6..).unwrap_or_default())
+}
+
+fn invariant_to_proto(v: sqs_util::audit::InvariantViolation) -> ProtoError {
+    ProtoError::Malformed(v.invariant)
+}
+
+/// Encodes a `WINDOW_INSERT` payload: event timestamp plus the value
+/// batch.
+#[must_use]
+pub fn encode_window_insert(ts_nanos: u64, xs: &[u64]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(8 + 8 + xs.len() * 8);
+    body.extend_from_slice(&ts_nanos.to_le_bytes());
+    sqs_core::codec::put_u64_slice(&mut body, xs);
+    seal_window_frame(wf::INSERT, &body)
+}
+
+/// Decodes a `WINDOW_INSERT` payload into `(ts_nanos, values)`.
+pub fn decode_window_insert(payload: &[u8]) -> Result<(u64, Vec<u64>), ProtoError> {
+    let body = open_window_frame(wf::INSERT, payload)?;
+    let mut r = Reader::new(body);
+    let ts_nanos = r.u64()?;
+    let xs = r.u64_vec()?;
+    r.done()?;
+    Ok((ts_nanos, xs))
+}
+
+/// Encodes a `WINDOW_QUERY` payload: the window descriptor plus the
+/// φ-sweep (as IEEE-754 bits).
+#[must_use]
+pub fn encode_window_query(spec: WindowSpec, phis: &[f64]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(1 + 8 + 8 + phis.len() * 8);
+    body.push(window_kind_code(spec.kind));
+    body.extend_from_slice(&spec.len_nanos.to_le_bytes());
+    let bits: Vec<u64> = phis.iter().map(|p| p.to_bits()).collect();
+    sqs_core::codec::put_u64_slice(&mut body, &bits);
+    seal_window_frame(wf::QUERY, &body)
+}
+
+/// Decodes a `WINDOW_QUERY` payload into `(spec, phis)`, enforcing the
+/// descriptor's invariants and that every φ is finite and in (0, 1).
+pub fn decode_window_query(payload: &[u8]) -> Result<(WindowSpec, Vec<f64>), ProtoError> {
+    let body = open_window_frame(wf::QUERY, payload)?;
+    let mut r = Reader::new(body);
+    let kind_code = r.u8()?;
+    let kind =
+        window_kind_from_code(kind_code).ok_or(ProtoError::Malformed("unknown window kind"))?;
+    let len_nanos = r.u64()?;
+    let bits = r.u64_vec()?;
+    r.done()?;
+    let spec = WindowSpec { kind, len_nanos };
+    spec.check_invariants().map_err(invariant_to_proto)?;
+    let phis: Vec<f64> = bits.into_iter().map(f64::from_bits).collect();
+    if !phis.iter().all(|p| p.is_finite() && *p > 0.0 && *p < 1.0) {
+        return Err(ProtoError::Malformed("phi outside (0, 1)"));
+    }
+    Ok((spec, phis))
+}
+
+/// Encodes a `WINDOW_QUERY` response: the covered range, mass, and
+/// per-φ answers.
+#[must_use]
+pub fn encode_window_answer(answer: &WindowAnswer) -> Vec<u8> {
+    let mut body = Vec::with_capacity(8 * 3 + 8 + answer.answers.len() * 9);
+    body.extend_from_slice(&answer.start_nanos.to_le_bytes());
+    body.extend_from_slice(&answer.end_nanos.to_le_bytes());
+    body.extend_from_slice(&answer.n.to_le_bytes());
+    body.extend_from_slice(&(answer.answers.len() as u64).to_le_bytes());
+    for a in &answer.answers {
+        body.push(u8::from(a.is_some()));
+        body.extend_from_slice(&a.unwrap_or(0).to_le_bytes());
+    }
+    seal_window_frame(wf::ANSWER, &body)
+}
+
+/// Decodes a `WINDOW_QUERY` response, ending in the answer's
+/// `CheckInvariants` (range ordered, empty windows answer `None`).
+pub fn decode_window_answer(payload: &[u8]) -> Result<WindowAnswer, ProtoError> {
+    let body = open_window_frame(wf::ANSWER, payload)?;
+    let mut r = Reader::new(body);
+    let start_nanos = r.u64()?;
+    let end_nanos = r.u64()?;
+    let n = r.u64()?;
+    let count = r.read_len().map_err(ProtoError::Codec)?;
+    if count > body.len() / 9 {
+        return Err(ProtoError::Codec(CodecError::Truncated));
+    }
+    let mut answers = Vec::with_capacity(count);
+    for _ in 0..count {
+        let present = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(ProtoError::Malformed("answer flag not 0/1")),
+        };
+        let value = r.u64()?;
+        answers.push(present.then_some(value));
+    }
+    r.done()?;
+    let answer = WindowAnswer {
+        start_nanos,
+        end_nanos,
+        n,
+        answers,
+    };
+    answer.check_invariants().map_err(invariant_to_proto)?;
+    Ok(answer)
+}
+
+/// Encodes a `WINDOW_STATS` response: the ring's counters as a fixed
+/// word vector.
+#[must_use]
+pub fn encode_window_stats(stats: &WindowStats) -> Vec<u8> {
+    let words = stats.as_words();
+    let mut body = Vec::with_capacity(8 + words.len() * 8);
+    sqs_core::codec::put_u64_slice(&mut body, &words);
+    seal_window_frame(wf::STATS, &body)
+}
+
+/// Decodes a `WINDOW_STATS` response.
+pub fn decode_window_stats(payload: &[u8]) -> Result<WindowStats, ProtoError> {
+    let body = open_window_frame(wf::STATS, payload)?;
+    let mut r = Reader::new(body);
+    let words = r.u64_vec()?;
+    r.done()?;
+    let arr: [u64; WINDOW_STATS_WORDS] = words
+        .try_into()
+        .map_err(|_| ProtoError::Malformed("window stats word count"))?;
+    Ok(WindowStats::from_words(&arr))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -594,7 +829,9 @@ mod tests {
             assert_eq!(Op::from_code(op.code()), Some(op));
         }
         assert_eq!(Op::from_code(0), None);
-        assert_eq!(Op::from_code(8), None);
+        assert_eq!(Op::from_code(8), Some(Op::WindowInsert));
+        assert_eq!(Op::from_code(10), Some(Op::WindowStats));
+        assert_eq!(Op::from_code(11), None);
         for s in [Status::Ok, Status::Busy, Status::Err] {
             assert_eq!(Status::from_code(s.code()), Some(s));
         }
@@ -626,5 +863,90 @@ mod tests {
         let phis = [0.001, 0.5, 0.999];
         let back = decode_f64s(&encode_f64s(&phis)).expect("roundtrip");
         assert_eq!(back, phis.to_vec());
+    }
+
+    #[test]
+    fn window_insert_frame_roundtrip() {
+        let bytes = encode_window_insert(12_345, &[1, 2, 3, u64::MAX]);
+        let (ts, xs) = decode_window_insert(&bytes).expect("roundtrip");
+        assert_eq!(ts, 12_345);
+        assert_eq!(xs, vec![1, 2, 3, u64::MAX]);
+        // Wrong kind: an insert frame is not a query frame.
+        assert!(decode_window_query(&bytes).is_err());
+    }
+
+    #[test]
+    fn window_query_frame_roundtrip_and_validation() {
+        let spec = WindowSpec::sliding(5_000);
+        let bytes = encode_window_query(spec, &[0.25, 0.5, 0.99]);
+        let (back, phis) = decode_window_query(&bytes).expect("roundtrip");
+        assert_eq!(back, spec);
+        assert_eq!(phis, vec![0.25, 0.5, 0.99]);
+        // A zero span violates the descriptor's invariant.
+        let bad = encode_window_query(WindowSpec::tumbling(0), &[0.5]);
+        assert!(matches!(
+            decode_window_query(&bad),
+            Err(ProtoError::Malformed(_))
+        ));
+        // φ outside (0, 1) is refused at the boundary.
+        for phi in [0.0, 1.0, -0.5, f64::NAN, f64::INFINITY] {
+            let bad = encode_window_query(spec, &[phi]);
+            assert!(decode_window_query(&bad).is_err(), "phi {phi} accepted");
+        }
+    }
+
+    #[test]
+    fn window_answer_frame_roundtrip_and_invariants() {
+        let answer = WindowAnswer {
+            start_nanos: 1_000,
+            end_nanos: 3_000,
+            n: 42,
+            answers: vec![Some(7), None, Some(u64::MAX)],
+        };
+        let bytes = encode_window_answer(&answer);
+        assert_eq!(decode_window_answer(&bytes).expect("roundtrip"), answer);
+        // A semantically-impossible answer (empty window with a Some
+        // quantile) is rejected by the decoder's invariant check.
+        let lying = WindowAnswer {
+            start_nanos: 0,
+            end_nanos: 1_000,
+            n: 0,
+            answers: vec![Some(5)],
+        };
+        assert!(matches!(
+            decode_window_answer(&encode_window_answer(&lying)),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn window_stats_frame_roundtrip() {
+        let mut stats = WindowStats::default();
+        stats.bucket_nanos = 1_000_000_000;
+        stats.late_dropped = 17;
+        stats.rollup_hits = 5;
+        let bytes = encode_window_stats(&stats);
+        assert_eq!(decode_window_stats(&bytes).expect("roundtrip"), stats);
+    }
+
+    #[test]
+    fn window_frames_reject_corruption() {
+        let bytes = encode_window_insert(99, &[4, 5, 6]);
+        // Any single-bit flip lands in the checksum (or a structural
+        // check) — never a panic, never a silent accept.
+        for at in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            if let Some(b) = bad.get_mut(at) {
+                *b ^= 0x01;
+            }
+            assert!(decode_window_insert(&bad).is_err(), "flip at {at} accepted");
+        }
+        // Every truncation is refused too.
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_window_insert(bytes.get(..cut).unwrap_or_default()).is_err(),
+                "truncation to {cut} accepted"
+            );
+        }
     }
 }

@@ -38,8 +38,10 @@ use sqs_core::codec::WireCodec;
 use sqs_core::MergeableSummary;
 use sqs_engine::ShardedEngine;
 use sqs_store::{DurableStore, FsyncPolicy, StoreConfig, WalPayload};
+use sqs_util::clock::{Clock, SystemClock};
+use sqs_window::{WindowConfig, WindowedEngine};
 
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, WindowTotals};
 use crate::proto::{self, IngestAck, Op, Request, Response, Status};
 
 /// Tuning knobs for [`spawn`].
@@ -69,6 +71,40 @@ pub struct ServerConfig {
     /// `None` — the default — keeps today's in-memory behavior with
     /// zero hot-path cost.
     pub durability: Option<DurabilityConfig>,
+    /// Time-windowed quantiles (`sqs-serve --window-bucket-secs`).
+    /// `None` — the default — leaves the existing ops' hot path
+    /// untouched and makes the `WINDOW_*` ops reply with an error.
+    pub window: Option<WindowOptions>,
+}
+
+/// Opt-in windowing settings: the ring configuration plus the clock
+/// that drives bucket rotation ([`SystemClock`] in production, a
+/// [`ManualClock`](sqs_util::clock::ManualClock) in deterministic
+/// tests).
+#[derive(Debug, Clone)]
+pub struct WindowOptions {
+    /// Bucket width, retention, rollup grouping, late policy — shared
+    /// by every tenant's ring.
+    pub config: WindowConfig,
+    /// The clock window rotation reads. Every tenant ring shares it.
+    pub clock: Arc<dyn Clock>,
+}
+
+impl WindowOptions {
+    /// Windowing on the production monotonic clock.
+    #[must_use]
+    pub fn new(config: WindowConfig) -> Self {
+        Self {
+            config,
+            clock: Arc::new(SystemClock::new()),
+        }
+    }
+
+    /// Windowing on a caller-supplied clock (deterministic tests).
+    #[must_use]
+    pub fn with_clock(config: WindowConfig, clock: Arc<dyn Clock>) -> Self {
+        Self { config, clock }
+    }
 }
 
 /// Opt-in durability settings (`sqs-serve --data-dir`).
@@ -135,6 +171,7 @@ impl Default for ServerConfig {
             batch_capacity: 1024,
             value_bound: None,
             durability: None,
+            window: None,
         }
     }
 }
@@ -211,12 +248,24 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+/// Shard-index offset for window-bucket summaries built through the
+/// tenant factory: far above any real shard count, so bucket seeds and
+/// shard seeds never coincide. Bucket indices are folded modulo a
+/// prime (1021) into the offset range — seeds recycle across very long
+/// horizons, which is harmless (only decorrelation matters).
+const WINDOW_FACTORY_SHARD_BASE: usize = 1 << 20;
+
 /// State shared by the accept thread and every worker.
 struct Shared<S> {
     cfg: ServerConfig,
     addr: SocketAddr,
     tenants: Mutex<HashMap<u64, Arc<ShardedEngine<u64, S>>>>,
-    factory: Box<dyn Fn(u64, usize) -> S + Send + Sync>,
+    /// Per-tenant window rings, lazily materialized on the first
+    /// `WINDOW_*` request; empty forever when `cfg.window` is `None`.
+    windows: Mutex<HashMap<u64, Arc<WindowedEngine<S>>>>,
+    /// `Arc` (not `Box`) so window rings can hold a handle into the
+    /// same factory for their per-bucket summaries.
+    factory: Arc<dyn Fn(u64, usize) -> S + Send + Sync>,
     queue: BoundedQueue<TcpStream>,
     stop: AtomicBool,
     metrics: Metrics,
@@ -243,6 +292,53 @@ where
                 |shard| (self.factory)(id, shard),
             ))
         }))
+    }
+
+    /// The tenant's windowed engine, created on first touch; `None`
+    /// whenever the server runs without windowing. The ring's
+    /// per-bucket summaries come from the same factory as the shard
+    /// summaries, with shard indices offset by
+    /// [`WINDOW_FACTORY_SHARD_BASE`] so bucket seeds never collide
+    /// with shard seeds (randomized backends stay merge-compatible —
+    /// same accuracy — but independently seeded).
+    fn window_tenant(&self, id: u64) -> Option<Arc<WindowedEngine<S>>> {
+        let opts = self.cfg.window.as_ref()?;
+        // The engine lock is taken and released inside `tenant` before
+        // the windows lock below — never both at once.
+        let engine = self.tenant(id);
+        let mut map = match self.windows.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        Some(Arc::clone(map.entry(id).or_insert_with(|| {
+            let factory = Arc::clone(&self.factory);
+            Arc::new(WindowedEngine::new(
+                engine,
+                opts.config,
+                Arc::clone(&opts.clock),
+                move |bucket| {
+                    let slot = usize::try_from(bucket % 1021).unwrap_or(0);
+                    factory(id, WINDOW_FACTORY_SHARD_BASE + slot)
+                },
+            ))
+        })))
+    }
+
+    /// Cross-tenant window aggregate for the `STATS` reply; `None`
+    /// when windowing is off (the JSON section is omitted). Ring
+    /// `Arc`s are cloned out first so each ring's stat read happens
+    /// without the map lock held.
+    fn window_totals(&self) -> Option<WindowTotals> {
+        self.cfg.window.as_ref()?;
+        let rings: Vec<Arc<WindowedEngine<S>>> = match self.windows.lock() {
+            Ok(g) => g.values().cloned().collect(),
+            Err(poisoned) => poisoned.into_inner().values().cloned().collect(),
+        };
+        let mut totals = WindowTotals::default();
+        for ring in &rings {
+            totals.absorb(&ring.stats());
+        }
+        Some(totals)
     }
 
     /// Tenant count plus the cross-tenant engine aggregate for the
@@ -363,7 +459,8 @@ where
         cfg,
         addr,
         tenants: Mutex::new(HashMap::new()),
-        factory: Box::new(factory),
+        windows: Mutex::new(HashMap::new()),
+        factory: Arc::new(factory),
         queue: BoundedQueue::new(queue_depth),
         stop: AtomicBool::new(false),
         metrics: Metrics::new(),
@@ -738,12 +835,87 @@ where
         Op::Stats => {
             let (tenants, engine_totals) = shared.stats_snapshot();
             let store_stats = shared.store.as_ref().map(|s| s.stats());
+            let window_totals = shared.window_totals();
             ok(shared
                 .metrics
-                .to_json(tenants, &engine_totals, store_stats.as_ref())
+                .to_json(
+                    tenants,
+                    &engine_totals,
+                    store_stats.as_ref(),
+                    window_totals.as_ref(),
+                )
                 .into_bytes())
         }
         Op::Shutdown => ok(Vec::new()),
+        Op::WindowInsert => {
+            let (ts_nanos, xs) = match proto::decode_window_insert(&req.payload) {
+                Ok(parts) => parts,
+                Err(e) => return err(format!("window insert: {e}")),
+            };
+            if let Some(bound) = shared.cfg.value_bound {
+                if let Some(&bad) = xs.iter().find(|&&x| x >= bound) {
+                    return err(format!(
+                        "window insert: value {bad} outside the backend universe [0, {bound})"
+                    ));
+                }
+            }
+            let Some(windowed) = shared.window_tenant(req.tenant) else {
+                return err("window insert: windowing disabled (start the server with \
+                            --window-bucket-secs)"
+                    .to_owned());
+            };
+            let engine = shared.tenant(req.tenant);
+            let (n, seq) = match shared.store.as_ref() {
+                Some(store) => {
+                    // Same durable contract as INSERT_BATCH: the WAL
+                    // logs the plain batch (the all-time stream is
+                    // what survives a restart — rings are rebuilt
+                    // empty and refill as new data arrives, which
+                    // docs/WINDOW.md spells out). Ring placement
+                    // happens after the gate: it is volatile state
+                    // and needs no WAL coverage.
+                    let handle = store.tenant(req.tenant);
+                    let _gate = handle.lock();
+                    match store.append_batch(req.tenant, &xs) {
+                        Ok(seq) => {
+                            engine.ingest_batch(&xs);
+                            (engine.n(), seq)
+                        }
+                        Err(e) => return err(format!("window insert: wal append failed: {e}")),
+                    }
+                }
+                None => {
+                    engine.ingest_batch(&xs);
+                    (engine.n(), 0)
+                }
+            };
+            let _outcome = windowed.ingest_window_only(ts_nanos, &xs);
+            shared.metrics.add_rows(xs.len() as u64);
+            ok(proto::encode_ingest_ack(IngestAck { n, seq }))
+        }
+        Op::WindowQuery => {
+            let (spec, phis) = match proto::decode_window_query(&req.payload) {
+                Ok(parts) => parts,
+                Err(e) => return err(format!("window query: {e}")),
+            };
+            let Some(windowed) = shared.window_tenant(req.tenant) else {
+                return err("window query: windowing disabled (start the server with \
+                            --window-bucket-secs)"
+                    .to_owned());
+            };
+            match windowed.query(spec, &phis) {
+                Ok(answer) => ok(proto::encode_window_answer(&answer)),
+                Err(e) => err(format!("window query: {e}")),
+            }
+        }
+        Op::WindowStats => {
+            let Some(windowed) = shared.window_tenant(req.tenant) else {
+                return err("window stats: windowing disabled (start the server with \
+                            --window-bucket-secs)"
+                    .to_owned());
+            };
+            ok(proto::encode_window_stats(&windowed.stats()))
+        }
     }
 }
 

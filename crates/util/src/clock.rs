@@ -1,0 +1,149 @@
+//! Injectable monotonic time for the windowed-quantile layer.
+//!
+//! Wall-clock reads make windowing untestable: bucket rotation,
+//! retention eviction and late-arrival classification all hinge on
+//! *exactly when* "now" crosses a bucket edge, and a test that sleeps
+//! its way onto an edge is flaky by construction. Everything
+//! time-dependent therefore reads a [`Clock`] — production code gets
+//! [`SystemClock`] (a monotonic `Instant` anchor, immune to wall-clock
+//! steps), tests get [`ManualClock`] and advance time explicitly, one
+//! nanosecond-precise step at a time.
+
+use std::fmt::Debug;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond clock.
+///
+/// Implementations must never go backwards: two reads `a` then `b`
+/// observe `a <= b`. The origin is arbitrary (process start, test
+/// zero) — only differences and bucket arithmetic are meaningful.
+pub trait Clock: Send + Sync + Debug {
+    /// Nanoseconds since this clock's (arbitrary) origin.
+    fn now_nanos(&self) -> u64;
+}
+
+/// The production clock: monotonic nanoseconds since the clock was
+/// created, backed by [`Instant`] (so NTP steps and wall-clock
+/// adjustments cannot move windows backwards).
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose origin is "now".
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_nanos(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-cranked test clock: starts at 0 (or [`ManualClock::at`]) and
+/// only moves when told to. Cloning shares the underlying time, so a
+/// test can hand one handle to a server and keep another to advance —
+/// every component observes the same deterministic "now".
+#[derive(Debug, Clone)]
+pub struct ManualClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A clock frozen at nanosecond 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::at(0)
+    }
+
+    /// A clock frozen at `nanos`.
+    #[must_use]
+    pub fn at(nanos: u64) -> Self {
+        Self {
+            nanos: Arc::new(AtomicU64::new(nanos)),
+        }
+    }
+
+    /// Moves time forward by `delta` nanoseconds (saturating).
+    pub fn advance(&self, delta: u64) {
+        // `fetch_update` instead of `fetch_add` so a pathological
+        // advance saturates at u64::MAX rather than wrapping backwards
+        // (monotonicity is the trait's one promise).
+        let _ = self
+            .nanos
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                Some(cur.saturating_add(delta))
+            });
+    }
+
+    /// Jumps to an absolute time, refusing to move backwards (a no-op
+    /// when `nanos` is in the past).
+    pub fn set(&self, nanos: u64) {
+        let _ = self
+            .nanos
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                Some(cur.max(nanos))
+            });
+    }
+}
+
+impl Default for ManualClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now_nanos();
+        let b = c.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_when_cranked() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_nanos(), 0);
+        c.advance(250);
+        assert_eq!(c.now_nanos(), 250);
+        c.set(1_000);
+        assert_eq!(c.now_nanos(), 1_000);
+        c.set(10); // refuses to go backwards
+        assert_eq!(c.now_nanos(), 1_000);
+        c.advance(u64::MAX); // saturates, never wraps
+        assert_eq!(c.now_nanos(), u64::MAX);
+    }
+
+    #[test]
+    fn cloned_manual_clocks_share_time() {
+        let a = ManualClock::at(7);
+        let b = a.clone();
+        a.advance(3);
+        assert_eq!(b.now_nanos(), 10);
+    }
+}

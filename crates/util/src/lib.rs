@@ -22,6 +22,10 @@
 //! * [`audit`] — the [`audit::CheckInvariants`] trait every summary
 //!   implements so its §2/§3 structural invariants are
 //!   machine-checkable (see `docs/ANALYSIS.md`).
+//! * [`clock`] — the injectable monotonic [`clock::Clock`] the
+//!   windowed-quantile layer reads instead of wall time, with the
+//!   hand-cranked [`clock::ManualClock`] that makes bucket-rotation
+//!   tests deterministic.
 //! * [`pad`] — [`pad::CachePadded`], the cache-line-alignment wrapper
 //!   the engine uses to keep per-shard hot state (and hot counters)
 //!   out of each other's cache lines.
@@ -37,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod clock;
 pub mod dyadic;
 pub mod exact;
 pub mod hash;

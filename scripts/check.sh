@@ -8,6 +8,13 @@ cd "$(dirname "$0")/.."
 echo "== cargo xtask check =="
 cargo xtask check
 
+# --workspace matters: a bare `cargo build --release` at the root only
+# builds the facade crate's dependency closure and never relinks the
+# crates/* binaries (sqs-serve, sqs-exp, sqs-loadgen), so a stale bin
+# can mask a broken build. The workspace flag forces every member.
+echo "== cargo build --release --workspace =="
+cargo build --release --workspace
+
 # The analyze step already ran inside `xtask check`; running it alone
 # here keeps a zero-findings transcript line even when someone edits
 # the gate above, and the fixture suite proves every pass still
@@ -47,6 +54,16 @@ cargo test -q -p sqs-store
 
 echo "== crash-recovery smoke (cargo test -p sqs-service --test store_recovery) =="
 cargo test -q -p sqs-service --test store_recovery
+
+# Windowed quantiles: the ring/rollup unit + boundary suites, then the
+# socket-level stress test that checks every sliding/tumbling answer
+# against an exact per-window oracle on a ManualClock schedule
+# (docs/WINDOW.md).
+echo "== window unit + boundary tests (cargo test -p sqs-window) =="
+cargo test -q -p sqs-window
+
+echo "== window stress vs exact oracle (cargo test -p sqs-service --test window_stress) =="
+cargo test -q -p sqs-service --test window_stress
 
 echo "== loadgen sanity (2s, throwaway output) =="
 cargo run --release -q -p sqs-harness --bin sqs-loadgen -- --secs 2 \

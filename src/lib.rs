@@ -56,6 +56,7 @@
 //! | [`sqs_turnstile`] | the dyadic structure, DCM, DCS, RSS, OLS post-processing |
 //! | [`sqs_data`] | uniform/normal generators, MPCAT-OBS & LIDAR surrogates, turnstile workloads |
 //! | [`sqs_engine`] | sharded concurrent ingestion engine with merge-on-query snapshots |
+//! | [`sqs_window`] | time-windowed quantiles: ring of per-bucket partials, sliding/tumbling queries, rollups |
 //! | [`sqs_service`] | multi-tenant TCP quantile service: wire codec, backpressure, metrics |
 //! | [`sqs_harness`] | the §4 measurement harness and the `sqs-exp` experiment runner |
 //!
@@ -74,6 +75,15 @@
 //! summary snapshots between servers, and mergeability makes the
 //! remote `SNAPSHOT` → `MERGE_SNAPSHOT` round-trip exact. See
 //! `docs/SERVICE.md`.
+//!
+//! ## Windowed quantiles
+//!
+//! [`sqs_window`] answers "p99 over the last five minutes" on top of
+//! any [`MergeableSummary`]: a ring of per-bucket partial summaries,
+//! sliding/tumbling queries merged on demand, pre-aggregated rollups
+//! for long spans, and an explicit late-arrival policy. The service
+//! exposes it per tenant via the `WINDOW_*` ops
+//! (`sqs-serve --window-bucket-secs`). See `docs/WINDOW.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -86,6 +96,7 @@ pub use sqs_service;
 pub use sqs_sketch;
 pub use sqs_turnstile;
 pub use sqs_util;
+pub use sqs_window;
 
 /// The common imports for working with this library.
 pub mod prelude {
@@ -103,8 +114,12 @@ pub mod prelude {
         new_dcm, new_dcs, new_rss, Dcm, Dcs, PostProcessed, Rss, TurnstileQuantiles,
         TurnstileSummary,
     };
+    pub use sqs_util::clock::{Clock, ManualClock, SystemClock};
     pub use sqs_util::exact::ExactQuantiles;
     pub use sqs_util::{CheckInvariants, InvariantViolation, SpaceUsage};
+    pub use sqs_window::{
+        LatePolicy, WindowConfig, WindowKind, WindowRing, WindowSpec, WindowedEngine,
+    };
 }
 
 pub use prelude::*;

@@ -217,6 +217,77 @@ fn every_truncation_and_bit_flip_rejected_across_backends() {
     exhaustive_corruption_sweep(filled_dcs(3, &data), "dcs");
 }
 
+/// The same every-byte sweep for the service's window frames
+/// (`SQWF` payloads of the `WINDOW_*` ops). They are not `WireCodec`
+/// summaries — each has its own encode/decode pair — so the sweep is
+/// expressed over a closure. A successful decode additionally ran the
+/// payload's `CheckInvariants` (the decoders end in it), so surviving
+/// here means "checksummed AND semantically possible".
+fn exhaustive_window_frame_sweep<T>(
+    frame: &[u8],
+    decode: impl Fn(&[u8]) -> Result<T, streaming_quantiles::sqs_service::ProtoError>,
+    label: &str,
+) {
+    assert!(decode(frame).is_ok(), "{label}: pristine frame rejected");
+    for cut in 0..frame.len() {
+        let truncated = frame.get(..cut).unwrap_or_default();
+        assert!(
+            decode(truncated).is_err(),
+            "{label}: truncation at {cut}/{} accepted",
+            frame.len()
+        );
+    }
+    for pos in 0..frame.len() {
+        for bit in 0..8u8 {
+            let mut evil = frame.to_vec();
+            if let Some(b) = evil.get_mut(pos) {
+                *b ^= 1 << bit;
+            }
+            assert!(
+                decode(&evil).is_err(),
+                "{label}: bit flip at byte {pos} bit {bit} accepted"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_truncation_and_bit_flip_rejected_on_window_frames() {
+    use streaming_quantiles::sqs_service::proto::{
+        decode_window_answer, decode_window_insert, decode_window_query, decode_window_stats,
+        encode_window_answer, encode_window_insert, encode_window_query, encode_window_stats,
+    };
+    use streaming_quantiles::sqs_window::{WindowAnswer, WindowSpec, WindowStats};
+
+    let insert = encode_window_insert(123_456_789, &(0..48u64).collect::<Vec<_>>());
+    exhaustive_window_frame_sweep(&insert, decode_window_insert, "window_insert");
+
+    let query = encode_window_query(WindowSpec::sliding(5_000_000_000), &[0.1, 0.5, 0.99]);
+    exhaustive_window_frame_sweep(&query, decode_window_query, "window_query(sliding)");
+    let query = encode_window_query(WindowSpec::tumbling(60_000_000_000), &[0.5]);
+    exhaustive_window_frame_sweep(&query, decode_window_query, "window_query(tumbling)");
+
+    let answer = encode_window_answer(&WindowAnswer {
+        start_nanos: 10_000,
+        end_nanos: 20_000,
+        n: 7,
+        answers: vec![Some(3), None, Some(u64::MAX)],
+    });
+    exhaustive_window_frame_sweep(&answer, decode_window_answer, "window_answer");
+
+    let stats = encode_window_stats(&WindowStats {
+        bucket_nanos: 1_000_000_000,
+        retention_buckets: 60,
+        rollup_factor: 8,
+        ingested_items: 12_345,
+        late_dropped: 67,
+        buckets_rotated: 89,
+        rollup_hits: 4,
+        ..WindowStats::default()
+    });
+    exhaustive_window_frame_sweep(&stats, decode_window_stats, "window_stats");
+}
+
 #[test]
 fn empty_summaries_roundtrip() {
     roundtrip_then_extend(RandomSketch::<u64>::new(0.05, 1), &[1, 2, 3], 0.05);
