@@ -1,0 +1,27 @@
+use sqs_core::random::RandomSketch;
+use sqs_window::{LatePolicy, WindowConfig, WindowRing, WindowSpec};
+
+#[test]
+fn tumbling_partial_when_retention_equals_span() {
+    const BUCKET: u64 = 1_000;
+    let cfg = WindowConfig {
+        bucket_nanos: BUCKET,
+        retention_buckets: 4, // == tumbling span in buckets: validation accepts it
+        rollup_factor: 0,
+        late_policy: LatePolicy::Drop,
+    };
+    let mut r = WindowRing::new(cfg, |idx| RandomSketch::new(0.05, idx));
+    // One value per bucket 0..=5.
+    for i in 0..6u64 {
+        r.ingest(i * BUCKET + 1, &[i], i * BUCKET + 1);
+    }
+    // cur_idx = 5, min_retained = 2: buckets 0,1 evicted.
+    // Tumbling(4 buckets): group = 5/4 = 1, window = buckets [0,3].
+    let a = r
+        .query(WindowSpec::tumbling(4 * BUCKET), &[0.5], 5 * BUCKET + 1)
+        .expect("validation accepts span == retention");
+    // Reported range claims the full window...
+    assert_eq!((a.start_nanos, a.end_nanos), (0, 4 * BUCKET));
+    // ...but two of its four buckets were evicted: silently partial.
+    assert_eq!(a.n, 4, "expected full window mass; got {}", a.n);
+}
