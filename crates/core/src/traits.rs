@@ -73,6 +73,23 @@ pub trait QuantileSummary<T: Ord + Copy>: SpaceUsage {
         }
     }
 
+    /// A φ-sweep: one quantile per entry of `phis` (each `None` while
+    /// the stream is empty).
+    ///
+    /// The default is a per-φ [`quantile`] loop; summaries with a
+    /// cheaper batched read path (the turnstile dyadic structures walk
+    /// one shared bisection tree for the whole sorted sweep) override
+    /// it. Overrides must return exactly what the per-φ loop would —
+    /// answer for answer, not merely within ε.
+    ///
+    /// # Panics
+    /// Implementations panic if any `φ ∉ (0, 1)`.
+    ///
+    /// [`quantile`]: QuantileSummary::quantile
+    fn quantiles(&mut self, phis: &[f64]) -> Vec<Option<T>> {
+        phis.iter().map(|&phi| self.quantile(phi)).collect()
+    }
+
     /// Answers the standard probe grid φ = ε, 2ε, …, 1−ε in one call,
     /// returning `(φ, answer)` pairs (empty if the stream is empty).
     fn quantile_grid(&mut self, eps: f64) -> Vec<(f64, T)> {

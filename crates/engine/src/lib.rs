@@ -762,7 +762,10 @@ where
     /// Answers a whole rank sweep from **one** epoch-consistent
     /// snapshot: every φ reads the same merged summary, so the
     /// answers are mutually consistent, and a sweep between writes
-    /// costs no merging at all (cache hit).
+    /// costs no merging at all (cache hit). Rides the summary's
+    /// [`quantiles`](sqs_core::QuantileSummary::quantiles) bulk path —
+    /// the turnstile backends answer the whole sorted sweep in one
+    /// lockstep bisection instead of re-bisecting per φ.
     ///
     /// # Panics
     /// Panics if any `φ ∉ (0, 1)`, matching
@@ -771,13 +774,32 @@ where
         if phis.is_empty() {
             return Vec::new();
         }
-        self.with_snapshot(|s| phis.iter().map(|&phi| s.quantile(phi)).collect())
+        self.with_snapshot(|s| s.quantiles(phis))
     }
 
     /// Estimated rank of `x` over everything propagated so far,
     /// answered from the epoch-cached snapshot.
     pub fn rank_estimate(&self, x: T) -> u64 {
         self.with_snapshot(|s| s.rank_estimate(x))
+    }
+
+    /// Answers a φ-sweep **and** a rank sweep against the *same*
+    /// epoch-consistent snapshot in one call — the service's
+    /// `QUERY_MANY` op. One snapshot read, one batched quantile sweep,
+    /// one rank pass; the two answer vectors are mutually consistent
+    /// by construction (no publication can land between them).
+    ///
+    /// # Panics
+    /// Panics if any `φ ∉ (0, 1)`.
+    pub fn query_many(&self, phis: &[f64], xs: &[T]) -> (Vec<Option<T>>, Vec<u64>) {
+        if phis.is_empty() && xs.is_empty() {
+            return (Vec::new(), Vec::new());
+        }
+        self.with_snapshot(|s| {
+            let quantiles = s.quantiles(phis);
+            let ranks = xs.iter().map(|&x| s.rank_estimate(x)).collect();
+            (quantiles, ranks)
+        })
     }
 }
 
@@ -1318,6 +1340,24 @@ mod tests {
         let _ = e.quantiles(&phis);
         assert_eq!(e.stats().snapshots, before, "cache hit, no rebuild");
         assert_eq!(e.quantiles(&[]), Vec::<Option<u64>>::new());
+    }
+
+    #[test]
+    fn query_many_matches_separate_queries_on_one_snapshot() {
+        use sqs_turnstile::TurnstileSummary;
+        let e = ShardedEngine::new_with(2, 64, |_| TurnstileSummary::dcs(0.05, 16, 0xABC));
+        e.ingest_batch(&(0..10_000u64).collect::<Vec<_>>());
+        let phis = [0.9, 0.25, 0.5];
+        let xs = [0u64, 2_500, 9_999, 70_000];
+        let (quantiles, ranks) = e.query_many(&phis, &xs);
+        assert_eq!(quantiles, e.quantiles(&phis));
+        let direct_ranks: Vec<u64> = xs.iter().map(|&x| e.rank_estimate(x)).collect();
+        assert_eq!(ranks, direct_ranks);
+        // Degenerate shapes: either side may be empty.
+        assert_eq!(e.query_many(&[], &[]), (Vec::new(), Vec::new()));
+        let (q_only, r_empty) = e.query_many(&phis, &[]);
+        assert_eq!(q_only.len(), 3);
+        assert!(r_empty.is_empty());
     }
 
     #[test]

@@ -25,6 +25,12 @@
 //! * `--eps F` — accuracy of the in-process server (default `0.01`).
 //! * `--seed N` — stream seed (default `42`).
 //! * `--out PATH` — output JSON path.
+//! * `--query-mix N` — interleave one `QUERY_MANY` (a φ-sweep plus a
+//!   rank sweep in one frame) per `N` `INSERT_BATCH` frames instead of
+//!   the default sparse `QUERY_QUANTILES` sampling, and report the
+//!   query path's p50/p99 from the server's own `STATS` histograms
+//!   alongside the client-side raw samples. `0` (the default) keeps
+//!   the insert-heavy profile.
 
 #![forbid(unsafe_code)]
 
@@ -41,6 +47,9 @@ use sqs_util::rng::{SplitMix64, Xoshiro256pp};
 
 const QUERY_EVERY: u64 = 64; // one latency-sampled query per this many insert batches
 const PROBE_PHIS: [f64; 5] = [0.01, 0.25, 0.5, 0.75, 0.99];
+/// Rank probes for the `--query-mix` `QUERY_MANY` frames (spread over
+/// the loadgen's `2^24` value universe).
+const PROBE_XS: [u64; 3] = [1 << 20, 1 << 22, 1 << 23];
 
 struct Args {
     addr: Option<String>,
@@ -50,6 +59,7 @@ struct Args {
     eps: f64,
     seed: u64,
     out: String,
+    query_mix: u64,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -61,6 +71,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         eps: 0.01,
         seed: 42,
         out: "results/service_baseline.json".to_owned(),
+        query_mix: 0,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -73,10 +84,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--eps" => args.eps = val.parse().map_err(|e| format!("--eps: {e}"))?,
             "--seed" => args.seed = val.parse().map_err(|e| format!("--seed: {e}"))?,
             "--out" => args.out = val.clone(),
+            "--query-mix" => {
+                args.query_mix = val.parse().map_err(|e| format!("--query-mix: {e}"))?;
+            }
             other => {
                 return Err(format!(
                     "unknown flag {other:?}\nusage: sqs-loadgen [--addr HOST:PORT] [--clients N] \
-                     [--secs F] [--batch N] [--eps F] [--seed N] [--out PATH]"
+                     [--secs F] [--batch N] [--eps F] [--seed N] [--out PATH] [--query-mix N]"
                 ))
             }
         }
@@ -131,11 +145,24 @@ fn drive(
             }
             Err(e) => return Err(format!("client {thread}: insert: {e}")),
         }
-        if res.batches.is_multiple_of(QUERY_EVERY) {
+        // In query-mix mode every N-th frame is a combined QUERY_MANY
+        // sweep; otherwise sparse QUERY_QUANTILES latency sampling.
+        let period = if args.query_mix > 0 {
+            args.query_mix
+        } else {
+            QUERY_EVERY
+        };
+        if res.batches.is_multiple_of(period) {
             let started = Instant::now();
-            client
-                .query_quantiles(tenant, &PROBE_PHIS)
-                .map_err(|e| format!("client {thread}: query: {e}"))?;
+            if args.query_mix > 0 {
+                client
+                    .query_many(tenant, &PROBE_PHIS, &PROBE_XS)
+                    .map_err(|e| format!("client {thread}: query many: {e}"))?;
+            } else {
+                client
+                    .query_quantiles(tenant, &PROBE_PHIS)
+                    .map_err(|e| format!("client {thread}: query: {e}"))?;
+            }
             res.query_nanos
                 .push(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
         }
@@ -204,6 +231,49 @@ fn json_u64_field(json: &str, key: &str) -> Option<u64> {
     let rest = json.get(at..)?.trim_start();
     let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
     digits.parse().ok()
+}
+
+/// Extracts a float field from one op's object in the STATS `ops`
+/// section (e.g. `op = "query_many"`, `key = "p99_us"`). The per-op
+/// latency fields are the one place the STATS JSON carries decimals,
+/// so [`json_u64_field`] cannot read them.
+fn json_op_f64_field(json: &str, op: &str, key: &str) -> Option<f64> {
+    let obj_at = json.find(&format!("\"{op}\":"))?;
+    let obj = json.get(obj_at..)?;
+    let obj = obj.get(..obj.find('}')?)?;
+    let needle = format!("\"{key}\":");
+    let at = obj.find(&needle)? + needle.len();
+    let rest = obj.get(at..)?.trim_start();
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// Prints the query path's service-time quantiles as the *server*
+/// measured them (log₂-bucketed `STATS` histograms — ≤2× relative
+/// error, vs. the client's exact-but-RTT-inclusive raw samples).
+fn report_query_histogram(addr: &str, op: &str) {
+    let Ok(mut client) = Client::connect(addr, Duration::from_secs(10)) else {
+        eprintln!("stats: cannot connect for the {op} histogram");
+        return;
+    };
+    let Ok(json) = client.stats() else {
+        eprintln!("stats: STATS failed");
+        return;
+    };
+    let field = |k| json_op_f64_field(&json, op, k);
+    match (field("count"), field("p50_us"), field("p99_us")) {
+        (Some(count), Some(p50), Some(p99)) => {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            // ^ audited: `count` is a non-negative integer printed by
+            // the server; the cast only drops the synthetic `.0`.
+            let count = count as u64;
+            eprintln!("server histogram: {op} count={count} p50={p50:.1}us p99={p99:.1}us");
+        }
+        _ => eprintln!("stats: no {op} histogram in the STATS reply"),
+    }
 }
 
 /// Pulls the server's own end-of-run ledger over the `STATS` op and
@@ -337,6 +407,9 @@ fn main() -> ExitCode {
     }
     eprintln!("cross-server snapshot/merge: rank-identical over the socket");
     report_server_ledger(&addr);
+    if args.query_mix > 0 {
+        report_query_histogram(&addr, "query_many");
+    }
 
     if let Some(h) = local {
         h.shutdown();
@@ -355,6 +428,16 @@ fn main() -> ExitCode {
     let _ = writeln!(json, "  \"insert_batches\": {batches},");
     let _ = writeln!(json, "  \"inserts_per_sec\": {inserts_per_sec:.1},");
     let _ = writeln!(json, "  \"busy_sheds\": {busy},");
+    let _ = writeln!(json, "  \"query_mix\": {},", args.query_mix);
+    let _ = writeln!(
+        json,
+        "  \"query_op\": \"{}\",",
+        if args.query_mix > 0 {
+            "query_many"
+        } else {
+            "query_quantiles"
+        }
+    );
     let _ = writeln!(json, "  \"query_samples\": {},", query_nanos.len());
     let _ = writeln!(
         json,

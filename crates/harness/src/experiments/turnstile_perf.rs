@@ -35,6 +35,10 @@ const ETA: f64 = 0.1;
 /// `--quick` cap: large enough that per-item cost is steady-state,
 /// small enough for a CI gate.
 const QUICK_N: usize = 150_000;
+/// Rank probes per query-side timing pass.
+const RANK_PROBES: usize = 4096;
+/// φ-grid size for the quantile-sweep timing pass.
+const PHI_GRID: usize = 256;
 
 /// One measured cell of the baseline grid.
 struct Cell {
@@ -122,6 +126,90 @@ where
         speedup: best_scalar / best_batched,
     });
     (scalar, batched)
+}
+
+/// Times the query side on one already-loaded structure: a rank sweep
+/// and a φ-sweep, each through the scalar per-query loop and the
+/// batched kernels (`rank_signed_batch`, the lockstep `quantiles`),
+/// best of `trials`. The batched paths are required to be
+/// answer-identical, asserted here before the numbers are recorded.
+/// The `*-rank` speedups are the ones `bench-check` gates; `n` counts
+/// queries and `items_per_s`/`ns_per_update` read as queries/s and
+/// ns/query in these rows.
+fn measure_queries<S: FrequencySketch>(
+    algo: &'static str,
+    dq: &DyadicQuantiles<S>,
+    seed: u64,
+    trials: usize,
+    cells: &mut Vec<Cell>,
+    speedups: &mut Vec<Speedup>,
+) {
+    let xs: Vec<u64> = Uniform::new(LOG_U, seed ^ 0xbeef)
+        .take(RANK_PROBES)
+        .collect();
+    #[allow(clippy::cast_precision_loss)]
+    // ^ audited: PHI_GRID is tiny, the division is exact enough for a
+    // probe grid.
+    let phis: Vec<f64> = (1..=PHI_GRID)
+        .map(|i| i as f64 / (PHI_GRID + 1) as f64)
+        .collect();
+
+    let scalar_ranks: Vec<i64> = xs.iter().map(|&x| dq.rank_signed(x)).collect();
+    let mut batched_ranks = vec![0i64; xs.len()];
+    dq.rank_signed_batch(&xs, &mut batched_ranks);
+    assert_eq!(
+        scalar_ranks, batched_ranks,
+        "{algo}: batched rank sweep diverged from the scalar loop"
+    );
+    let scalar_quantiles: Vec<Option<u64>> = phis.iter().map(|&phi| dq.quantile(phi)).collect();
+    assert_eq!(
+        scalar_quantiles,
+        dq.quantiles(&phis),
+        "{algo}: lockstep quantile sweep diverged from per-phi bisection"
+    );
+
+    let mut best = [f64::INFINITY; 4];
+    for _ in 0..trials.max(1) {
+        let t0 = Instant::now();
+        for &x in &xs {
+            std::hint::black_box(dq.rank_signed(x));
+        }
+        best[0] = best[0].min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        dq.rank_signed_batch(&xs, &mut batched_ranks);
+        std::hint::black_box(&batched_ranks);
+        best[1] = best[1].min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        for &phi in &phis {
+            std::hint::black_box(dq.quantile(phi));
+        }
+        best[2] = best[2].min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        std::hint::black_box(dq.quantiles(&phis));
+        best[3] = best[3].min(t0.elapsed().as_secs_f64());
+    }
+
+    push_cell(cells, algo, "rank_scalar", xs.len(), best[0]);
+    push_cell(cells, algo, "rank_batched", xs.len(), best[1]);
+    push_cell(cells, algo, "quantile_scalar", phis.len(), best[2]);
+    push_cell(cells, algo, "quantile_batched", phis.len(), best[3]);
+    speedups.push(Speedup {
+        algo: match algo {
+            "DCM" => "DCM-rank",
+            _ => "DCS-rank",
+        },
+        speedup: best[0] / best[1],
+    });
+    speedups.push(Speedup {
+        algo: match algo {
+            "DCM" => "DCM-quantile",
+            _ => "DCS-quantile",
+        },
+        speedup: best[2] / best[3],
+    });
 }
 
 /// Asserts bit-identical quantile answers between the scalar-fed and
@@ -267,6 +355,11 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         &mut speedups,
     );
 
+    // Query side: scalar vs batched rank and quantile sweeps on the
+    // loaded structures (cutoff on — the ε-constructor default).
+    measure_queries("DCM", &dcm_b, seed, trials, &mut cells, &mut speedups);
+    measure_queries("DCS", &dcs_b, seed, trials, &mut cells, &mut speedups);
+
     // Query-identity sweeps: uniform (fig10a-style) on the structures
     // just built, normal σ = 0.15 (fig11a-style) on fresh smaller ones.
     assert_queries_identical("DCM", "uniform", &dcm_s, &dcm_b);
@@ -363,8 +456,9 @@ mod tests {
         let tables = run(&cfg);
         assert_eq!(tables.len(), 1);
         let t = &tables[0];
-        // Three algorithms × {scalar, batched}.
-        assert_eq!(t.rows.len(), 6);
+        // Three algorithms × {scalar, batched} update cells, plus
+        // DCM/DCS × {rank, quantile} × {scalar, batched} query cells.
+        assert_eq!(t.rows.len(), 14);
         for row in &t.rows {
             let ips: f64 = row[3].parse().expect("items_per_s cell parses");
             assert!(ips > 0.0, "row {row:?}: non-positive throughput");
@@ -373,6 +467,8 @@ mod tests {
             .expect("baseline json written");
         assert!(json.contains("\"experiment\": \"turnstile_perf\""));
         assert!(json.contains("\"algo\": \"DCS\", \"mode\": \"batched\""));
+        assert!(json.contains("\"algo\": \"DCM\", \"mode\": \"rank_batched\""));
+        assert!(json.contains("\"algo\": \"DCS-rank\""));
         assert!(json.contains("\"state_identical\": true"));
     }
 }

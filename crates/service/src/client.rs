@@ -125,6 +125,25 @@ impl Client {
         Ok(proto::decode_answers(&reply)?)
     }
 
+    /// Answers a φ-sweep *and* a rank sweep from one merged snapshot
+    /// in a single round trip: one quantile per entry of `phis` (each
+    /// in (0, 1)) plus one estimated rank per entry of `xs`. Both
+    /// answer vectors describe the same instant of the stream, which
+    /// separate [`Client::query_quantiles`]/[`Client::query_rank`]
+    /// calls cannot guarantee under concurrent ingest.
+    ///
+    /// # Errors
+    /// See [`Client::call`].
+    pub fn query_many(
+        &mut self,
+        tenant: u64,
+        phis: &[f64],
+        xs: &[u64],
+    ) -> Result<(Vec<Option<u64>>, Vec<u64>), ClientError> {
+        let reply = self.call(Op::QueryMany, tenant, proto::encode_query_many(phis, xs))?;
+        Ok(proto::decode_query_many_reply(&reply)?)
+    }
+
     /// Estimated rank of `x` in the tenant's stream.
     ///
     /// # Errors

@@ -71,11 +71,15 @@ pub enum Op {
     /// Return the tenant's window-ring counters (reply: a window
     /// stats frame).
     WindowStats,
+    /// Answer a φ-sweep *and* a rank sweep from one merged snapshot
+    /// in one round trip (payload: φ bits vector + value vector;
+    /// reply: answers block + rank vector).
+    QueryMany,
 }
 
 impl Op {
     /// All operations, in wire-code order.
-    pub const ALL: [Op; 10] = [
+    pub const ALL: [Op; 11] = [
         Op::InsertBatch,
         Op::QueryQuantiles,
         Op::QueryRank,
@@ -86,6 +90,7 @@ impl Op {
         Op::WindowInsert,
         Op::WindowQuery,
         Op::WindowStats,
+        Op::QueryMany,
     ];
 
     /// The wire byte for this op.
@@ -102,6 +107,7 @@ impl Op {
             Op::WindowInsert => 8,
             Op::WindowQuery => 9,
             Op::WindowStats => 10,
+            Op::QueryMany => 11,
         }
     }
 
@@ -131,6 +137,7 @@ impl Op {
             Op::WindowInsert => "window_insert",
             Op::WindowQuery => "window_query",
             Op::WindowStats => "window_stats",
+            Op::QueryMany => "query_many",
         }
     }
 }
@@ -508,6 +515,61 @@ pub fn decode_answers(payload: &[u8]) -> Result<Vec<Option<u64>>, ProtoError> {
     Ok(out)
 }
 
+/// Encodes a `QUERY_MANY` request payload: the φ-sweep (IEEE-754
+/// bits) followed by the rank probe values, both length-prefixed.
+#[must_use]
+pub fn encode_query_many(phis: &[f64], xs: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + (phis.len() + xs.len()) * 8);
+    let bits: Vec<u64> = phis.iter().map(|p| p.to_bits()).collect();
+    sqs_core::codec::put_u64_slice(&mut out, &bits);
+    sqs_core::codec::put_u64_slice(&mut out, xs);
+    out
+}
+
+/// Decodes a `QUERY_MANY` request payload into `(phis, xs)`.
+pub fn decode_query_many(payload: &[u8]) -> Result<(Vec<f64>, Vec<u64>), ProtoError> {
+    let mut r = Reader::new(payload);
+    let bits = r.u64_vec()?;
+    let xs = r.u64_vec()?;
+    r.done()?;
+    let phis = bits.into_iter().map(f64::from_bits).collect();
+    Ok((phis, xs))
+}
+
+/// Encodes a `QUERY_MANY` response: the φ answers block (same layout
+/// as [`encode_answers`]) followed by the length-prefixed rank vector.
+#[must_use]
+pub fn encode_query_many_reply(quantiles: &[Option<u64>], ranks: &[u64]) -> Vec<u8> {
+    let mut out = encode_answers(quantiles);
+    sqs_core::codec::put_u64_slice(&mut out, ranks);
+    out
+}
+
+/// Decodes a `QUERY_MANY` response into `(quantiles, ranks)`. This has
+/// its own decoder (rather than reusing [`decode_answers`]) because
+/// the answers block is followed by the rank vector, so the reply must
+/// be consumed as one frame.
+pub fn decode_query_many_reply(payload: &[u8]) -> Result<(Vec<Option<u64>>, Vec<u64>), ProtoError> {
+    let mut r = Reader::new(payload);
+    let count = r.read_len().map_err(ProtoError::Codec)?;
+    if count > payload.len() / 9 {
+        return Err(ProtoError::Codec(CodecError::Truncated));
+    }
+    let mut quantiles = Vec::with_capacity(count);
+    for _ in 0..count {
+        let present = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(ProtoError::Malformed("answer flag not 0/1")),
+        };
+        let value = r.u64()?;
+        quantiles.push(present.then_some(value));
+    }
+    let ranks = r.u64_vec()?;
+    r.done()?;
+    Ok((quantiles, ranks))
+}
+
 // ---- window frames (payloads of the WINDOW_* ops) ----------------
 //
 // Window payloads are self-describing sub-frames inside the SQSW
@@ -824,6 +886,32 @@ mod tests {
     }
 
     #[test]
+    fn query_many_payloads_roundtrip() {
+        let phis = [0.01, 0.5, 0.999];
+        let xs = [0u64, 42, u64::MAX];
+        let (p2, x2) = decode_query_many(&encode_query_many(&phis, &xs)).expect("roundtrip");
+        assert_eq!(p2, phis);
+        assert_eq!(x2, xs);
+
+        let quantiles = [Some(7u64), None, Some(u64::MAX)];
+        let ranks = [0u64, 123_456];
+        let (q2, r2) = decode_query_many_reply(&encode_query_many_reply(&quantiles, &ranks))
+            .expect("reply roundtrip");
+        assert_eq!(q2, quantiles);
+        assert_eq!(r2, ranks);
+
+        // Empty sweeps are legal frames.
+        let (q3, r3) =
+            decode_query_many_reply(&encode_query_many_reply(&[], &[])).expect("empty reply");
+        assert!(q3.is_empty() && r3.is_empty());
+
+        // Trailing garbage is rejected, as for every other frame.
+        let mut bad = encode_query_many(&phis, &xs);
+        bad.push(0);
+        assert!(decode_query_many(&bad).is_err());
+    }
+
+    #[test]
     fn op_and_status_codes_are_stable() {
         for op in Op::ALL {
             assert_eq!(Op::from_code(op.code()), Some(op));
@@ -831,7 +919,8 @@ mod tests {
         assert_eq!(Op::from_code(0), None);
         assert_eq!(Op::from_code(8), Some(Op::WindowInsert));
         assert_eq!(Op::from_code(10), Some(Op::WindowStats));
-        assert_eq!(Op::from_code(11), None);
+        assert_eq!(Op::from_code(11), Some(Op::QueryMany));
+        assert_eq!(Op::from_code(12), None);
         for s in [Status::Ok, Status::Busy, Status::Err] {
             assert_eq!(Status::from_code(s.code()), Some(s));
         }

@@ -773,6 +773,20 @@ where
             let answers = shared.tenant(req.tenant).quantiles(&phis);
             ok(proto::encode_answers(&answers))
         }
+        Op::QueryMany => {
+            let (phis, xs) = match proto::decode_query_many(&req.payload) {
+                Ok(parts) => parts,
+                Err(e) => return err(format!("query many: {e}")),
+            };
+            if let Some(&bad) = phis
+                .iter()
+                .find(|p| !(p.is_finite() && **p > 0.0 && **p < 1.0))
+            {
+                return err(format!("query many: phi {bad} outside (0, 1)"));
+            }
+            let (quantiles, ranks) = shared.tenant(req.tenant).query_many(&phis, &xs);
+            ok(proto::encode_query_many_reply(&quantiles, &ranks))
+        }
         Op::QueryRank => match proto::decode_u64(&req.payload) {
             Ok(x) => ok(proto::encode_u64(
                 shared.tenant(req.tenant).rank_estimate(x),

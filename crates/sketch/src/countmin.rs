@@ -198,6 +198,51 @@ impl FrequencySketch for CountMin {
             .expect("CountMin invariant: depth > 0")
     }
 
+    // Read-side dual of `update_batch`: small query sets (point reads,
+    // the per-level cells of one dyadic rank) gather one key across
+    // all d rows with the hash coefficients walked once; larger sweeps
+    // fold the chunk's keys once and take the min row-major, each
+    // row's counters read in one L1-resident pass. Min over rows
+    // commutes, so both orders are bit-identical to the scalar
+    // estimate.
+    fn estimate_batch(&self, xs: &[u64], out: &mut [i64]) {
+        assert_eq!(xs.len(), out.len(), "estimate_batch: slice length mismatch");
+        let d = self.hashes.len();
+        if xs.len() <= 16 && d <= 64 {
+            let mut jb = [0u64; 64];
+            for (&x, o) in xs.iter().zip(out) {
+                sqs_util::hash::buckets_folded_gather(
+                    &self.hashes,
+                    sqs_util::hash::fold_to_field(x),
+                    &mut jb[..d],
+                );
+                *o = jb[..d]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &j)| self.counters[i * self.stride + j as usize])
+                    .min()
+                    .expect("CountMin invariant: depth > 0");
+            }
+            return;
+        }
+        let mut keys = [0u64; CHUNK];
+        let mut jbuf = [0u64; CHUNK];
+        for (chunk, out_c) in xs.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+            let m = chunk.len();
+            for (k, &x) in keys.iter_mut().zip(chunk) {
+                *k = sqs_util::hash::fold_to_field(x);
+            }
+            out_c.fill(i64::MAX);
+            for (i, h) in self.hashes.iter().enumerate() {
+                let row = &self.counters[i * self.stride..i * self.stride + self.width];
+                h.hash_folded_batch(&keys[..m], &mut jbuf[..m]);
+                for (o, &j) in out_c.iter_mut().zip(&jbuf[..m]) {
+                    *o = (*o).min(row[j as usize]);
+                }
+            }
+        }
+    }
+
     fn universe(&self) -> u64 {
         self.universe
     }
@@ -322,6 +367,28 @@ mod tests {
         }
         batched.update_batch(&batch);
         assert_eq!(scalar, batched);
+    }
+
+    #[test]
+    fn estimate_batch_is_bit_identical_to_scalar() {
+        // Exercises both the gather path (≤16 queries) and the
+        // row-major chunked path, plus the chunk-boundary tail.
+        let mut rng = Xoshiro256pp::new(40);
+        let mut cm = CountMin::new(100, 7, &mut rng);
+        let mut stream_rng = Xoshiro256pp::new(41);
+        for _ in 0..20_000 {
+            cm.update(stream_rng.next_below(1 << 20), 1);
+        }
+        for n in [1usize, 3, 16, 17, 100, 1024, 1025, 2500] {
+            let xs: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9) % (1 << 20))
+                .collect();
+            let mut out = vec![0i64; n];
+            cm.estimate_batch(&xs, &mut out);
+            for (&x, &o) in xs.iter().zip(&out) {
+                assert_eq!(o, cm.estimate(x), "n={n} x={x}");
+            }
+        }
     }
 
     #[test]

@@ -313,6 +313,63 @@ impl FrequencySketch for CountSketch {
         *ests.select_nth_unstable(mid).1
     }
 
+    // Read-side dual of `update_batch`: small query sets gather one
+    // key across all d rows (buckets + signs in two register-resident
+    // passes); larger sweeps fold the chunk's keys once and fill a
+    // key-major estimate matrix row-major, each sketch row read in one
+    // L1-resident pass. Either way every key's d row estimates land in
+    // ascending row order — the exact slice `row_estimates` builds —
+    // before the same `select_nth_unstable` median, so answers are
+    // bit-identical to the scalar estimate.
+    fn estimate_batch(&self, xs: &[u64], out: &mut [i64]) {
+        assert_eq!(xs.len(), out.len(), "estimate_batch: slice length mismatch");
+        let d = self.bucket_hashes.len();
+        let mid = d / 2;
+        if xs.len() <= 16 && d <= 64 {
+            let mut jb = [0u64; 64];
+            let mut sb = [0i64; 64];
+            let mut ests = [0i64; 64];
+            for (&x, o) in xs.iter().zip(out) {
+                let xf = sqs_util::hash::fold_to_field(x);
+                sqs_util::hash::buckets_folded_gather(&self.bucket_hashes, xf, &mut jb[..d]);
+                sqs_util::hash::signs_folded_gather(&self.sign_hashes, xf, &mut sb[..d]);
+                for i in 0..d {
+                    ests[i] = sb[i] * self.counters[i * self.stride + jb[i] as usize];
+                }
+                *o = *ests[..d].select_nth_unstable(mid).1;
+            }
+            return;
+        }
+        let mut keys = [0u64; CHUNK];
+        let mut jbuf = [0u64; CHUNK];
+        let mut sbuf = [0i64; CHUNK];
+        let mut ests = Vec::new();
+        for (chunk, out_c) in xs.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+            let m = chunk.len();
+            for (k, &x) in keys.iter_mut().zip(chunk) {
+                *k = sqs_util::hash::fold_to_field(x);
+            }
+            ests.clear();
+            ests.resize(m * d, 0i64);
+            for (i, (h, g)) in self
+                .bucket_hashes
+                .iter()
+                .zip(self.sign_hashes.iter())
+                .enumerate()
+            {
+                h.hash_folded_batch(&keys[..m], &mut jbuf[..m]);
+                g.sign_folded_batch(&keys[..m], &mut sbuf[..m]);
+                let row = &self.counters[i * self.stride..i * self.stride + self.width];
+                for k in 0..m {
+                    ests[k * d + i] = sbuf[k] * row[jbuf[k] as usize];
+                }
+            }
+            for (k, o) in out_c.iter_mut().enumerate() {
+                *o = *ests[k * d..(k + 1) * d].select_nth_unstable(mid).1;
+            }
+        }
+    }
+
     fn universe(&self) -> u64 {
         self.universe
     }
@@ -482,6 +539,28 @@ mod tests {
         }
         batched.update_batch(&batch);
         assert_eq!(scalar, batched);
+    }
+
+    #[test]
+    fn estimate_batch_is_bit_identical_to_scalar() {
+        // Exercises both the gather path (≤16 queries) and the
+        // row-major chunked path, plus the chunk-boundary tail.
+        let mut rng = Xoshiro256pp::new(42);
+        let mut cs = CountSketch::new(100, 7, &mut rng);
+        let mut stream_rng = Xoshiro256pp::new(43);
+        for _ in 0..20_000 {
+            cs.update(stream_rng.next_below(1 << 20), 1);
+        }
+        for n in [1usize, 3, 16, 17, 100, 1024, 1025, 2500] {
+            let xs: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9) % (1 << 20))
+                .collect();
+            let mut out = vec![0i64; n];
+            cs.estimate_batch(&xs, &mut out);
+            for (&x, &o) in xs.iter().zip(&out) {
+                assert_eq!(o, cs.estimate(x), "n={n} x={x}");
+            }
+        }
     }
 
     #[test]

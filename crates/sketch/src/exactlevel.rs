@@ -127,6 +127,15 @@ impl FrequencySketch for ExactCounts {
         self.counts[x as usize]
     }
 
+    // Direct indexed loads — trivially bit-identical to the scalar
+    // estimate; the override just skips the per-call trait dispatch.
+    fn estimate_batch(&self, xs: &[u64], out: &mut [i64]) {
+        assert_eq!(xs.len(), out.len(), "estimate_batch: slice length mismatch");
+        for (&x, o) in xs.iter().zip(out) {
+            *o = self.counts[x as usize];
+        }
+    }
+
     fn universe(&self) -> u64 {
         self.counts.len() as u64
     }

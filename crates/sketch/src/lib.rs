@@ -99,6 +99,25 @@ pub trait FrequencySketch: SpaceUsage + CheckInvariants {
     /// unbiased sketches (Count-Sketch); callers clamp as appropriate.
     fn estimate(&self, x: u64) -> i64;
 
+    /// Estimates a batch of query keys: `out[k] = estimate(xs[k])`.
+    ///
+    /// The default is an element-wise [`estimate`](Self::estimate)
+    /// loop. Overrides must be **bit-identical** to that loop — answer
+    /// for answer — and exist purely to amortize key folding across
+    /// rows and walk the counters row-major, the read-side dual of
+    /// [`update_batch`](Self::update_batch) (see `docs/PERF.md` §7).
+    /// The batched dyadic rank path and the property tests in
+    /// `crates/turnstile/tests/batch_props.rs` rely on the identity.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    fn estimate_batch(&self, xs: &[u64], out: &mut [i64]) {
+        assert_eq!(xs.len(), out.len(), "estimate_batch: slice length mismatch");
+        for (&x, o) in xs.iter().zip(out) {
+            *o = self.estimate(x);
+        }
+    }
+
     /// The universe size this sketch summarizes.
     fn universe(&self) -> u64;
 

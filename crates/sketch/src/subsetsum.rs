@@ -184,6 +184,37 @@ impl FrequencySketch for SubsetSum {
         (sum + k.signum() * k / 2) / k
     }
 
+    // Repetition-major read: each membership hash sweeps the chunk's
+    // folded keys once, accumulating the per-key estimator sums in
+    // repetition order — i64 addition commutes, so the final rounded
+    // average is bit-identical to the scalar estimate.
+    fn estimate_batch(&self, xs: &[u64], out: &mut [i64]) {
+        assert_eq!(xs.len(), out.len(), "estimate_batch: slice length mismatch");
+        let k = self.counters.len() as i64;
+        let mut keys = [0u64; CHUNK];
+        let mut mbuf = [0u64; CHUNK];
+        for (chunk, out_c) in xs.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+            let m = chunk.len();
+            for (key, &x) in keys.iter_mut().zip(chunk) {
+                *key = sqs_util::hash::fold_to_field(x);
+            }
+            out_c.fill(0);
+            for (&c, b) in self.counters.iter().zip(&self.members) {
+                b.hash_folded_batch(&keys[..m], &mut mbuf[..m]);
+                for (o, &bit) in out_c.iter_mut().zip(&mbuf[..m]) {
+                    *o += if bit == 1 {
+                        2 * c - self.total
+                    } else {
+                        self.total - 2 * c
+                    };
+                }
+            }
+            for o in out_c.iter_mut() {
+                *o = (*o + k.signum() * k / 2) / k;
+            }
+        }
+    }
+
     fn universe(&self) -> u64 {
         self.universe
     }
@@ -294,6 +325,26 @@ mod tests {
         }
         batched.update_batch(&batch);
         assert_eq!(scalar, batched);
+    }
+
+    #[test]
+    fn estimate_batch_is_bit_identical_to_scalar() {
+        let mut rng = Xoshiro256pp::new(47);
+        let mut ss = SubsetSum::new(1 << 16, 64, &mut rng);
+        let mut stream_rng = Xoshiro256pp::new(48);
+        for _ in 0..5_000 {
+            ss.update(stream_rng.next_below(1 << 16), 1);
+        }
+        for n in [1usize, 17, 1024, 1025] {
+            let xs: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9) % (1 << 16))
+                .collect();
+            let mut out = vec![0i64; n];
+            ss.estimate_batch(&xs, &mut out);
+            for (&x, &o) in xs.iter().zip(&out) {
+                assert_eq!(o, ss.estimate(x), "n={n} x={x}");
+            }
+        }
     }
 
     #[test]

@@ -22,11 +22,15 @@ pub fn new_dcm(eps: f64, log_u: u32, seed: u64) -> Dcm {
 }
 
 /// [`new_dcm`] with an explicit depth `d` (used by the Table 3/4
-/// tuning experiments).
+/// tuning experiments). The ε target also sets the default dyadic
+/// level cutoff ([`crate::default_level_cutoff`]): levels far below
+/// the ε resolution keep no counters, shortening every update and
+/// query walk while staying inside the error budget.
 pub fn new_dcm_with(eps: f64, log_u: u32, depth: usize, seed: u64) -> Dcm {
     assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1), got {eps}");
     let width = ((1.0 / eps) * log_u as f64).ceil().max(8.0) as usize;
     from_width_depth(width, depth, log_u, seed)
+        .with_level_cutoff(crate::default_level_cutoff(eps, log_u))
 }
 
 /// Builds a DCM with an explicit per-level `width × depth` geometry

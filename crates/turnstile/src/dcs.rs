@@ -28,11 +28,16 @@ pub fn new_dcs(eps: f64, log_u: u32, seed: u64) -> Dcs {
     new_dcs_with(eps, log_u, 7, seed)
 }
 
-/// [`new_dcs`] with an explicit depth `d` (Table 3/4 tuning).
+/// [`new_dcs`] with an explicit depth `d` (Table 3/4 tuning). The ε
+/// target also sets the default dyadic level cutoff
+/// ([`crate::default_level_cutoff`]): levels far below the ε
+/// resolution keep no counters, shortening every update and query walk
+/// while staying inside the error budget.
 pub fn new_dcs_with(eps: f64, log_u: u32, depth: usize, seed: u64) -> Dcs {
     assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1), got {eps}");
     let width = ((log_u as f64).sqrt() / eps).ceil().max(8.0) as usize;
     from_width_depth(width, depth, log_u, seed)
+        .with_level_cutoff(crate::default_level_cutoff(eps, log_u))
 }
 
 /// Builds a DCS with an explicit per-level `width × depth` geometry

@@ -20,11 +20,44 @@ use sqs_util::dyadic::{Cell, DyadicUniverse};
 use sqs_util::space::{words, SpaceUsage};
 
 /// Per-level storage: exact counters for small reduced universes, a
-/// sketch otherwise.
+/// sketch otherwise — or nothing at all for levels below the
+/// truncation cutoff (see
+/// [`DyadicQuantiles::with_level_cutoff`]).
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Level<S> {
     Exact(ExactCounts),
     Sketch(S),
+    /// A level below the truncation cutoff: no counters are kept. Its
+    /// mass is recorded by the coarser levels above (every update
+    /// still touches them), and queries round to multiples of
+    /// `2^cutoff`, never addressing a truncated cell.
+    Truncated,
+}
+
+/// The default truncation cutoff for an ε-accuracy structure over a
+/// `2^log_u` universe: truncate the levels whose cells are more than
+/// ~2^10 times finer than the ε·n error budget's natural resolution.
+///
+/// The error argument (docs/PERF.md §7): a quantile query answered at
+/// granularity `2^cutoff` can misplace at most the mass of one
+/// width-`2^cutoff` cell relative to the untruncated answer. With
+/// `cutoff = ⌊log₂(ε·u)⌋ − 10`, a *uniform-ish* stream puts about
+/// `ε·n/2^10` mass in such a cell — three orders of magnitude inside
+/// the budget — and the property tests in `tests/batch_props.rs`
+/// enforce the cell-straddle rank bound on adversarial (skewed,
+/// deletion-heavy) streams too. Meanwhile the update/query level walk
+/// drops `cutoff` of its `log u` levels — at the paper's experiment
+/// scale (ε = 0.01, log u = 32) that is 15 of the 18 sketch levels.
+#[must_use]
+pub fn default_level_cutoff(eps: f64, log_u: u32) -> u32 {
+    if eps.is_nan() || eps <= 0.0 || log_u < 2 {
+        return 0;
+    }
+    let raw = (eps * (f64::from(log_u)).exp2()).log2().floor() - 10.0;
+    if raw <= 0.0 {
+        return 0;
+    }
+    (raw as u32).min(log_u - 1)
 }
 
 /// The dyadic quantile structure over sketches of type `S`.
@@ -33,17 +66,27 @@ pub struct DyadicQuantiles<S> {
     universe: DyadicUniverse,
     /// `levels[i]` summarizes the reduced universe at level `i`
     /// (`i = 0` is the singletons; the root level `log_u` is implied by
-    /// the exact live count and never stored).
+    /// the exact live count and never stored). The bottom `cutoff`
+    /// entries are [`Level::Truncated`].
     levels: Vec<Level<S>>,
+    /// Leading truncated-level count; updates and queries start their
+    /// level walk here and queries align to multiples of `2^cutoff`.
+    cutoff: u32,
     live: i64,
     name: &'static str,
+    /// Bumped on every state change (updates, merges) — the cheap
+    /// staleness key for caches layered on top of the structure (the
+    /// Post OLS factorization cache keys on it). Not summary state:
+    /// excluded from equality, reset by wire decode.
+    version: u64,
     #[cfg(any(test, feature = "audit"))]
     updates: u64,
 }
 
 // Equality is summary state only — the audit-only `updates` diagnostic
-// is excluded, since it legitimately differs between paths that reach
-// the same state (wire decode starts it at zero, shard merges sum it).
+// and the `version` cache key are excluded, since they legitimately
+// differ between paths that reach the same state (wire decode starts
+// them at zero, shard merges sum `updates`).
 impl<S: PartialEq> PartialEq for DyadicQuantiles<S> {
     fn eq(&self, other: &Self) -> bool {
         self.universe == other.universe
@@ -78,11 +121,49 @@ impl<S: FrequencySketch> DyadicQuantiles<S> {
         Self {
             universe,
             levels,
+            cutoff: 0,
             live: 0,
             name,
+            version: 0,
             #[cfg(any(test, feature = "audit"))]
             updates: 0,
         }
+    }
+
+    /// Truncates the bottom `cutoff` levels (clamped to `log_u − 1`):
+    /// their stores are dropped, updates skip them, and queries align
+    /// to multiples of `2^cutoff` — see [`default_level_cutoff`] for
+    /// the error argument. Must be applied before any updates.
+    ///
+    /// # Panics
+    /// Panics if the structure has already absorbed updates.
+    #[must_use]
+    pub fn with_level_cutoff(mut self, cutoff: u32) -> Self {
+        assert_eq!(
+            self.live, 0,
+            "Dyadic: level cutoff must be set before any updates"
+        );
+        let cutoff = cutoff.min(self.universe.log_u() - 1);
+        for store in &mut self.levels[..cutoff as usize] {
+            *store = Level::Truncated;
+        }
+        self.cutoff = cutoff;
+        self
+    }
+
+    /// The truncation cutoff: the number of bottom levels that keep no
+    /// counters (0 when truncation is off).
+    #[must_use]
+    pub fn level_cutoff(&self) -> u32 {
+        self.cutoff
+    }
+
+    /// The state-change counter: bumped by every update and merge.
+    /// Caches layered on the structure (Post's OLS factorization) key
+    /// on it to detect staleness without hashing counters.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The universe descriptor.
@@ -100,6 +181,11 @@ impl<S: FrequencySketch> DyadicQuantiles<S> {
 
     /// Estimated number of live elements in a dyadic cell (may be
     /// negative for unbiased sketches).
+    ///
+    /// # Panics
+    /// Panics on a cell below the truncation cutoff — truncated levels
+    /// keep no counters, and every internal query path aligns to
+    /// `2^cutoff` before decomposing, so reaching one is a caller bug.
     pub fn cell_estimate(&self, cell: Cell) -> i64 {
         if cell.level == self.universe.log_u() {
             debug_assert_eq!(cell.index, 0);
@@ -108,6 +194,10 @@ impl<S: FrequencySketch> DyadicQuantiles<S> {
         match &self.levels[cell.level as usize] {
             Level::Exact(e) => e.estimate(cell.index),
             Level::Sketch(s) => s.estimate(cell.index),
+            Level::Truncated => panic!(
+                "Dyadic: cell estimate at level {} is below the truncation cutoff {}",
+                cell.level, self.cutoff
+            ),
         }
     }
 
@@ -118,7 +208,7 @@ impl<S: FrequencySketch> DyadicQuantiles<S> {
             return 0.0;
         }
         match &self.levels[level as usize] {
-            Level::Exact(_) => 0.0,
+            Level::Exact(_) | Level::Truncated => 0.0,
             Level::Sketch(s) => s.variance_estimate().unwrap_or(0.0),
         }
     }
@@ -131,7 +221,7 @@ impl<S: FrequencySketch> DyadicQuantiles<S> {
             return 0.0;
         }
         match &self.levels[cell.level as usize] {
-            Level::Exact(_) => 0.0,
+            Level::Exact(_) | Level::Truncated => 0.0,
             Level::Sketch(s) => s.variance_estimate_for(cell.index).unwrap_or(0.0),
         }
     }
@@ -139,11 +229,18 @@ impl<S: FrequencySketch> DyadicQuantiles<S> {
     fn update(&mut self, x: u64, delta: i64) {
         assert!(x < self.universe.size(), "element {x} outside universe");
         self.live += delta;
-        for (level, store) in self.levels.iter_mut().enumerate() {
+        self.version += 1;
+        for (level, store) in self
+            .levels
+            .iter_mut()
+            .enumerate()
+            .skip(self.cutoff as usize)
+        {
             let idx = x >> level;
             match store {
                 Level::Exact(e) => e.update(idx, delta),
                 Level::Sketch(s) => s.update(idx, delta),
+                Level::Truncated => unreachable!("truncated levels sit below the cutoff"),
             }
         }
         #[cfg(any(test, feature = "audit"))]
@@ -173,11 +270,20 @@ impl<S: FrequencySketch> DyadicQuantiles<S> {
             assert!(x < self.universe.size(), "element {x} outside universe");
         }
         self.live += batch.iter().map(|&(_, d)| d).sum::<i64>();
+        self.version += 1;
         let mut reduced = batch.to_vec();
-        for store in self.levels.iter_mut() {
+        if self.cutoff > 0 {
+            // The level walk starts at the cutoff: one bulk shift
+            // replaces the truncated levels' per-level passes.
+            for (x, _) in reduced.iter_mut() {
+                *x >>= self.cutoff;
+            }
+        }
+        for store in self.levels[self.cutoff as usize..].iter_mut() {
             match store {
                 Level::Exact(e) => e.update_batch(&reduced),
                 Level::Sketch(s) => s.update_batch(&reduced),
+                Level::Truncated => unreachable!("truncated levels sit below the cutoff"),
             }
             for (x, _) in reduced.iter_mut() {
                 *x >>= 1;
@@ -192,14 +298,191 @@ impl<S: FrequencySketch> DyadicQuantiles<S> {
         }
     }
 
+    /// Rounds a query point down to the structure's granularity: a
+    /// multiple of `2^cutoff` has no set bits below the cutoff, so its
+    /// prefix decomposition only uses surviving levels. A no-op when
+    /// truncation is off.
+    #[inline]
+    fn align(&self, x: u64) -> u64 {
+        x.min(self.universe.size()) & !((1u64 << self.cutoff) - 1)
+    }
+
     /// Signed rank estimate (before clamping): the summed cell
-    /// estimates over the prefix decomposition of `[0, x)`.
+    /// estimates over the prefix decomposition of `[0, x)`, with `x`
+    /// rounded down to the truncation granularity.
     pub fn rank_signed(&self, x: u64) -> i64 {
         self.universe
-            .prefix_decomposition(x.min(self.universe.size()))
+            .prefix_decomposition(self.align(x))
             .into_iter()
             .map(|c| self.cell_estimate(c))
             .sum()
+    }
+
+    /// Batched [`rank_signed`](Self::rank_signed): `out[q] =
+    /// rank_signed(xs[q])`, bit-identical to the scalar loop.
+    ///
+    /// Two structural facts make the batch walk cheaper than repeating
+    /// the scalar one (docs/PERF.md §7):
+    ///
+    /// * **Exact-prefix collapse.** Let `fe` be the finest exact
+    ///   level. A query's decomposition cells at levels ≥ `fe`
+    ///   partition the aligned prefix `[0, (x >> fe) << fe)`, and
+    ///   exact levels are sum-consistent — a parent counter holds
+    ///   exactly its children's mass (the audited
+    ///   `dyadic.parent_child_mass` invariant) — so their summed
+    ///   estimates equal one prefix sum of the level-`fe` counters.
+    ///   A wide sweep builds that prefix-sum table once and answers
+    ///   every query's whole exact region (root included: the last
+    ///   entry is the live count) with a single lookup. Narrow sweeps
+    ///   skip the table and peel the exact cells directly, computing
+    ///   the same sums.
+    /// * **Level-major sketch reads.** Each sketch level's cover cells
+    ///   (one per query with that bit set) are collected in the same
+    ///   pass and answered in one
+    ///   [`estimate_batch`](FrequencySketch::estimate_batch) call —
+    ///   the read-side analogue of `update_batch`'s row-major walk,
+    ///   and what makes a `quantiles` sweep's ~log u ranks per φ
+    ///   affordable. When a coarse sketch level's reduced universe is
+    ///   smaller than its query list, queries share cells by
+    ///   pigeonhole; the level then estimates each distinct cell once
+    ///   through a direct-address map and scatters the result.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn rank_signed_batch(&self, xs: &[u64], out: &mut [i64]) {
+        assert_eq!(
+            xs.len(),
+            out.len(),
+            "rank_signed_batch: slice length mismatch"
+        );
+        if xs.is_empty() {
+            return;
+        }
+        out.fill(0);
+        let log_u = self.universe.log_u();
+        let size = self.universe.size();
+        let below = |b: u32| -> u64 { (1u64 << b) - 1 };
+        // The finest stored exact level (exact levels are a contiguous
+        // top run; everything in `cutoff..fe` is a sketch).
+        let fe = (self.cutoff..log_u)
+            .find(|&l| matches!(self.levels[l as usize], Level::Exact(_)))
+            .unwrap_or(log_u);
+        let exacts: Vec<&ExactCounts> = self.levels[fe as usize..]
+            .iter()
+            .map(|store| match store {
+                Level::Exact(e) => e,
+                _ => unreachable!("levels above the finest exact level are exact"),
+            })
+            .collect();
+        let sketches: Vec<&S> = self.levels[self.cutoff as usize..fe as usize]
+            .iter()
+            .map(|store| match store {
+                Level::Sketch(s) => s,
+                _ => unreachable!("levels between the cutoff and the exact run are sketches"),
+            })
+            .collect();
+        // Build the exact-prefix table only when the sweep is wide
+        // enough to amortize its single sequential pass against the
+        // per-query exact-cell loads it replaces.
+        let plen = if fe == log_u {
+            1usize
+        } else {
+            usize::try_from(self.universe.cells_at_level(fe)).unwrap_or(usize::MAX)
+        };
+        let use_prefix = plen <= xs.len().saturating_mul((log_u - fe) as usize + 1);
+        let prefix: Vec<i64> = if use_prefix {
+            let mut p = Vec::with_capacity(plen + 1);
+            p.push(0i64);
+            if fe == log_u {
+                p.push(self.live);
+            } else {
+                let mut acc = 0i64;
+                for &c in exacts[0].counts() {
+                    acc += c;
+                    p.push(acc);
+                }
+            }
+            p
+        } else {
+            Vec::new()
+        };
+        // One pass over the queries: the exact region is settled
+        // inline (table lookup or direct peel), sketch-level cover
+        // cells are deferred into per-level lists.
+        let smask = below(fe) & !below(self.cutoff);
+        let emask = below(log_u) & !below(fe);
+        let cap = xs.len() / 2 + 1;
+        let mut scells: Vec<Vec<u64>> = sketches.iter().map(|_| Vec::with_capacity(cap)).collect();
+        let mut sqidx: Vec<Vec<u32>> = sketches.iter().map(|_| Vec::with_capacity(cap)).collect();
+        for (q, (&x, o)) in xs.iter().zip(out.iter_mut()).enumerate() {
+            let ax = self.align(x);
+            if use_prefix {
+                *o += prefix[(ax >> fe) as usize];
+            } else if ax == size {
+                // The root cell: its count is the implied live total.
+                *o += self.live;
+            } else {
+                let mut eb = ax & emask;
+                while eb != 0 {
+                    let level = eb.trailing_zeros();
+                    eb &= eb - 1;
+                    // The level-`level` cover cell of the prefix
+                    // [0, ax): the aligned block just below the
+                    // higher-bit prefix (see `prefix_decomposition`).
+                    *o += exacts[(level - fe) as usize].estimate((ax >> level) - 1);
+                }
+            }
+            let mut sb = ax & smask;
+            while sb != 0 {
+                let level = sb.trailing_zeros();
+                sb &= sb - 1;
+                let k = (level - self.cutoff) as usize;
+                scells[k].push((ax >> level) - 1);
+                sqidx[k].push(q as u32);
+            }
+        }
+        let mut uniq: Vec<u64> = Vec::new();
+        let mut pos: Vec<u32> = Vec::new();
+        let mut slots: Vec<u32> = Vec::new();
+        let mut ests: Vec<i64> = Vec::new();
+        for (k, s) in sketches.iter().enumerate() {
+            let cells = &scells[k];
+            if cells.is_empty() {
+                continue;
+            }
+            let reduced = self.universe.cells_at_level(self.cutoff + k as u32);
+            if reduced <= cells.len() as u64 {
+                // Coarse level: more queries than cells, so estimate
+                // each distinct cell once and scatter. The map is
+                // direct-address — `reduced` slots cost no more than
+                // the query list they are replacing.
+                slots.clear();
+                slots.resize(usize::try_from(reduced).unwrap_or(usize::MAX), u32::MAX);
+                uniq.clear();
+                pos.clear();
+                for &c in cells {
+                    let t = &mut slots[c as usize];
+                    if *t == u32::MAX {
+                        *t = uniq.len() as u32;
+                        uniq.push(c);
+                    }
+                    pos.push(*t);
+                }
+                ests.clear();
+                ests.resize(uniq.len(), 0i64);
+                s.estimate_batch(&uniq, &mut ests);
+                for (&q, &p) in sqidx[k].iter().zip(&pos) {
+                    out[q as usize] += ests[p as usize];
+                }
+            } else {
+                ests.clear();
+                ests.resize(cells.len(), 0i64);
+                s.estimate_batch(cells, &mut ests);
+                for (&q, &e) in sqidx[k].iter().zip(&ests) {
+                    out[q as usize] += e;
+                }
+            }
+        }
     }
 
     /// The per-level stores, bottom (singletons) first — serialization.
@@ -229,12 +512,23 @@ impl<S: FrequencySketch> DyadicQuantiles<S> {
         if levels.len() != log_u as usize {
             return Err("Dyadic: level count does not match log_u");
         }
+        // The cutoff travels implicitly as the leading truncated run.
+        let mut cutoff = 0u32;
+        let mut in_lead = true;
         let mut prev_exact = false;
         for (i, store) in levels.iter().enumerate() {
             let (scope, exact) = match store {
+                Level::Truncated => {
+                    if !in_lead {
+                        return Err("Dyadic: truncated level above a stored level");
+                    }
+                    cutoff += 1;
+                    continue;
+                }
                 Level::Exact(e) => (e.universe(), true),
                 Level::Sketch(s) => (s.universe(), false),
             };
+            in_lead = false;
             if scope != universe.cells_at_level(i as u32) {
                 return Err("Dyadic: level scoped to wrong reduced universe");
             }
@@ -243,11 +537,16 @@ impl<S: FrequencySketch> DyadicQuantiles<S> {
             }
             prev_exact = exact;
         }
+        if cutoff as usize == levels.len() {
+            return Err("Dyadic: every level truncated");
+        }
         Ok(Self {
             universe,
             levels,
+            cutoff,
             live,
             name,
+            version: 0,
             #[cfg(any(test, feature = "audit"))]
             updates: 0,
         })
@@ -267,6 +566,7 @@ impl<S: MergeableSketch> DyadicQuantiles<S> {
                 .all(|(a, b)| match (a, b) {
                     (Level::Exact(x), Level::Exact(y)) => x.merge_compatible(y),
                     (Level::Sketch(x), Level::Sketch(y)) => x.merge_compatible(y),
+                    (Level::Truncated, Level::Truncated) => true,
                     _ => false,
                 })
     }
@@ -284,10 +584,12 @@ impl<S: MergeableSketch> DyadicQuantiles<S> {
             "Dyadic invariant: merge requires identical universe and hash draws"
         );
         self.live += other.live;
+        self.version += 1;
         for (a, b) in self.levels.iter_mut().zip(&other.levels) {
             match (a, b) {
                 (Level::Exact(x), Level::Exact(y)) => x.merge_from(y),
                 (Level::Sketch(x), Level::Sketch(y)) => x.merge_from(y),
+                (Level::Truncated, Level::Truncated) => {}
                 _ => unreachable!("merge_compatible checked the level kinds"),
             }
         }
@@ -318,10 +620,33 @@ impl<S: FrequencySketch> sqs_util::audit::CheckInvariants for DyadicQuantiles<S>
         ensure(self.live >= 0, ALG, "dyadic.live_nonnegative", || {
             format!("live count is {}", self.live)
         })?;
+        // Truncated levels form exactly the leading `cutoff` run.
+        let lead = self
+            .levels
+            .iter()
+            .take_while(|l| matches!(l, Level::Truncated))
+            .count();
+        ensure(
+            lead == self.cutoff as usize && lead < self.levels.len(),
+            ALG,
+            "dyadic.cutoff_consistent",
+            || {
+                format!(
+                    "cutoff field is {} but {} leading levels are truncated",
+                    self.cutoff, lead
+                )
+            },
+        )?;
         let mut prev_exact = false;
         for (i, store) in self.levels.iter().enumerate() {
             let cells = self.universe.cells_at_level(i as u32);
             let (scope, exact) = match store {
+                Level::Truncated => {
+                    ensure(i < lead, ALG, "dyadic.truncated_contiguous", || {
+                        format!("level {i} is truncated above a stored level")
+                    })?;
+                    continue;
+                }
                 Level::Exact(e) => (e.universe(), true),
                 Level::Sketch(s) => (s.universe(), false),
             };
@@ -341,6 +666,7 @@ impl<S: FrequencySketch> sqs_util::audit::CheckInvariants for DyadicQuantiles<S>
             match store {
                 Level::Exact(e) => e.check_invariants()?,
                 Level::Sketch(s) => s.check_invariants()?,
+                Level::Truncated => {}
             }
             if let Level::Exact(e) = store {
                 // Sum-consistency: each exact level partitions the live
@@ -386,6 +712,7 @@ impl<S: FrequencySketch> sqs_util::audit::CheckInvariants for DyadicQuantiles<S>
             .map(|l| match l {
                 Level::Exact(e) => e.space_bytes(),
                 Level::Sketch(s) => s.space_bytes(),
+                Level::Truncated => 0,
             })
             .sum::<usize>()
             + words(1);
@@ -429,23 +756,104 @@ impl<S: FrequencySketch> TurnstileQuantiles for DyadicQuantiles<S> {
     /// not exceed `⌊φ·live⌋` (§3's extraction rule). Sketch noise makes
     /// the rank function only approximately monotone; the binary search
     /// is the paper's own choice and inherits its guarantee from the
-    /// all-prefixes error bound.
+    /// all-prefixes error bound. Under truncation the search runs in
+    /// cell units at the cutoff level — with cutoff 0 that *is* the
+    /// value space, bit-identical to the untruncated search.
     fn quantile(&self, phi: f64) -> Option<u64> {
         assert!(phi > 0.0 && phi < 1.0, "phi must be in (0,1), got {phi}");
         if self.live <= 0 {
             return None;
         }
         let target = (phi * self.live as f64).floor() as i64;
-        let (mut lo, mut hi) = (0u64, self.universe.size() - 1);
+        let (mut lo, mut hi) = (0u64, self.universe.cells_at_level(self.cutoff) - 1);
         while lo < hi {
             let mid = lo + (hi - lo).div_ceil(2);
-            if self.rank_signed(mid) <= target {
+            if self.rank_signed(mid << self.cutoff) <= target {
                 lo = mid;
             } else {
                 hi = mid - 1;
             }
         }
-        Some(lo)
+        Some(lo << self.cutoff)
+    }
+
+    /// Lockstep bisection over a sorted-φ sweep, **bit-identical** to
+    /// per-φ [`quantile`](Self::quantile) calls.
+    ///
+    /// Although sketch noise makes the rank function only
+    /// approximately monotone, the *comparison outcome* at any fixed
+    /// bisection node — `rank(mid) ≤ ⌊φ·live⌋` — is monotone in φ, so
+    /// every φ's scalar search walks the same binary tree and sorted
+    /// targets occupy contiguous runs of nodes at every depth. The
+    /// sweep exploits that: per depth it collects each live node's
+    /// single midpoint, answers **all** of them in one
+    /// [`rank_signed_batch`](Self::rank_signed_batch) call, and
+    /// partitions each node's targets around its rank. One φ costs
+    /// ~log u ranks; k sorted φs cost ~log u *batched* rank rounds
+    /// with ≤ min(k, 2^depth) ranks each — the per-φ re-bisection
+    /// rework is gone.
+    fn quantiles(&self, phis: &[f64]) -> Vec<Option<u64>> {
+        for &phi in phis {
+            assert!(phi > 0.0 && phi < 1.0, "phi must be in (0,1), got {phi}");
+        }
+        if self.live <= 0 || phis.is_empty() {
+            return vec![None; phis.len()];
+        }
+        // Sort targets via an index permutation; answers un-permute.
+        let mut order: Vec<usize> = (0..phis.len()).collect();
+        order.sort_by(|&a, &b| phis[a].total_cmp(&phis[b]));
+        let targets: Vec<i64> = order
+            .iter()
+            .map(|&i| (phis[i] * self.live as f64).floor() as i64)
+            .collect();
+        let mut answers = vec![0u64; targets.len()];
+        // A node is a bracket [lo, hi] in cell units plus the
+        // contiguous run targets[s..e] still inside it.
+        let mut nodes = vec![(
+            0u64,
+            self.universe.cells_at_level(self.cutoff) - 1,
+            0usize,
+            targets.len(),
+        )];
+        let mut mids = Vec::new();
+        let mut ranks = Vec::new();
+        let mut next = Vec::new();
+        while !nodes.is_empty() {
+            mids.clear();
+            mids.extend(
+                nodes
+                    .iter()
+                    .map(|&(lo, hi, _, _)| (lo + (hi - lo).div_ceil(2)) << self.cutoff),
+            );
+            ranks.clear();
+            ranks.resize(mids.len(), 0i64);
+            self.rank_signed_batch(&mids, &mut ranks);
+            next.clear();
+            for (&(lo, hi, s, e), &r) in nodes.iter().zip(&ranks) {
+                let mid = lo + (hi - lo).div_ceil(2);
+                // rank(mid) ≤ target → the scalar search takes lo = mid;
+                // sorted targets split at the first t ≥ r.
+                let split = s + targets[s..e].partition_point(|&t| t < r);
+                for &(nlo, nhi, ns, ne) in &[(lo, mid - 1, s, split), (mid, hi, split, e)] {
+                    if ns == ne {
+                        continue;
+                    }
+                    if nlo == nhi {
+                        for a in &mut answers[ns..ne] {
+                            *a = nlo << self.cutoff;
+                        }
+                    } else {
+                        next.push((nlo, nhi, ns, ne));
+                    }
+                }
+            }
+            std::mem::swap(&mut nodes, &mut next);
+        }
+        let mut out = vec![None; phis.len()];
+        for (pos, &orig) in order.iter().enumerate() {
+            out[orig] = Some(answers[pos]);
+        }
+        out
     }
 
     fn name(&self) -> &'static str {
@@ -461,6 +869,7 @@ impl<S: FrequencySketch> SpaceUsage for DyadicQuantiles<S> {
             .map(|l| match l {
                 Level::Exact(e) => e.space_bytes(),
                 Level::Sketch(s) => s.space_bytes(),
+                Level::Truncated => 0,
             })
             .sum();
         levels + words(1) // + the live counter

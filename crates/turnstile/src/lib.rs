@@ -42,9 +42,9 @@ pub mod summary;
 pub use dcm::{new_dcm, Dcm};
 pub use dcs::{new_dcs, Dcs};
 pub use dgm::{new_dgm, Dgm};
-pub use dyadic::DyadicQuantiles;
+pub use dyadic::{default_level_cutoff, DyadicQuantiles};
 pub use exact::ExactTurnstile;
-pub use post::{FrontierMode, PostProcessed, VarianceMode};
+pub use post::{FrontierMode, PostCache, PostProcessed, VarianceMode};
 pub use rss::{new_rss, Rss};
 pub use summary::TurnstileSummary;
 
@@ -79,6 +79,16 @@ pub trait TurnstileQuantiles: sqs_util::SpaceUsage {
     /// An approximate φ-quantile of the live elements (`None` when
     /// empty).
     fn quantile(&self, phi: f64) -> Option<u64>;
+
+    /// A φ-sweep: one quantile per entry of `phis`. The default is a
+    /// per-φ [`quantile`](Self::quantile) loop; `DyadicQuantiles`
+    /// overrides it with the lockstep bisection sweep that answers a
+    /// whole sorted sweep in ~log u *batched* rank rounds instead of
+    /// re-bisecting from scratch per φ — bit-identical answers either
+    /// way (see `docs/PERF.md` §7).
+    fn quantiles(&self, phis: &[f64]) -> Vec<Option<u64>> {
+        phis.iter().map(|&phi| self.quantile(phi)).collect()
+    }
 
     /// The algorithm's name as used in the paper's figures.
     fn name(&self) -> &'static str;

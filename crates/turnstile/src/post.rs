@@ -44,6 +44,7 @@
 // this module is on the `cargo xtask check` allowlist.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::dyadic::DyadicQuantiles;
 use sqs_sketch::FrequencySketch;
@@ -244,12 +245,47 @@ fn solve_blue(nodes: &mut [BlueNode]) {
 #[derive(Debug)]
 pub struct PostProcessed<'a, S> {
     dq: &'a DyadicQuantiles<S>,
-    /// BLUE estimate per truncated-tree cell.
-    xstar: HashMap<Cell, f64>,
+    /// BLUE estimate per truncated-tree cell. Shared (`Arc`) so a
+    /// [`PostCache`] hit hands out the solved tree without recomputing
+    /// or deep-copying it.
+    xstar: Arc<HashMap<Cell, f64>>,
     eta: f64,
     eps: f64,
     frontier_mode: FrontierMode,
     variance_mode: VarianceMode,
+}
+
+/// A memo for [`PostProcessed`] construction.
+///
+/// The §3.2 pipeline (truncate, decompose, solve) costs
+/// `O((1/ηε)·log u)` per run — negligible against stream ingestion,
+/// but wasteful when a query burst rebuilds it for an *unchanged*
+/// structure. The cache keys the solved tree on the structure's cheap
+/// [`version`](DyadicQuantiles::version) counter plus the pipeline
+/// parameters; [`PostProcessed::cached`] returns a clone of the shared
+/// solution when nothing changed and re-solves (updating the cache)
+/// otherwise.
+///
+/// A cache belongs to *one* structure: the version counter is
+/// per-instance (wire decode resets it), so reusing a cache across
+/// structures can alias distinct states. Keep it next to the sketch it
+/// memoizes, as `sqs-engine`'s query snapshots do.
+#[derive(Debug, Default)]
+pub struct PostCache {
+    key: Option<(u64, u64, u64, FrontierMode, VarianceMode)>,
+    xstar: Arc<HashMap<Cell, f64>>,
+}
+
+impl PostCache {
+    /// An empty cache (every first lookup misses).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the cache currently holds a solved tree.
+    pub fn is_primed(&self) -> bool {
+        self.key.is_some()
+    }
 }
 
 impl<'a, S: FrequencySketch> PostProcessed<'a, S> {
@@ -284,7 +320,7 @@ impl<'a, S: FrequencySketch> PostProcessed<'a, S> {
 
         let mut this = Self {
             dq,
-            xstar: HashMap::new(),
+            xstar: Arc::new(HashMap::new()),
             eta,
             eps,
             frontier_mode,
@@ -298,22 +334,26 @@ impl<'a, S: FrequencySketch> PostProcessed<'a, S> {
 
         // ---- Truncation (§3.2.2): include both children of every
         // node whose estimate clears the threshold; recurse into
-        // children that clear it themselves.
+        // children that clear it themselves. The descent floor is the
+        // structure's level cutoff — below it no counters exist, so
+        // frontier leaves bottom out at 2^cutoff-wide cells.
+        let floor = dq.level_cutoff();
         let root = Cell {
             level: dq.universe().log_u(),
             index: 0,
         };
-        this.xstar.insert(root, n as f64);
+        this.xstar_mut().insert(root, n as f64);
         let mut stack = vec![root];
         while let Some(cell) = stack.pop() {
-            if cell.level == 0 {
+            if cell.level <= floor {
                 continue;
             }
             let est = this.raw(cell);
             if est > threshold {
                 let (l, r) = cell.children();
-                this.xstar.insert(l, this.raw(l));
-                this.xstar.insert(r, this.raw(r));
+                let (rl, rr) = (this.raw(l), this.raw(r));
+                this.xstar_mut().insert(l, rl);
+                this.xstar_mut().insert(r, rr);
                 stack.push(l);
                 stack.push(r);
             }
@@ -335,9 +375,63 @@ impl<'a, S: FrequencySketch> PostProcessed<'a, S> {
         this
     }
 
+    /// Runs [`PostProcessed::new`] through `cache`: when the
+    /// structure's version and the parameters match the cached run,
+    /// the solved tree is reused; otherwise the pipeline runs and the
+    /// cache is refreshed.
+    pub fn cached(dq: &'a DyadicQuantiles<S>, eps: f64, eta: f64, cache: &mut PostCache) -> Self {
+        Self::cached_with_options(
+            dq,
+            eps,
+            eta,
+            FrontierMode::Interpolate,
+            VarianceMode::PerCell,
+            cache,
+        )
+    }
+
+    /// [`PostProcessed::cached`] with the frontier and variance modes
+    /// made explicit (they are part of the cache key).
+    pub fn cached_with_options(
+        dq: &'a DyadicQuantiles<S>,
+        eps: f64,
+        eta: f64,
+        frontier_mode: FrontierMode,
+        variance_mode: VarianceMode,
+        cache: &mut PostCache,
+    ) -> Self {
+        let key = (
+            dq.version(),
+            eps.to_bits(),
+            eta.to_bits(),
+            frontier_mode,
+            variance_mode,
+        );
+        if cache.key == Some(key) {
+            return Self {
+                dq,
+                xstar: Arc::clone(&cache.xstar),
+                eta,
+                eps,
+                frontier_mode,
+                variance_mode,
+            };
+        }
+        let this = Self::with_options(dq, eps, eta, frontier_mode, variance_mode);
+        cache.key = Some(key);
+        cache.xstar = Arc::clone(&this.xstar);
+        this
+    }
+
     /// Raw (pre-BLUE) estimate of a cell.
     fn raw(&self, cell: Cell) -> f64 {
         self.dq.cell_estimate(cell) as f64
+    }
+
+    /// The solved tree, writable. Only called during construction,
+    /// while the `Arc` is still unique — `make_mut` never clones.
+    fn xstar_mut(&mut self) -> &mut HashMap<Cell, f64> {
+        Arc::make_mut(&mut self.xstar)
     }
 
     fn has_children(&self, cell: Cell) -> bool {
@@ -384,8 +478,9 @@ impl<'a, S: FrequencySketch> PostProcessed<'a, S> {
             }
         }
         solve_blue(&mut nodes);
+        let map = self.xstar_mut();
         for (node, cell) in nodes.iter().zip(&cells) {
-            self.xstar.insert(*cell, node.xstar);
+            map.insert(*cell, node.xstar);
         }
     }
 
@@ -402,7 +497,15 @@ impl<'a, S: FrequencySketch> PostProcessed<'a, S> {
 
     /// Raw dyadic estimate of `[lo, x)` entirely below a frontier node
     /// (greedy aligned-cell decomposition against the sketch levels).
+    ///
+    /// Both endpoints are rounded down to the structure's level-cutoff
+    /// granularity: below the cutoff no counters exist, so the finest
+    /// decomposition cell is 2^cutoff wide. `lo` (a frontier-cell
+    /// start) is already aligned; rounding `x` drops < one cutoff
+    /// cell's mass, within the frontier budget of Lemma 1.
     fn raw_range(&self, lo: u64, x: u64) -> f64 {
+        let grain = !((1u64 << self.dq.level_cutoff()) - 1);
+        let (lo, x) = (lo & grain, x & grain);
         let mut acc = 0.0;
         let mut cur = lo;
         while cur < x {
@@ -711,6 +814,71 @@ mod tests {
             interp_sum <= raw_sum * 1.05,
             "interpolation {interp_sum} worse than raw {raw_sum}"
         );
+    }
+
+    #[test]
+    fn cache_reuses_solution_until_the_structure_changes() {
+        let mut dcs = new_dcs(0.02, 16, 6);
+        let mut rng = Xoshiro256pp::new(66);
+        for _ in 0..20_000 {
+            dcs.insert(rng.next_below(1 << 16));
+        }
+        let mut cache = PostCache::new();
+        assert!(!cache.is_primed());
+
+        let first = PostProcessed::cached(&dcs, 0.02, 0.1, &mut cache);
+        assert!(cache.is_primed());
+        let again = PostProcessed::cached(&dcs, 0.02, 0.1, &mut cache);
+        // A hit hands out the *same* solved tree, not a recomputation.
+        assert!(Arc::ptr_eq(&first.xstar, &again.xstar));
+        assert_eq!(first.quantile(0.5), again.quantile(0.5));
+
+        // Different parameters miss (they are part of the key).
+        let other = PostProcessed::cached(&dcs, 0.02, 0.2, &mut cache);
+        assert!(!Arc::ptr_eq(&first.xstar, &other.xstar));
+
+        // Any update bumps the version and invalidates the cache.
+        drop((first, again, other));
+        dcs.insert(123);
+        let fresh = PostProcessed::cached(&dcs, 0.02, 0.1, &mut cache);
+        assert_eq!(
+            fresh.tree_size(),
+            PostProcessed::new(&dcs, 0.02, 0.1).tree_size()
+        );
+        assert_eq!(
+            fresh.quantile(0.5),
+            PostProcessed::new(&dcs, 0.02, 0.1).quantile(0.5)
+        );
+    }
+
+    #[test]
+    fn truncated_structure_posts_within_eps() {
+        // new_dcs(0.02, 20, …) carries a level cutoff of 4: the
+        // pipeline's descent floor, frontier handling, and raw_range
+        // alignment must all respect it while staying inside ε.
+        let eps = 0.02;
+        let dcs = new_dcs(eps, 20, 12);
+        assert!(dcs.level_cutoff() > 0, "test premise: truncation on");
+        let mut dcs = dcs;
+        let mut rng = Xoshiro256pp::new(77);
+        let data: Vec<u64> = (0..50_000).map(|_| rng.next_below(1 << 20)).collect();
+        for &x in &data {
+            dcs.insert(x);
+        }
+        let oracle = ExactQuantiles::new(data);
+        for mode in [
+            FrontierMode::Interpolate,
+            FrontierMode::Raw,
+            FrontierMode::Discard,
+        ] {
+            let post = PostProcessed::with_options(&dcs, eps, 0.1, mode, VarianceMode::PerCell);
+            let answers: Vec<(f64, u64)> = probe_phis(eps)
+                .into_iter()
+                .map(|p| (p, post.quantile(p).unwrap()))
+                .collect();
+            let (max_err, _) = observed_errors(&oracle, &answers);
+            assert!(max_err <= eps, "mode {mode:?}: max {max_err}");
+        }
     }
 
     #[test]

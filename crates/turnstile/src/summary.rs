@@ -83,6 +83,12 @@ impl<S: FrequencySketch> QuantileSummary<u64> for TurnstileSummary<S> {
         TurnstileQuantiles::quantile(&self.dq, phi)
     }
 
+    // The dyadic lockstep sweep: one shared bisection tree for the
+    // whole φ-vector, bit-identical to the per-φ loop.
+    fn quantiles(&mut self, phis: &[f64]) -> Vec<Option<u64>> {
+        TurnstileQuantiles::quantiles(&self.dq, phis)
+    }
+
     fn name(&self) -> &'static str {
         TurnstileQuantiles::name(&self.dq)
     }
@@ -121,14 +127,18 @@ where
 //   u32  log_u
 //   u64  live (i64 bits)
 //   then log_u levels, bottom first, each:
-//     u8 tag — 0 = exact, 1 = sketch
-//     exact:  u64-vec of counts (i64 bits)
-//     sketch: u64 width, u64 depth,
-//             depth × (u64 a, u64 b, 4×u64 sign coeffs),
-//             u64-vec of logical d×w counters (i64 bits)
+//     u8 tag — 0 = exact, 1 = sketch, 2 = truncated
+//     exact:     u64-vec of counts (i64 bits)
+//     sketch:    u64 width, u64 depth,
+//                depth × (u64 a, u64 b, 4×u64 sign coeffs),
+//                u64-vec of logical d×w counters (i64 bits)
+//     truncated: nothing — the tag is the whole level. The level
+//                cutoff thus travels implicitly as the leading run of
+//                truncated tags; the header layout is unchanged.
 
 const TAG_EXACT: u8 = 0;
 const TAG_SKETCH: u8 = 1;
+const TAG_TRUNCATED: u8 = 2;
 
 impl WireCodec for TurnstileSummary<CountSketch> {
     const WIRE_KIND: u8 = KIND_DCS;
@@ -158,6 +168,7 @@ impl WireCodec for TurnstileSummary<CountSketch> {
                     let bits: Vec<u64> = s.logical_counters().iter().map(|&c| c as u64).collect();
                     put_u64_slice(out, &bits);
                 }
+                Level::Truncated => out.push(TAG_TRUNCATED),
             }
         }
     }
@@ -200,6 +211,7 @@ impl WireCodec for TurnstileSummary<CountSketch> {
                         .map_err(CodecError::Malformed)?;
                     levels.push(Level::Sketch(s));
                 }
+                TAG_TRUNCATED => levels.push(Level::Truncated),
                 _ => return Err(CodecError::Malformed("unknown level tag")),
             }
         }

@@ -401,6 +401,72 @@ impl FourwiseHash {
     }
 }
 
+/// Read-side gather kernel: hashes **one** pre-folded key across all
+/// `d` rows' pairwise functions in a single pass, writing
+/// `out[i] = hashes[i].hash(x)` for the unfolded key `x` with
+/// `xf = fold_to_field(x)`. The query-path dual of the update kernels:
+/// an update amortizes the fold across one row's many keys, a point
+/// read amortizes it across one key's many rows. Each row's `(a, b)`
+/// pair is loaded once and the `d` multiply chains are independent, so
+/// they pipeline exactly like the 4-wide unroll in
+/// [`PairwiseHash::hash_folded_batch`]. Bit-identical to per-row
+/// [`PairwiseHash::hash`] calls.
+///
+/// # Panics
+/// Panics if the slices differ in length. Folding is only checked by
+/// `debug_assert`: a non-folded key gives a well-defined but
+/// *different* bucket than `hash`.
+pub fn buckets_folded_gather(hashes: &[PairwiseHash], xf: u64, out: &mut [u64]) {
+    assert_eq!(
+        hashes.len(),
+        out.len(),
+        "buckets_folded_gather: slice length mismatch"
+    );
+    debug_assert!(
+        xf < MERSENNE_P,
+        "buckets_folded_gather: key must be pre-folded into the field"
+    );
+    let x = xf as u128;
+    for (h, o) in hashes.iter().zip(out) {
+        *o = bucket_of(
+            fold_p(lazy_reduce((h.a as u128) * x + h.b as u128)),
+            h.buckets,
+        );
+    }
+}
+
+/// Read-side sign gather: evaluates **one** pre-folded key under all
+/// `d` rows' 4-wise sign functions, `out[i] = hashes[i].sign(x)` for
+/// `xf = fold_to_field(x)` — the Count-Sketch dual of
+/// [`buckets_folded_gather`]. Each row's Horner chain uses the same
+/// lazy-reduction schedule as
+/// [`FourwiseHash::sign_folded_batch`], and the `d` chains are
+/// independent so the multiplier port stays busy. Bit-identical to
+/// per-row [`FourwiseHash::sign`] calls.
+///
+/// # Panics
+/// Panics if the slices differ in length. Folding is only checked by
+/// `debug_assert`.
+pub fn signs_folded_gather(hashes: &[FourwiseHash], xf: u64, out: &mut [i64]) {
+    assert_eq!(
+        hashes.len(),
+        out.len(),
+        "signs_folded_gather: slice length mismatch"
+    );
+    debug_assert!(
+        xf < MERSENNE_P,
+        "signs_folded_gather: key must be pre-folded into the field"
+    );
+    let x = xf as u128;
+    for (g, o) in hashes.iter().zip(out) {
+        let [c0, c1, c2, c3] = g.coeffs;
+        let acc = lazy_reduce((c3 as u128) * x + c2 as u128);
+        let acc = lazy_reduce((acc as u128) * x + c1 as u128);
+        let acc = lazy_reduce((acc as u128) * x + c0 as u128);
+        *o = if fold_p(acc) & 1 == 1 { 1 } else { -1 };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -526,6 +592,29 @@ mod tests {
         for (i, &x) in xs.iter().enumerate() {
             assert_eq!(jb[i], h.hash(x), "bucket mismatch at i={i}");
             assert_eq!(sb[i], g.sign(x), "sign mismatch at i={i}");
+        }
+    }
+
+    #[test]
+    fn gather_matches_scalar() {
+        // The read-side gather kernels must be bit-identical to
+        // per-row scalar calls — the batched-query identity guarantee
+        // rests on it.
+        let mut rng = Xoshiro256pp::new(10);
+        let hs: Vec<PairwiseHash> = (0..7).map(|_| PairwiseHash::new(&mut rng, 977)).collect();
+        let gs: Vec<FourwiseHash> = (0..7).map(|_| FourwiseHash::new(&mut rng)).collect();
+        let mut jb = vec![0u64; hs.len()];
+        let mut sb = vec![0i64; gs.len()];
+        for i in 0..1003u64 {
+            let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            buckets_folded_gather(&hs, fold_to_field(x), &mut jb);
+            signs_folded_gather(&gs, fold_to_field(x), &mut sb);
+            for (r, h) in hs.iter().enumerate() {
+                assert_eq!(jb[r], h.hash(x), "bucket mismatch at x={x} row={r}");
+            }
+            for (r, g) in gs.iter().enumerate() {
+                assert_eq!(sb[r], g.sign(x), "sign mismatch at x={x} row={r}");
+            }
         }
     }
 
